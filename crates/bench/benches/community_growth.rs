@@ -1,0 +1,37 @@
+//! Criterion bench: end-to-end community growth — a scaled-down
+//! Figure-1 workload (founding population, Poisson arrivals,
+//! introductions, audits) measuring whole-run wall time per policy.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use replend_core::community::CommunityBuilder;
+use replend_core::BootstrapPolicy;
+use replend_types::Table1;
+use std::hint::black_box;
+
+fn bench_growth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("community_growth");
+    group.sample_size(20);
+    let config = Table1::paper_defaults()
+        .with_num_init(200)
+        .with_arrival_rate(0.05)
+        .with_num_trans(10_000);
+    for policy in [
+        BootstrapPolicy::ReputationLending,
+        BootstrapPolicy::OpenAdmission { initial: 0.5 },
+    ] {
+        group.bench_function(format!("{}/10k_ticks", policy.name()), |b| {
+            b.iter(|| {
+                let mut community = CommunityBuilder::new(config)
+                    .policy(policy)
+                    .seed(3)
+                    .build();
+                community.run(10_000);
+                black_box(community.stats().admitted_total())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_growth);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Criterion bench: Chord finger-table routing cost and oracle
+//! successor lookups, across ring sizes. Routing should scale
+//! O(log n) in hops; the oracle is a `BTreeMap` range query.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use replend_dht::ring::Ring;
+use replend_dht::routing::Router;
+use replend_types::{NodeId, PeerId};
+use std::hint::black_box;
+
+fn build_ring(n: u64) -> Ring {
+    let mut ring = Ring::new();
+    for p in 0..n {
+        ring.join(PeerId(p).node_id());
+    }
+    ring
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dht_lookup");
+    for n in [100u64, 1_000, 10_000] {
+        let ring = build_ring(n);
+        let router = Router::build(&ring);
+        let nodes: Vec<NodeId> = ring.iter().collect();
+        let mut rng = StdRng::seed_from_u64(9);
+
+        group.bench_function(format!("route/n{n}"), |b| {
+            b.iter(|| {
+                let from = nodes[rng.gen_range(0..nodes.len())];
+                let key = NodeId(rng.gen::<u64>());
+                black_box(router.route(&ring, from, key))
+            })
+        });
+        group.bench_function(format!("oracle_successor/n{n}"), |b| {
+            b.iter(|| {
+                let key = NodeId(rng.gen::<u64>());
+                black_box(ring.successor(key))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_manager_selection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("manager_selection");
+    for n in [500u64, 5_000] {
+        let ring = build_ring(n);
+        let mut rng = StdRng::seed_from_u64(10);
+        group.bench_function(format!("select6/n{n}"), |b| {
+            b.iter(|| {
+                let peer = PeerId(rng.gen_range(0..n));
+                black_box(replend_dht::managers::ManagerSet::select(&ring, peer, 6))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lookup, bench_manager_selection);
+criterion_main!(benches);

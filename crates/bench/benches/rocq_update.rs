@@ -1,0 +1,79 @@
+//! Criterion bench: ROCQ feedback aggregation — the hot path of every
+//! simulated transaction (two reports per served tick, each fanning
+//! out to `numSM` replicas) — plus reputation reads, compared across
+//! replication factors and against the baseline engines.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use replend_rocq::baselines::{BetaEngine, EwmaEngine, SimpleAverageEngine};
+use replend_rocq::{ReputationEngine, RocqEngine, RocqParams};
+use replend_types::{PeerId, Reputation};
+use std::hint::black_box;
+
+const POPULATION: u64 = 1_000;
+
+fn populate(engine: &mut dyn ReputationEngine) {
+    for p in 0..POPULATION {
+        engine.register_peer(PeerId(p), Reputation::ONE);
+    }
+}
+
+fn bench_reports(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rocq_report");
+    for num_sm in [1usize, 6] {
+        let mut engine = RocqEngine::new(RocqParams::default(), num_sm, 5);
+        populate(&mut engine);
+        let mut rng = StdRng::seed_from_u64(11);
+        group.bench_function(format!("rocq/sm{num_sm}"), |b| {
+            b.iter(|| {
+                let reporter = PeerId(rng.gen_range(0..POPULATION));
+                let subject = PeerId(rng.gen_range(0..POPULATION));
+                engine.report(reporter, subject, 1.0);
+            })
+        });
+    }
+    let mut simple = SimpleAverageEngine::new();
+    populate(&mut simple);
+    let mut ewma = EwmaEngine::new(0.1);
+    populate(&mut ewma);
+    let mut beta = BetaEngine::new();
+    populate(&mut beta);
+    let mut rng = StdRng::seed_from_u64(12);
+    for (name, engine) in [
+        ("simple", &mut simple as &mut dyn ReputationEngine),
+        ("ewma", &mut ewma),
+        ("beta", &mut beta),
+    ] {
+        group.bench_function(format!("baseline/{name}"), |b| {
+            b.iter(|| {
+                let reporter = PeerId(rng.gen_range(0..POPULATION));
+                let subject = PeerId(rng.gen_range(0..POPULATION));
+                engine.report(reporter, subject, 1.0);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_reads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rocq_read");
+    let mut engine = RocqEngine::new(RocqParams::default(), 6, 6);
+    populate(&mut engine);
+    let mut rng = StdRng::seed_from_u64(13);
+    for _ in 0..100_000 {
+        let reporter = PeerId(rng.gen_range(0..POPULATION));
+        let subject = PeerId(rng.gen_range(0..POPULATION));
+        engine.report(reporter, subject, 1.0);
+    }
+    group.bench_function("reputation_query/sm6", |b| {
+        b.iter(|| {
+            let subject = PeerId(rng.gen_range(0..POPULATION));
+            black_box(engine.reputation(subject))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_reports, bench_reads);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion bench: per-tick cost of the community simulator for both
+//! topologies, at two community sizes. One tick = one transaction
+//! (§3), so this is the simulator's end-to-end throughput unit.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use replend_core::community::CommunityBuilder;
+use replend_types::{Table1, TopologyKind};
+
+fn bench_steps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_step");
+    for topology in [TopologyKind::Random, TopologyKind::Powerlaw] {
+        for num_init in [500usize, 2_000] {
+            let config = Table1::paper_defaults()
+                .with_num_init(num_init)
+                .with_arrival_rate(0.01)
+                .with_topology(topology);
+            group.bench_function(format!("{topology}/n{num_init}/1k_ticks"), |b| {
+                b.iter_batched(
+                    || CommunityBuilder::new(config).seed(1).build(),
+                    |mut community| {
+                        community.run(1_000);
+                        community
+                    },
+                    BatchSize::LargeInput,
+                )
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_steps);
+criterion_main!(benches);

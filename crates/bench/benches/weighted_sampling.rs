@@ -1,0 +1,51 @@
+//! Criterion bench: the dynamic Fenwick-tree sampler (used by the
+//! growing scale-free topology) versus the static alias method —
+//! quantifying the O(log n) price paid for supporting weight updates.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use replend_topology::{AliasSampler, Fenwick};
+use std::hint::black_box;
+
+fn bench_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("weighted_sampling");
+    for n in [1_000usize, 100_000] {
+        let mut rng = StdRng::seed_from_u64(21);
+        let weights: Vec<u64> = (0..n).map(|_| rng.gen_range(1..100u64)).collect();
+        let mut fenwick = Fenwick::new();
+        for &w in &weights {
+            fenwick.push(w);
+        }
+        let total = fenwick.total();
+        let alias =
+            AliasSampler::new(&weights.iter().map(|&w| w as f64).collect::<Vec<_>>()).unwrap();
+
+        group.bench_function(format!("fenwick_sample/n{n}"), |b| {
+            b.iter(|| {
+                let u = rng.gen_range(0..total);
+                black_box(fenwick.sample_index(u))
+            })
+        });
+        group.bench_function(format!("alias_sample/n{n}"), |b| {
+            b.iter(|| black_box(alias.sample(&mut rng)))
+        });
+        group.bench_function(format!("fenwick_update/n{n}"), |b| {
+            b.iter(|| {
+                let i = rng.gen_range(0..n);
+                fenwick.add(i, 1);
+                fenwick.add(i, -1);
+            })
+        });
+        group.bench_function(format!("alias_rebuild/n{n}"), |b| {
+            // The alias method's "update" is a full rebuild — the
+            // reason the growing topology uses the Fenwick tree.
+            let float_weights: Vec<f64> = weights.iter().map(|&w| w as f64).collect();
+            b.iter(|| black_box(AliasSampler::new(&float_weights)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sampling);
+criterion_main!(benches);

@@ -1,0 +1,117 @@
+//! **Ablation A3** — audit and waiting-period sensitivity (ours;
+//! motivated by §3's unexplored choices of `auditTrans` and `T`).
+//!
+//! Part 1 sweeps `auditTrans`: auditing too early judges cooperative
+//! newcomers before their reputation has climbed (false penalties);
+//! auditing too late delays the introducer's repayment.
+//!
+//! Part 2 sweeps the waiting period `T`: longer waits slow community
+//! growth (more arrivals still waiting at any time) without changing
+//! the admission mix.
+
+use replend_bench::experiment::{env_runs, env_ticks, run_average, PAPER_RUNS};
+use replend_bench::output::{fmt, print_table, write_csv};
+use replend_core::{BootstrapPolicy, EngineKind};
+use replend_types::Table1;
+
+fn main() {
+    let runs = env_runs(PAPER_RUNS);
+    let ticks = env_ticks(50_000);
+    println!("Ablation A3: auditTrans and waiting-period sensitivity (λ = 0.1, {ticks} ticks, {runs} runs)");
+
+    // Part 1: auditTrans sweep.
+    let mut rows = Vec::new();
+    let mut csv_rows = Vec::new();
+    for audit_trans in [5u32, 10, 20, 40, 80] {
+        let mut config = Table1::paper_defaults()
+            .with_arrival_rate(0.1)
+            .with_num_trans(ticks);
+        config.lending.audit_trans = audit_trans;
+        let m = run_average(
+            config,
+            BootstrapPolicy::ReputationLending,
+            EngineKind::default(),
+            0xAB3A,
+            runs,
+            ticks,
+        );
+        let total_audits = m.audits_passed + m.audits_failed;
+        rows.push(vec![
+            audit_trans.to_string(),
+            fmt(m.audits_passed, 1),
+            fmt(m.audits_failed, 1),
+            fmt(m.audits_failed / total_audits.max(1.0) * 100.0, 1) + "%",
+            fmt(m.coop_members, 1),
+            fmt(m.uncoop_members, 1),
+        ]);
+        csv_rows.push(vec![
+            audit_trans.to_string(),
+            fmt(m.audits_passed, 2),
+            fmt(m.audits_failed, 2),
+            fmt(m.coop_members, 2),
+            fmt(m.uncoop_members, 2),
+        ]);
+    }
+    print_table(
+        "auditTrans sweep (early audits mis-judge cooperative newcomers; late audits fire rarely within the run)",
+        &[
+            "auditTrans",
+            "audits passed",
+            "audits failed",
+            "fail rate",
+            "coop members",
+            "uncoop members",
+        ],
+        &rows,
+    );
+    if let Ok(path) = write_csv(
+        "ablation_audit_trans.csv",
+        &["audit_trans", "audits_passed", "audits_failed", "coop_members", "uncoop_members"],
+        &csv_rows,
+    ) {
+        println!("CSV written to {}", path.display());
+    }
+
+    // Part 2: waiting-period sweep.
+    let mut rows = Vec::new();
+    let mut csv_rows = Vec::new();
+    for wait in [100u64, 500, 1000, 2000, 5000] {
+        let mut config = Table1::paper_defaults()
+            .with_arrival_rate(0.1)
+            .with_num_trans(ticks);
+        config.lending.wait_period = wait;
+        let m = run_average(
+            config,
+            BootstrapPolicy::ReputationLending,
+            EngineKind::default(),
+            0xAB3B,
+            runs,
+            ticks,
+        );
+        rows.push(vec![
+            wait.to_string(),
+            fmt(m.coop_members, 1),
+            fmt(m.uncoop_members, 1),
+            fmt(m.waiting, 1),
+            fmt(m.uncoop_members / (m.coop_members + m.uncoop_members).max(1.0), 4),
+        ]);
+        csv_rows.push(vec![
+            wait.to_string(),
+            fmt(m.coop_members, 2),
+            fmt(m.uncoop_members, 2),
+            fmt(m.waiting, 2),
+        ]);
+    }
+    print_table(
+        "waiting-period sweep (longer T: more arrivals in the waiting room, same admission mix)",
+        &["T", "coop members", "uncoop members", "waiting", "uncoop share"],
+        &rows,
+    );
+    if let Ok(path) = write_csv(
+        "ablation_wait_period.csv",
+        &["wait_period", "coop_members", "uncoop_members", "waiting"],
+        &csv_rows,
+    ) {
+        println!("CSV written to {}", path.display());
+    }
+}

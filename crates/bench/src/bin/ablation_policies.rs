@@ -1,0 +1,83 @@
+//! **Ablation A1** — bootstrap-policy comparison (ours, motivated by
+//! §1's survey of newcomer treatments).
+//!
+//! Runs the same workload under the five bootstrap policies:
+//! reputation lending (the paper), open admission, fixed initial
+//! credit (BitTorrent/Scrivener style), positive-only feedback, and
+//! complaints-based trust. Reports how many uncooperative peers each
+//! policy lets in and what that does to the decision success rate.
+
+use replend_bench::experiment::{env_runs, env_ticks, run_average, PAPER_RUNS};
+use replend_bench::output::{fmt, print_table, write_csv};
+use replend_core::{BootstrapPolicy, EngineKind};
+use replend_types::Table1;
+
+fn main() {
+    let runs = env_runs(PAPER_RUNS);
+    let ticks = env_ticks(50_000);
+    println!("Ablation A1: bootstrap policies (λ = 0.1, {ticks} ticks, {runs} runs)");
+
+    let config = Table1::paper_defaults()
+        .with_arrival_rate(0.1)
+        .with_num_trans(ticks);
+    let policies = [
+        BootstrapPolicy::ReputationLending,
+        BootstrapPolicy::OpenAdmission { initial: 0.5 },
+        BootstrapPolicy::FixedCredit { credit: 0.1 },
+        BootstrapPolicy::PositiveOnly,
+        BootstrapPolicy::ComplaintsOnly,
+    ];
+
+    let mut rows = Vec::new();
+    let mut csv_rows = Vec::new();
+    for policy in policies {
+        let m = run_average(config, policy, EngineKind::default(), 0xAB1A, runs, ticks);
+        rows.push(vec![
+            policy.name().to_string(),
+            fmt(m.coop_members, 1),
+            fmt(m.uncoop_members, 1),
+            fmt(m.uncoop_members / m.arrived_uncoop.max(1.0) * 100.0, 1) + "%",
+            fmt(m.success_rate * 100.0, 2) + "%",
+            fmt(m.mean_coop_rep, 3),
+            fmt(m.mean_uncoop_rep, 4),
+        ]);
+        csv_rows.push(vec![
+            policy.name().to_string(),
+            fmt(m.coop_members, 2),
+            fmt(m.uncoop_members, 2),
+            fmt(m.success_rate, 4),
+            fmt(m.mean_coop_rep, 4),
+            fmt(m.mean_uncoop_rep, 4),
+        ]);
+    }
+
+    print_table(
+        "Bootstrap policies (lending should admit far fewer uncooperative peers than open/fixed/complaints)",
+        &[
+            "policy",
+            "coop members",
+            "uncoop members",
+            "uncoop admitted",
+            "success rate",
+            "coop rep",
+            "uncoop rep",
+        ],
+        &rows,
+    );
+
+    match write_csv(
+        "ablation_policies.csv",
+        &[
+            "policy",
+            "coop_members",
+            "uncoop_members",
+            "success_rate",
+            "mean_coop_rep",
+            "mean_uncoop_rep",
+        ],
+        &csv_rows,
+    ) {
+        Ok(path) => println!("CSV written to {}", path.display()),
+        Err(e) => eprintln!("could not write CSV: {e}"),
+    }
+}

@@ -1,0 +1,114 @@
+//! **Figure 1** — "Growth in Number of uncooperative vs. cooperative
+//! peers".
+//!
+//! Paper setup (§4.1): community starts with 500 cooperative peers;
+//! new peers arrive at λ = 0.1 for 50 000 ticks (≈ 5 000 arrivals, of
+//! which 25% ≈ 1 250 are uncooperative). The figure plots the number
+//! of uncooperative members against the number of cooperative members
+//! as the community grows, for the random and the scale-free
+//! topology.
+//!
+//! Paper findings to reproduce:
+//! * the relation is linear with slope well below the 1/3 that
+//!   letting everyone in would produce;
+//! * the two topologies overlap (growth of uncooperative membership
+//!   is topology-independent);
+//! * ≈ 450 uncooperative and ≈ 3 600–3 750 cooperative peers are in
+//!   the system at the end.
+
+use replend_bench::experiment::{env_runs, env_ticks, GROWTH_LAMBDA, GROWTH_TICKS, PAPER_RUNS};
+use replend_bench::output::{fmt, print_table, write_csv};
+use replend_core::community::CommunityBuilder;
+use replend_sim::runner::run_many_parallel;
+use replend_sim::series::{average_series, TimeSeries};
+use replend_types::{Table1, TopologyKind};
+
+/// Sampling interval of the growth curve.
+const SAMPLE_EVERY: u64 = 1_000;
+
+fn growth_curves(topology: TopologyKind, runs: usize, ticks: u64) -> (TimeSeries, TimeSeries) {
+    let config = Table1::paper_defaults()
+        .with_arrival_rate(GROWTH_LAMBDA)
+        .with_num_trans(ticks)
+        .with_topology(topology);
+    let pairs = run_many_parallel(runs, 0xF161, |seed| {
+        let mut community = CommunityBuilder::new(config).seed(seed).build();
+        let mut coop = TimeSeries::new(SAMPLE_EVERY);
+        let mut uncoop = TimeSeries::new(SAMPLE_EVERY);
+        for _ in 0..ticks {
+            community.step();
+            if coop.is_sample_tick(community.time()) {
+                let pop = community.population();
+                coop.push(pop.cooperative as f64);
+                uncoop.push(pop.uncooperative as f64);
+            }
+        }
+        (coop, uncoop)
+    });
+    let coops: Vec<TimeSeries> = pairs.iter().map(|(c, _)| c.clone()).collect();
+    let uncoops: Vec<TimeSeries> = pairs.iter().map(|(_, u)| u.clone()).collect();
+    (
+        average_series(&coops).expect("aligned runs"),
+        average_series(&uncoops).expect("aligned runs"),
+    )
+}
+
+fn main() {
+    let runs = env_runs(PAPER_RUNS);
+    let ticks = env_ticks(GROWTH_TICKS);
+    println!("Figure 1: uncooperative vs. cooperative peers (λ = {GROWTH_LAMBDA}, {ticks} ticks, {runs} runs)");
+
+    let mut rows = Vec::new();
+    let mut csv_rows = Vec::new();
+    let mut finals = Vec::new();
+    for topology in [TopologyKind::Random, TopologyKind::Powerlaw] {
+        let (coop, uncoop) = growth_curves(topology, runs, ticks);
+        for ((t, c), (_, u)) in coop.points().zip(uncoop.points()) {
+            csv_rows.push(vec![
+                topology.to_string(),
+                t.ticks().to_string(),
+                fmt(c, 1),
+                fmt(u, 1),
+            ]);
+        }
+        // Print every 5th sample to keep the table readable.
+        for (i, ((_, c), (_, u))) in coop.points().zip(uncoop.points()).enumerate() {
+            if (i + 1) % 5 == 0 {
+                rows.push(vec![topology.to_string(), fmt(c, 1), fmt(u, 1)]);
+            }
+        }
+        let c_end = *coop.values().last().unwrap_or(&0.0);
+        let u_end = *uncoop.values().last().unwrap_or(&0.0);
+        finals.push((topology, c_end, u_end));
+    }
+
+    print_table(
+        "Figure 1 series (every 5000 ticks)",
+        &["topology", "cooperative", "uncooperative"],
+        &rows,
+    );
+
+    let mut summary = Vec::new();
+    for (topology, c_end, u_end) in &finals {
+        summary.push(vec![
+            topology.to_string(),
+            fmt(*c_end, 1),
+            fmt(*u_end, 1),
+            fmt(u_end / c_end, 4),
+        ]);
+    }
+    print_table(
+        "Final populations (paper: ≈3600-3750 coop, ≈450 uncoop, slope ≪ 1/3)",
+        &["topology", "coop final", "uncoop final", "uncoop/coop"],
+        &summary,
+    );
+
+    match write_csv(
+        "fig1_growth.csv",
+        &["topology", "tick", "cooperative", "uncooperative"],
+        &csv_rows,
+    ) {
+        Ok(path) => println!("CSV written to {}", path.display()),
+        Err(e) => eprintln!("could not write CSV: {e}"),
+    }
+}

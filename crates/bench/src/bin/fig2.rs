@@ -1,0 +1,92 @@
+//! **Figure 2** — "Reputation of Cooperative Peers with Time".
+//!
+//! Paper setup (§4.1): Table-1 defaults, 500 000 ticks, arrival rate
+//! λ swept over {0.2, 0.1, 0.05, 0.02, 0.01, 0.005, 0.002, 0.001};
+//! the mean reputation of cooperative peers is sampled every 5 000
+//! ticks and averaged over the runs.
+//!
+//! Paper findings to reproduce:
+//! * for λ ≤ 0.05 the average stays roughly constant over time;
+//! * for λ ∈ {0.1, 0.2} the system is "overwhelmed by the new
+//!   entrants": reputations deplete early, then recover to a lower
+//!   steady state that persists;
+//! * uncooperative reputations stay very low throughout (reported in
+//!   the text, not plotted).
+
+use replend_bench::experiment::{env_runs, env_ticks, PAPER_RUNS};
+use replend_bench::output::{fmt, print_table, write_csv};
+use replend_core::community::CommunityBuilder;
+use replend_sim::runner::run_many_parallel;
+use replend_sim::series::{average_series, TimeSeries};
+use replend_types::Table1;
+
+/// Paper sampling interval: "every 5000 time units".
+const SAMPLE_EVERY: u64 = 5_000;
+
+/// The eight arrival rates of Figure 2.
+const RATES: [f64; 8] = [0.2, 0.1, 0.05, 0.02, 0.01, 0.005, 0.002, 0.001];
+
+fn reputation_series(lambda: f64, runs: usize, ticks: u64) -> (TimeSeries, f64) {
+    let config = Table1::paper_defaults()
+        .with_arrival_rate(lambda)
+        .with_num_trans(ticks);
+    let outputs = run_many_parallel(runs, 0xF162, |seed| {
+        let mut community = CommunityBuilder::new(config).seed(seed).build();
+        let series = community.run_sampled(ticks, SAMPLE_EVERY, |c| {
+            c.mean_cooperative_reputation().unwrap_or(0.0)
+        });
+        let uncoop = community.mean_uncooperative_reputation().unwrap_or(0.0);
+        (series, uncoop)
+    });
+    let series: Vec<TimeSeries> = outputs.iter().map(|(s, _)| s.clone()).collect();
+    let uncoop =
+        outputs.iter().map(|(_, u)| *u).sum::<f64>() / outputs.len().max(1) as f64;
+    (average_series(&series).expect("aligned runs"), uncoop)
+}
+
+fn main() {
+    let runs = env_runs(PAPER_RUNS);
+    let ticks = env_ticks(500_000);
+    println!(
+        "Figure 2: mean cooperative reputation over time ({ticks} ticks, {runs} runs per rate)"
+    );
+
+    let mut csv_rows = Vec::new();
+    let mut summary = Vec::new();
+    for lambda in RATES {
+        let (series, uncoop_end) = reputation_series(lambda, runs, ticks);
+        for (t, v) in series.points() {
+            csv_rows.push(vec![
+                format!("{lambda}"),
+                t.ticks().to_string(),
+                fmt(v, 4),
+            ]);
+        }
+        let vals = series.values();
+        let start = vals.first().copied().unwrap_or(0.0);
+        let min = vals.iter().cloned().fold(f64::INFINITY, f64::min);
+        let end = vals.last().copied().unwrap_or(0.0);
+        summary.push(vec![
+            format!("{lambda}"),
+            fmt(start, 3),
+            fmt(min, 3),
+            fmt(end, 3),
+            fmt(uncoop_end, 4),
+        ]);
+    }
+
+    print_table(
+        "Figure 2 summary (paper: flat for λ ≤ 0.05; depleted-then-recovered for λ ∈ {0.1, 0.2}; uncooperative stays ≈ 0)",
+        &["lambda", "first sample", "min", "final", "uncoop final"],
+        &summary,
+    );
+
+    match write_csv(
+        "fig2_reputation.csv",
+        &["lambda", "tick", "mean_coop_reputation"],
+        &csv_rows,
+    ) {
+        Ok(path) => println!("CSV written to {}", path.display()),
+        Err(e) => eprintln!("could not write CSV: {e}"),
+    }
+}

@@ -1,0 +1,93 @@
+//! **Figure 6** — "Number of Cooperative and Uncooperative Peers in
+//! System with Percentage of Freeriding New Entrants".
+//!
+//! Paper setup (§4.4): λ = 0.1, 50 000 ticks, percentage of
+//! uncooperative new entrants swept from 0% to 100%.
+//!
+//! Paper findings to reproduce:
+//! * cooperative members fall almost linearly from ≈5 400 (everyone
+//!   cooperative: nearly all of the ~5 000 arrivals admitted, ~100
+//!   still waiting at the end) down to 500 (only the founders);
+//! * uncooperative members rise but are **bounded** (the paper reads
+//!   ≈900 at 100%): selective refusals plus naive/uncooperative
+//!   introducers running out of lendable reputation cap the influx;
+//! * both refusal series grow with the uncooperative share.
+
+use replend_bench::experiment::{
+    env_runs, env_ticks, run_average, GROWTH_LAMBDA, GROWTH_TICKS, PAPER_RUNS,
+};
+use replend_bench::output::{fmt, print_table, write_csv};
+use replend_core::{BootstrapPolicy, EngineKind};
+use replend_types::Table1;
+
+const UNCOOP_PERCENT: [f64; 11] = [0.0, 10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0, 90.0, 100.0];
+
+fn main() {
+    let runs = env_runs(PAPER_RUNS);
+    let ticks = env_ticks(GROWTH_TICKS);
+    println!("Figure 6: population vs. % uncooperative entrants (λ = {GROWTH_LAMBDA}, {ticks} ticks, {runs} runs)");
+
+    let mut rows = Vec::new();
+    let mut csv_rows = Vec::new();
+    for pct in UNCOOP_PERCENT {
+        let config = Table1::paper_defaults()
+            .with_arrival_rate(GROWTH_LAMBDA)
+            .with_num_trans(ticks)
+            .with_f_uncoop(pct / 100.0);
+        let m = run_average(
+            config,
+            BootstrapPolicy::ReputationLending,
+            EngineKind::default(),
+            0xF166,
+            runs,
+            ticks,
+        );
+        rows.push(vec![
+            fmt(pct, 0),
+            fmt(m.coop_members, 1),
+            fmt(m.uncoop_members, 1),
+            fmt(m.refused_introducer_rep, 1),
+            fmt(m.refused_selective, 1),
+            fmt(m.waiting, 1),
+        ]);
+        csv_rows.push(vec![
+            fmt(pct, 0),
+            fmt(m.coop_members, 2),
+            fmt(m.uncoop_members, 2),
+            fmt(m.refused_introducer_rep, 2),
+            fmt(m.refused_selective, 2),
+            fmt(m.waiting, 2),
+            fmt(m.arrived_uncoop, 2),
+        ]);
+    }
+
+    print_table(
+        "Figure 6 (paper: coop ≈5400 → 500 linear; uncoop bounded ≈900; refusals grow)",
+        &[
+            "% uncoop",
+            "cooperative",
+            "uncooperative",
+            "refused (rep)",
+            "refused (selective)",
+            "waiting",
+        ],
+        &rows,
+    );
+
+    match write_csv(
+        "fig6_uncoop_share.csv",
+        &[
+            "pct_uncoop",
+            "coop_members",
+            "uncoop_members",
+            "refused_introducer_rep",
+            "refused_selective",
+            "waiting",
+            "arrived_uncoop",
+        ],
+        &csv_rows,
+    ) {
+        Ok(path) => println!("CSV written to {}", path.display()),
+        Err(e) => eprintln!("could not write CSV: {e}"),
+    }
+}

@@ -1,0 +1,30 @@
+//! `probe` — a diagnostic run of the Figure-1 workload that dumps
+//! every metric the harness extracts. Useful when re-tuning the ROCQ
+//! parameters or checking a change against the §4.1 accounting
+//! (arrivals, admissions, refusals, audits, mean reputations).
+
+use replend_bench::experiment::{env_runs, env_ticks, run_average, GROWTH_LAMBDA, GROWTH_TICKS};
+use replend_core::{BootstrapPolicy, EngineKind};
+use replend_types::Table1;
+
+fn main() {
+    let runs = env_runs(4);
+    let ticks = env_ticks(GROWTH_TICKS);
+    let config = Table1::paper_defaults()
+        .with_arrival_rate(GROWTH_LAMBDA)
+        .with_num_trans(ticks);
+    let m = run_average(
+        config,
+        BootstrapPolicy::ReputationLending,
+        EngineKind::default(),
+        7,
+        runs,
+        ticks,
+    );
+    println!("probe: lambda = {GROWTH_LAMBDA}, {ticks} ticks, {runs} runs");
+    println!("{m:#?}");
+    println!(
+        "paper section-4.1 anchors: ~3600 coop in system, ~650 coop turned away, \
+         uncoop admitted ~ 30-36% of ~1250 trying"
+    );
+}

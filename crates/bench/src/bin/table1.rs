@@ -1,0 +1,94 @@
+//! **Table 1** — "Simulation parameters": prints the defaults this
+//! reproduction uses, next to the values printed in the paper.
+
+use replend_bench::output::print_table;
+use replend_types::Table1;
+
+fn main() {
+    let c = Table1::paper_defaults();
+    let rows: Vec<Vec<String>> = vec![
+        vec![
+            "numInit".into(),
+            "Initial number of peers in the system".into(),
+            "500".into(),
+            c.sim.num_init.to_string(),
+        ],
+        vec![
+            "numTrans".into(),
+            "Number of transactions".into(),
+            "500000".into(),
+            c.sim.num_trans.to_string(),
+        ],
+        vec![
+            "numSM".into(),
+            "Number of score managers".into(),
+            "6".into(),
+            c.sim.num_sm.to_string(),
+        ],
+        vec![
+            "lambda".into(),
+            "Rate of new peer arrival (per tick)".into(),
+            "0.01".into(),
+            format!("{}", c.sim.arrival_rate),
+        ],
+        vec![
+            "f_u".into(),
+            "Fraction of new entrants who are uncooperative".into(),
+            "0.25".into(),
+            format!("{}", c.sim.f_uncoop),
+        ],
+        vec![
+            "f_n".into(),
+            "Fraction of cooperative peers who are naive".into(),
+            "0.3".into(),
+            format!("{}", c.sim.f_naive),
+        ],
+        vec![
+            "err_sel".into(),
+            "Selective introductions that are incorrect".into(),
+            "10%".into(),
+            format!("{}%", c.sim.err_sel * 100.0),
+        ],
+        vec![
+            "topology".into(),
+            "Network topology".into(),
+            "Powerlaw".into(),
+            c.sim.topology.to_string(),
+        ],
+        vec![
+            "T".into(),
+            "Waiting period for introductions".into(),
+            "1000".into(),
+            c.lending.wait_period.to_string(),
+        ],
+        vec![
+            "auditTrans".into(),
+            "Transactions after which a new node is audited".into(),
+            "20".into(),
+            c.lending.audit_trans.to_string(),
+        ],
+        vec![
+            "introAmt".into(),
+            "Reputation an introducer gives up".into(),
+            "0.1".into(),
+            format!("{}", c.lending.intro_amt),
+        ],
+        vec![
+            "rwd".into(),
+            "Reward for introducing a cooperative peer".into(),
+            "0.02".into(),
+            format!("{}", c.lending.reward),
+        ],
+        vec![
+            "minIntro".into(),
+            "Minimum reputation required to introduce".into(),
+            "(unreadable)".into(),
+            format!("2*introAmt = {}", c.lending.min_intro()),
+        ],
+    ];
+    print_table(
+        "Table 1: simulation parameters (paper vs. this reproduction)",
+        &["parameter", "description", "paper", "ours"],
+        &rows,
+    );
+}

@@ -1,0 +1,18 @@
+//! # replend-bench
+//!
+//! The experiment harness of the reproduction: one regeneration
+//! binary per table/figure of the paper (see `src/bin/`), plus the
+//! Criterion micro-benchmarks in `benches/`.
+//!
+//! This library crate holds the shared machinery: running a
+//! configuration over `n` seeded runs (in parallel — runs are
+//! independent and the combined output is bit-identical to the serial
+//! schedule), extracting the per-run metrics every figure needs, and
+//! emitting both human-readable tables and CSV files under
+//! `results/`.
+
+pub mod experiment;
+pub mod output;
+
+pub use experiment::{run_average, run_once, ExperimentPoint, RunMetrics};
+pub use output::{print_table, write_csv};

@@ -1,0 +1,99 @@
+//! Table printing and CSV persistence for the experiment binaries.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Prints an aligned text table: `headers` then `rows`.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "\n== {title} ==");
+    let mut line = String::new();
+    for (h, w) in headers.iter().zip(&widths) {
+        let _ = write!(line, "{h:>w$}  ", w = w);
+    }
+    let _ = writeln!(out, "{}", line.trim_end());
+    let _ = writeln!(out, "{}", "-".repeat(line.trim_end().len()));
+    for row in rows {
+        let mut line = String::new();
+        for (c, w) in row.iter().zip(&widths) {
+            let _ = write!(line, "{c:>w$}  ", w = w);
+        }
+        let _ = writeln!(out, "{}", line.trim_end());
+    }
+    println!("{out}");
+}
+
+/// Resolves the `results/` directory (created on demand) next to the
+/// workspace root.
+pub fn results_dir() -> PathBuf {
+    // CARGO_MANIFEST_DIR = crates/bench → workspace root is two up.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .map(Path::to_path_buf)
+        .unwrap_or_else(|| PathBuf::from("."));
+    root.join("results")
+}
+
+/// Writes a CSV file under `results/`, returning its path.
+pub fn write_csv(name: &str, headers: &[&str], rows: &[Vec<String>]) -> io::Result<PathBuf> {
+    let dir = results_dir();
+    fs::create_dir_all(&dir)?;
+    let path = dir.join(name);
+    let mut body = String::new();
+    let _ = writeln!(body, "{}", headers.join(","));
+    for row in rows {
+        let _ = writeln!(body, "{}", row.join(","));
+    }
+    fs::write(&path, body)?;
+    Ok(path)
+}
+
+/// Formats a float with the given precision (helper for row
+/// construction).
+pub fn fmt(v: f64, precision: usize) -> String {
+    format!("{v:.precision$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_rounds() {
+        assert_eq!(fmt(1.23456, 2), "1.23");
+        assert_eq!(fmt(10.0, 0), "10");
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let path = write_csv(
+            "test_output_unit.csv",
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()], vec!["3".into(), "4".into()]],
+        )
+        .unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(body, "a,b\n1,2\n3,4\n");
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn print_table_does_not_panic() {
+        print_table(
+            "demo",
+            &["x", "value"],
+            &[vec!["1".into(), "2.0".into()]],
+        );
+    }
+}

@@ -1,0 +1,531 @@
+//! # replend-cli
+//!
+//! Command-line front end for the `replend` community simulator:
+//!
+//! ```text
+//! replend run [--ticks N] [--lambda F] [--num-init N] [--f-uncoop F]
+//!             [--f-naive F] [--topology random|powerlaw|zipf]
+//!             [--policy lending|open|fixed-credit|positive-only|complaints-only]
+//!             [--intro-amt F] [--reward F] [--wait N] [--audit-trans N]
+//!             [--departure-rate F] [--seed N] [--runs N] [--sample N]
+//!             [--histogram N]
+//! replend table1
+//! replend help
+//! ```
+//!
+//! Argument parsing is hand-rolled (the workspace's dependency policy
+//! has no CLI crate) and fully unit-tested; `main.rs` is a thin shell
+//! around [`run_cli`].
+
+use replend_core::community::CommunityBuilder;
+use replend_core::{BootstrapPolicy, EngineKind};
+use replend_sim::runner::{run_many_parallel, Summary};
+use replend_types::{Table1, TopologyKind};
+use std::fmt::Write as _;
+
+/// Parsed command line.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Command {
+    /// Run a simulation and print the summary.
+    Run(RunArgs),
+    /// Print the Table-1 defaults.
+    Table1,
+    /// Print usage.
+    Help,
+}
+
+/// Options of `replend run`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunArgs {
+    /// Full simulation configuration.
+    pub config: Table1,
+    /// Bootstrap policy.
+    pub policy: BootstrapPolicy,
+    /// RNG seed of the first run.
+    pub seed: u64,
+    /// Number of averaged runs.
+    pub runs: usize,
+    /// Sampling interval for the reputation series (0 = no series).
+    pub sample: u64,
+    /// Print a reputation histogram with this many buckets (0 = off).
+    pub histogram: usize,
+    /// Departure churn rate (extension; 0 = paper model).
+    pub departure_rate: f64,
+}
+
+impl Default for RunArgs {
+    fn default() -> Self {
+        RunArgs {
+            config: Table1::paper_defaults().with_num_trans(50_000),
+            policy: BootstrapPolicy::ReputationLending,
+            seed: 0,
+            runs: 1,
+            sample: 0,
+            histogram: 0,
+            departure_rate: 0.0,
+        }
+    }
+}
+
+/// A parse failure with a user-facing message.
+#[derive(Clone, Debug, PartialEq)]
+pub struct UsageError(pub String);
+
+impl std::fmt::Display for UsageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+impl std::error::Error for UsageError {}
+
+fn parse_value<T: std::str::FromStr>(flag: &str, value: Option<&str>) -> Result<T, UsageError> {
+    let raw = value.ok_or_else(|| UsageError(format!("{flag} requires a value")))?;
+    raw.parse()
+        .map_err(|_| UsageError(format!("invalid value {raw:?} for {flag}")))
+}
+
+fn parse_policy(raw: &str) -> Result<BootstrapPolicy, UsageError> {
+    Ok(match raw {
+        "lending" => BootstrapPolicy::ReputationLending,
+        "open" => BootstrapPolicy::OpenAdmission { initial: 0.5 },
+        "fixed-credit" => BootstrapPolicy::FixedCredit { credit: 0.1 },
+        "positive-only" => BootstrapPolicy::PositiveOnly,
+        "complaints-only" => BootstrapPolicy::ComplaintsOnly,
+        other => return Err(UsageError(format!("unknown policy {other:?}"))),
+    })
+}
+
+fn parse_topology(raw: &str) -> Result<TopologyKind, UsageError> {
+    Ok(match raw {
+        "random" => TopologyKind::Random,
+        "powerlaw" => TopologyKind::Powerlaw,
+        "zipf" => TopologyKind::Zipf,
+        other => return Err(UsageError(format!("unknown topology {other:?}"))),
+    })
+}
+
+/// Parses a full argument list (without the program name).
+pub fn parse_args(args: &[&str]) -> Result<Command, UsageError> {
+    match args.first().copied() {
+        None | Some("help") | Some("--help") | Some("-h") => Ok(Command::Help),
+        Some("table1") => Ok(Command::Table1),
+        Some("run") => {
+            let mut out = RunArgs::default();
+            let mut i = 1;
+            while i < args.len() {
+                let flag = args[i];
+                let value = args.get(i + 1).copied();
+                match flag {
+                    "--ticks" => {
+                        out.config.sim.num_trans = parse_value(flag, value)?;
+                        i += 2;
+                    }
+                    "--lambda" => {
+                        out.config.sim.arrival_rate = parse_value(flag, value)?;
+                        i += 2;
+                    }
+                    "--num-init" => {
+                        out.config.sim.num_init = parse_value(flag, value)?;
+                        i += 2;
+                    }
+                    "--num-sm" => {
+                        out.config.sim.num_sm = parse_value(flag, value)?;
+                        i += 2;
+                    }
+                    "--f-uncoop" => {
+                        out.config.sim.f_uncoop = parse_value(flag, value)?;
+                        i += 2;
+                    }
+                    "--f-naive" => {
+                        out.config.sim.f_naive = parse_value(flag, value)?;
+                        i += 2;
+                    }
+                    "--err-sel" => {
+                        out.config.sim.err_sel = parse_value(flag, value)?;
+                        i += 2;
+                    }
+                    "--topology" => {
+                        let raw: String = parse_value(flag, value)?;
+                        out.config.sim.topology = parse_topology(&raw)?;
+                        i += 2;
+                    }
+                    "--policy" => {
+                        let raw: String = parse_value(flag, value)?;
+                        out.policy = parse_policy(&raw)?;
+                        i += 2;
+                    }
+                    "--intro-amt" => {
+                        out.config.lending.intro_amt = parse_value(flag, value)?;
+                        i += 2;
+                    }
+                    "--reward" => {
+                        out.config.lending.reward = parse_value(flag, value)?;
+                        i += 2;
+                    }
+                    "--wait" => {
+                        out.config.lending.wait_period = parse_value(flag, value)?;
+                        i += 2;
+                    }
+                    "--audit-trans" => {
+                        out.config.lending.audit_trans = parse_value(flag, value)?;
+                        i += 2;
+                    }
+                    "--min-intro" => {
+                        out.config.lending.min_intro_override =
+                            Some(parse_value(flag, value)?);
+                        i += 2;
+                    }
+                    "--departure-rate" => {
+                        out.departure_rate = parse_value(flag, value)?;
+                        i += 2;
+                    }
+                    "--seed" => {
+                        out.seed = parse_value(flag, value)?;
+                        i += 2;
+                    }
+                    "--runs" => {
+                        out.runs = parse_value(flag, value)?;
+                        i += 2;
+                    }
+                    "--sample" => {
+                        out.sample = parse_value(flag, value)?;
+                        i += 2;
+                    }
+                    "--histogram" => {
+                        out.histogram = parse_value(flag, value)?;
+                        i += 2;
+                    }
+                    other => return Err(UsageError(format!("unknown flag {other:?}"))),
+                }
+            }
+            out.config
+                .validate()
+                .map_err(|e| UsageError(format!("invalid configuration: {e}")))?;
+            if out.runs == 0 {
+                return Err(UsageError("--runs must be at least 1".into()));
+            }
+            Ok(Command::Run(out))
+        }
+        Some(other) => Err(UsageError(format!(
+            "unknown command {other:?}; try `replend help`"
+        ))),
+    }
+}
+
+/// Usage text.
+pub fn usage() -> String {
+    "replend — the reputation-lending community simulator\n\
+     \n\
+     USAGE:\n\
+     \x20 replend run [OPTIONS]   run a simulation and print the summary\n\
+     \x20 replend table1          print the paper's Table-1 defaults\n\
+     \x20 replend help            this text\n\
+     \n\
+     RUN OPTIONS (defaults = Table 1, 50 000 ticks):\n\
+     \x20 --ticks N           simulation length in transactions\n\
+     \x20 --lambda F          Poisson arrival rate per tick\n\
+     \x20 --num-init N        founding population\n\
+     \x20 --num-sm N          score managers per peer\n\
+     \x20 --f-uncoop F        uncooperative share of arrivals\n\
+     \x20 --f-naive F         naive share of cooperative peers\n\
+     \x20 --err-sel F         selective-introducer error rate\n\
+     \x20 --topology T        random | powerlaw | zipf\n\
+     \x20 --policy P          lending | open | fixed-credit | positive-only | complaints-only\n\
+     \x20 --intro-amt F       reputation staked per introduction\n\
+     \x20 --reward F          introducer reward on a passed audit\n\
+     \x20 --wait N            introduction waiting period T\n\
+     \x20 --audit-trans N     transactions before the newcomer audit\n\
+     \x20 --min-intro F       override the minIntro threshold\n\
+     \x20 --departure-rate F  member departure rate (extension)\n\
+     \x20 --seed N            RNG seed (default 0)\n\
+     \x20 --runs N            averaged runs (default 1)\n\
+     \x20 --sample N          also print a reputation series every N ticks\n\
+     \x20 --histogram N       print an N-bucket member reputation histogram\n"
+        .to_string()
+}
+
+/// Executes a parsed command, returning the text to print.
+pub fn execute(command: Command) -> String {
+    match command {
+        Command::Help => usage(),
+        Command::Table1 => {
+            let c = Table1::paper_defaults();
+            format!(
+                "Table-1 defaults:\n{}",
+                format_args!(
+                    "  numInit={} numTrans={} numSM={} lambda={} f_uncoop={} f_naive={} \
+                     err_sel={} topology={} T={} auditTrans={} introAmt={} rwd={} minIntro={}\n",
+                    c.sim.num_init,
+                    c.sim.num_trans,
+                    c.sim.num_sm,
+                    c.sim.arrival_rate,
+                    c.sim.f_uncoop,
+                    c.sim.f_naive,
+                    c.sim.err_sel,
+                    c.sim.topology,
+                    c.lending.wait_period,
+                    c.lending.audit_trans,
+                    c.lending.intro_amt,
+                    c.lending.reward,
+                    c.lending.min_intro(),
+                )
+            )
+        }
+        Command::Run(args) => run_simulation(&args),
+    }
+}
+
+/// Per-run scalar outputs gathered for averaging.
+#[derive(Clone, Debug)]
+struct RunOutput {
+    coop: f64,
+    uncoop: f64,
+    waiting: f64,
+    success: f64,
+    coop_rep: f64,
+    uncoop_rep: f64,
+    refused_rep: f64,
+    refused_sel: f64,
+    series: Vec<f64>,
+    hist: Vec<u64>,
+}
+
+fn run_simulation(args: &RunArgs) -> String {
+    let ticks = args.config.sim.num_trans;
+    let outputs = run_many_parallel(args.runs, args.seed, |seed| {
+        let mut community = CommunityBuilder::new(args.config)
+            .policy(args.policy)
+            .engine(EngineKind::default())
+            .departure_rate(args.departure_rate)
+            .seed(seed)
+            .build();
+        let series = if args.sample > 0 {
+            community
+                .run_sampled(ticks, args.sample, |c| {
+                    c.mean_cooperative_reputation().unwrap_or(0.0)
+                })
+                .values()
+                .to_vec()
+        } else {
+            community.run(ticks);
+            Vec::new()
+        };
+        let hist = if args.histogram > 0 {
+            community
+                .reputation_histogram(args.histogram)
+                .buckets()
+                .to_vec()
+        } else {
+            Vec::new()
+        };
+        let pop = community.population();
+        let stats = community.stats();
+        RunOutput {
+            coop: pop.cooperative as f64,
+            uncoop: pop.uncooperative as f64,
+            waiting: pop.waiting as f64,
+            success: stats.success_rate().unwrap_or(0.0),
+            coop_rep: community.mean_cooperative_reputation().unwrap_or(0.0),
+            uncoop_rep: community.mean_uncooperative_reputation().unwrap_or(0.0),
+            refused_rep: stats.refused_introducer_reputation as f64,
+            refused_sel: stats.refused_selective as f64,
+            series,
+            hist,
+        }
+    });
+
+    let col = |f: fn(&RunOutput) -> f64| -> Summary {
+        Summary::from_values(&outputs.iter().map(f).collect::<Vec<_>>())
+            .expect("at least one run")
+    };
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "replend: {} ticks, policy {}, topology {}, {} run(s), seed {}",
+        ticks,
+        args.policy.name(),
+        args.config.sim.topology,
+        args.runs,
+        args.seed
+    );
+    let _ = writeln!(out, "  cooperative members    {}", col(|r| r.coop));
+    let _ = writeln!(out, "  uncooperative members  {}", col(|r| r.uncoop));
+    let _ = writeln!(out, "  waiting                {}", col(|r| r.waiting));
+    let _ = writeln!(out, "  refused (introducer)   {}", col(|r| r.refused_rep));
+    let _ = writeln!(out, "  refused (selective)    {}", col(|r| r.refused_sel));
+    let _ = writeln!(out, "  success rate           {}", col(|r| r.success));
+    let _ = writeln!(out, "  mean coop reputation   {}", col(|r| r.coop_rep));
+    let _ = writeln!(out, "  mean uncoop reputation {}", col(|r| r.uncoop_rep));
+    if args.histogram > 0 {
+        let buckets = args.histogram;
+        let mut merged = vec![0u64; buckets];
+        for r in &outputs {
+            for (i, &b) in r.hist.iter().enumerate() {
+                merged[i] += b;
+            }
+        }
+        let total: u64 = merged.iter().sum();
+        let _ = writeln!(out, "  member reputation histogram ({buckets} buckets, all runs):");
+        for (i, &b) in merged.iter().enumerate() {
+            let lo = i as f64 / buckets as f64;
+            let hi = (i + 1) as f64 / buckets as f64;
+            let bar_len = if total > 0 { (b * 50 / total.max(1)) as usize } else { 0 };
+            let _ = writeln!(
+                out,
+                "    [{lo:.2}, {hi:.2})  {b:>7}  {}",
+                "#".repeat(bar_len)
+            );
+        }
+    }
+    if args.sample > 0 {
+        if let Some(first) = outputs.first() {
+            let n = first.series.len();
+            let _ = writeln!(out, "  reputation series (every {} ticks):", args.sample);
+            for i in 0..n {
+                let mean: f64 = outputs.iter().map(|r| r.series[i]).sum::<f64>()
+                    / outputs.len() as f64;
+                let _ = writeln!(out, "    t={:>9}  {:.4}", (i as u64 + 1) * args.sample, mean);
+            }
+        }
+    }
+    out
+}
+
+/// Parses and executes in one step — the `main` entry point.
+pub fn run_cli(args: &[String]) -> Result<String, UsageError> {
+    let refs: Vec<&str> = args.iter().map(String::as_str).collect();
+    Ok(execute(parse_args(&refs)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_args_is_help() {
+        assert_eq!(parse_args(&[]), Ok(Command::Help));
+        assert_eq!(parse_args(&["help"]), Ok(Command::Help));
+        assert_eq!(parse_args(&["--help"]), Ok(Command::Help));
+    }
+
+    #[test]
+    fn table1_command() {
+        assert_eq!(parse_args(&["table1"]), Ok(Command::Table1));
+        let text = execute(Command::Table1);
+        assert!(text.contains("introAmt=0.1"));
+        assert!(text.contains("numSM=6"));
+    }
+
+    #[test]
+    fn unknown_command_and_flag() {
+        assert!(parse_args(&["frobnicate"]).is_err());
+        assert!(parse_args(&["run", "--frobnicate", "1"]).is_err());
+    }
+
+    #[test]
+    fn run_defaults() {
+        let Command::Run(args) = parse_args(&["run"]).unwrap() else {
+            panic!("expected Run");
+        };
+        assert_eq!(args.config.sim.num_trans, 50_000);
+        assert_eq!(args.policy, BootstrapPolicy::ReputationLending);
+        assert_eq!(args.runs, 1);
+    }
+
+    #[test]
+    fn run_parses_all_flags() {
+        let Command::Run(args) = parse_args(&[
+            "run",
+            "--ticks", "1000",
+            "--lambda", "0.05",
+            "--num-init", "100",
+            "--num-sm", "4",
+            "--f-uncoop", "0.4",
+            "--f-naive", "0.2",
+            "--err-sel", "0.05",
+            "--topology", "zipf",
+            "--policy", "open",
+            "--intro-amt", "0.2",
+            "--reward", "0.04",
+            "--wait", "500",
+            "--audit-trans", "10",
+            "--min-intro", "0.45",
+            "--departure-rate", "0.001",
+            "--seed", "9",
+            "--runs", "3",
+            "--sample", "250",
+        ])
+        .unwrap() else {
+            panic!("expected Run");
+        };
+        assert_eq!(args.config.sim.num_trans, 1000);
+        assert_eq!(args.config.sim.num_sm, 4);
+        assert_eq!(args.config.sim.topology, TopologyKind::Zipf);
+        assert_eq!(args.policy, BootstrapPolicy::OpenAdmission { initial: 0.5 });
+        assert_eq!(args.config.lending.wait_period, 500);
+        assert_eq!(args.config.lending.min_intro_override, Some(0.45));
+        assert!((args.departure_rate - 0.001).abs() < 1e-12);
+        assert_eq!(args.seed, 9);
+        assert_eq!(args.runs, 3);
+        assert_eq!(args.sample, 250);
+    }
+
+    #[test]
+    fn run_rejects_invalid_config() {
+        assert!(parse_args(&["run", "--f-uncoop", "2.0"]).is_err());
+        assert!(parse_args(&["run", "--runs", "0"]).is_err());
+        assert!(parse_args(&["run", "--ticks"]).is_err(), "missing value");
+        assert!(parse_args(&["run", "--ticks", "abc"]).is_err());
+    }
+
+    #[test]
+    fn policies_and_topologies_parse() {
+        for (raw, expect) in [
+            ("lending", BootstrapPolicy::ReputationLending),
+            ("open", BootstrapPolicy::OpenAdmission { initial: 0.5 }),
+            ("fixed-credit", BootstrapPolicy::FixedCredit { credit: 0.1 }),
+            ("positive-only", BootstrapPolicy::PositiveOnly),
+            ("complaints-only", BootstrapPolicy::ComplaintsOnly),
+        ] {
+            assert_eq!(parse_policy(raw).unwrap(), expect);
+        }
+        assert!(parse_policy("bogus").is_err());
+        assert!(parse_topology("bogus").is_err());
+    }
+
+    #[test]
+    fn execute_small_run_produces_summary() {
+        let cmd = parse_args(&[
+            "run", "--ticks", "2000", "--num-init", "50", "--lambda", "0.02",
+            "--seed", "5", "--runs", "2", "--sample", "1000", "--histogram", "5",
+        ])
+        .unwrap();
+        let text = execute(cmd);
+        assert!(text.contains("cooperative members"), "{text}");
+        assert!(text.contains("reputation series"), "{text}");
+        assert!(text.contains("t="), "{text}");
+        assert!(text.contains("histogram"), "{text}");
+        assert!(text.contains("[0.80, 1.00)"), "{text}");
+    }
+
+    #[test]
+    fn run_cli_end_to_end() {
+        let out = run_cli(&["table1".to_string()]).unwrap();
+        assert!(out.contains("Table-1"));
+        let err = run_cli(&["nope".to_string()]).unwrap_err();
+        assert!(err.to_string().contains("unknown command"));
+    }
+
+    #[test]
+    fn usage_mentions_every_flag() {
+        let u = usage();
+        for flag in [
+            "--ticks", "--lambda", "--num-init", "--num-sm", "--f-uncoop",
+            "--f-naive", "--err-sel", "--topology", "--policy", "--intro-amt",
+            "--reward", "--wait", "--audit-trans", "--min-intro",
+            "--departure-rate", "--seed", "--runs", "--sample", "--histogram",
+        ] {
+            assert!(u.contains(flag), "usage missing {flag}");
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! `replend` — command-line front end. All logic lives in the library
+//! (`replend_cli`) so it can be unit-tested; this shell only handles
+//! process arguments and the exit code.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match replend_cli::run_cli(&args) {
+        Ok(text) => {
+            print!("{text}");
+            ExitCode::SUCCESS
+        }
+        Err(err) => {
+            eprintln!("error: {err}");
+            eprintln!("{}", replend_cli::usage());
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! # replend-core
+//!
+//! **Reputation lending for virtual communities** — the primary
+//! contribution of Garg, Montresor & Battiti (DIT-05-086 / ICDE
+//! 2006), reproduced as a Rust library.
+//!
+//! A new peer enters the community with reputation **zero** and can
+//! only begin consuming resources after an existing member *lends* it
+//! `introAmt` of its own reputation. The introducer is later audited
+//! on the newcomer's behaviour: cooperative newcomers earn the
+//! introducer its stake back plus a reward; freeriders forfeit it.
+//!
+//! ## Crate layout
+//!
+//! * [`lending`] — the pure protocol arithmetic (stake, repayment,
+//!   penalty, thresholds), unit-testable without a simulation;
+//! * [`introduction`] — the request / wait-`T` / resolve state
+//!   machine, including duplicate-introduction detection (§2's
+//!   "multiple introduction requests" attack);
+//! * [`messages`] — the §2 message flow (signed stake deduction,
+//!   `numSM × numSM` credit fan-out, idempotent application) with
+//!   crash-loss injection;
+//! * [`audit`] — the per-newcomer transaction countdown and verdict;
+//! * [`log`] — an optional bounded event log ("why was peer X
+//!   refused?") for observability;
+//! * [`peer`] — runtime peer records (profile, admission status);
+//! * [`policy`] — the [`BootstrapPolicy`](policy::BootstrapPolicy)
+//!   alternatives compared in the ablations (open admission, fixed
+//!   credit à la BitTorrent/Scrivener, positive-only,
+//!   complaints-only);
+//! * [`community`] — the façade wiring ROCQ + DHT + topology +
+//!   Poisson arrivals into the paper's one-transaction-per-tick
+//!   simulator;
+//! * [`stats`] — the admission ledger, population counts, and the
+//!   §4.1 decision success-rate metric.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use replend_core::community::{Community, CommunityBuilder};
+//!
+//! let mut community = CommunityBuilder::paper_defaults()
+//!     .seed(42)
+//!     .build();
+//! community.run(5_000);
+//! let stats = community.stats();
+//! println!(
+//!     "admitted {} cooperative / {} uncooperative peers",
+//!     stats.admitted_cooperative, stats.admitted_uncooperative
+//! );
+//! assert!(community.population().members >= 500);
+//! ```
+
+pub mod audit;
+pub mod community;
+pub mod introduction;
+pub mod lending;
+pub mod log;
+pub mod messages;
+pub mod peer;
+pub mod policy;
+pub mod stats;
+
+pub use community::{Community, CommunityBuilder};
+pub use policy::{BootstrapPolicy, EngineKind};

@@ -1,0 +1,248 @@
+//! Structured event log of a community run.
+//!
+//! Answers the operator questions the raw counters cannot: *why was
+//! peer 4711 refused? who vouched for the freerider that got in? when
+//! did the audit settle?* The log is a bounded ring buffer of typed
+//! [`Event`]s with query helpers; recording is `O(1)` per event and
+//! disabled by default (capacity 0) so the paper-scale sweeps pay
+//! nothing for it.
+
+use crate::peer::RefusalReason;
+use replend_types::{PeerId, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// One logged protocol event.
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+pub enum Event {
+    /// An arrival filed an introduction request with `introducer`.
+    IntroductionRequested {
+        /// The arrival.
+        newcomer: PeerId,
+        /// The member it asked.
+        introducer: PeerId,
+    },
+    /// A peer was admitted to the community.
+    Admitted {
+        /// The new member.
+        newcomer: PeerId,
+        /// Its introducer (None under non-lending policies).
+        introducer: Option<PeerId>,
+    },
+    /// An arrival was turned away.
+    Refused {
+        /// The refused arrival.
+        newcomer: PeerId,
+        /// Why.
+        reason: RefusalReason,
+    },
+    /// A newcomer's audit settled.
+    AuditSettled {
+        /// The audited newcomer.
+        newcomer: PeerId,
+        /// Its introducer.
+        introducer: PeerId,
+        /// The verdict.
+        satisfactory: bool,
+    },
+    /// A peer was flagged malicious (duplicate introduction).
+    Flagged {
+        /// The flagged peer.
+        peer: PeerId,
+    },
+    /// A member departed (churn extension).
+    Departed {
+        /// The departed member.
+        peer: PeerId,
+    },
+}
+
+impl Event {
+    /// The peer this event is primarily about.
+    pub fn subject(&self) -> PeerId {
+        match *self {
+            Event::IntroductionRequested { newcomer, .. } => newcomer,
+            Event::Admitted { newcomer, .. } => newcomer,
+            Event::Refused { newcomer, .. } => newcomer,
+            Event::AuditSettled { newcomer, .. } => newcomer,
+            Event::Flagged { peer } => peer,
+            Event::Departed { peer } => peer,
+        }
+    }
+}
+
+/// A timestamped event.
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+pub struct LoggedEvent {
+    /// When it happened.
+    pub at: SimTime,
+    /// What happened.
+    pub event: Event,
+}
+
+/// Bounded ring-buffer event log.
+#[derive(Clone, Debug, Default)]
+pub struct EventLog {
+    capacity: usize,
+    events: VecDeque<LoggedEvent>,
+    /// Events discarded because the buffer was full.
+    dropped: u64,
+}
+
+impl EventLog {
+    /// A log retaining at most `capacity` events (0 = disabled).
+    pub fn new(capacity: usize) -> Self {
+        EventLog {
+            capacity,
+            events: VecDeque::with_capacity(capacity.min(4096)),
+            dropped: 0,
+        }
+    }
+
+    /// True when recording is disabled.
+    pub fn is_disabled(&self) -> bool {
+        self.capacity == 0
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events discarded due to the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Records an event (no-op when disabled).
+    pub fn record(&mut self, at: SimTime, event: Event) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(LoggedEvent { at, event });
+    }
+
+    /// All retained events, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &LoggedEvent> + '_ {
+        self.events.iter()
+    }
+
+    /// Retained events about one peer, oldest first.
+    pub fn history_of(&self, peer: PeerId) -> Vec<LoggedEvent> {
+        self.events
+            .iter()
+            .filter(|e| e.event.subject() == peer)
+            .copied()
+            .collect()
+    }
+
+    /// The most recent event of any kind, if retained.
+    pub fn last(&self) -> Option<&LoggedEvent> {
+        self.events.back()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(p: u64) -> Event {
+        Event::Admitted {
+            newcomer: PeerId(p),
+            introducer: Some(PeerId(0)),
+        }
+    }
+
+    #[test]
+    fn disabled_log_records_nothing() {
+        let mut log = EventLog::new(0);
+        assert!(log.is_disabled());
+        log.record(SimTime(1), ev(1));
+        assert!(log.is_empty());
+        assert_eq!(log.dropped(), 0);
+    }
+
+    #[test]
+    fn records_in_order() {
+        let mut log = EventLog::new(10);
+        log.record(SimTime(1), ev(1));
+        log.record(SimTime(2), ev(2));
+        let got: Vec<u64> = log.iter().map(|e| e.event.subject().raw()).collect();
+        assert_eq!(got, vec![1, 2]);
+        assert_eq!(log.last().unwrap().at, SimTime(2));
+    }
+
+    #[test]
+    fn ring_buffer_drops_oldest() {
+        let mut log = EventLog::new(3);
+        for p in 0..5 {
+            log.record(SimTime(p), ev(p));
+        }
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.dropped(), 2);
+        let got: Vec<u64> = log.iter().map(|e| e.event.subject().raw()).collect();
+        assert_eq!(got, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn history_filters_by_subject() {
+        let mut log = EventLog::new(10);
+        log.record(
+            SimTime(1),
+            Event::IntroductionRequested {
+                newcomer: PeerId(5),
+                introducer: PeerId(1),
+            },
+        );
+        log.record(SimTime(2), ev(6));
+        log.record(
+            SimTime(3),
+            Event::Refused {
+                newcomer: PeerId(5),
+                reason: RefusalReason::SelectiveRefusal,
+            },
+        );
+        let history = log.history_of(PeerId(5));
+        assert_eq!(history.len(), 2);
+        assert_eq!(history[0].at, SimTime(1));
+        assert_eq!(history[1].at, SimTime(3));
+    }
+
+    #[test]
+    fn subjects_cover_all_variants() {
+        let p = PeerId(3);
+        let events = [
+            Event::IntroductionRequested {
+                newcomer: p,
+                introducer: PeerId(0),
+            },
+            Event::Admitted {
+                newcomer: p,
+                introducer: None,
+            },
+            Event::Refused {
+                newcomer: p,
+                reason: RefusalReason::NoIntroducerAvailable,
+            },
+            Event::AuditSettled {
+                newcomer: p,
+                introducer: PeerId(0),
+                satisfactory: true,
+            },
+            Event::Flagged { peer: p },
+            Event::Departed { peer: p },
+        ];
+        for e in events {
+            assert_eq!(e.subject(), p);
+        }
+    }
+}

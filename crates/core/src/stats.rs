@@ -1,0 +1,143 @@
+//! Admission ledger, decision success rate, and population counters.
+//!
+//! Everything the paper's figures read out of a run:
+//!
+//! * Figures 1, 3, 4, 5, 6 — cooperative / uncooperative member
+//!   counts and the two refusal series;
+//! * §4.1 — the decision success rate
+//!   `(N_acc_coop + N_den_uncoop) / total decisions`, evaluated over
+//!   the admit/deny decisions taken by **cooperative** respondents.
+
+use serde::{Deserialize, Serialize};
+
+/// Cumulative counters of one community run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct CommunityStats {
+    /// Arrivals whose behaviour is cooperative.
+    pub arrived_cooperative: u64,
+    /// Arrivals whose behaviour is uncooperative.
+    pub arrived_uncooperative: u64,
+    /// Cooperative arrivals admitted.
+    pub admitted_cooperative: u64,
+    /// Uncooperative arrivals admitted.
+    pub admitted_uncooperative: u64,
+    /// Arrivals refused because the chosen introducer was below
+    /// `minIntro` ("Entry Refused due to Introducer Reputation").
+    pub refused_introducer_reputation: u64,
+    /// Arrivals refused by a selective introducer ("Entry Refused to
+    /// Uncooperative Peer").
+    pub refused_selective: u64,
+    /// Arrivals refused because no member could be selected.
+    pub refused_no_introducer: u64,
+    /// Peers flagged for the duplicate-introduction attack.
+    pub flagged_malicious: u64,
+    /// Audits with a satisfactory verdict.
+    pub audits_passed: u64,
+    /// Audits with an unsatisfactory verdict.
+    pub audits_failed: u64,
+    /// Transactions in which a cooperative respondent **served** a
+    /// cooperative requester (correct decision).
+    pub accepted_cooperative: u64,
+    /// Cooperative respondent denied a cooperative requester
+    /// (incorrect).
+    pub denied_cooperative: u64,
+    /// Cooperative respondent served an uncooperative requester
+    /// (incorrect).
+    pub accepted_uncooperative: u64,
+    /// Cooperative respondent denied an uncooperative requester
+    /// (correct).
+    pub denied_uncooperative: u64,
+    /// Members that left under the departure-churn extension.
+    pub departures: u64,
+    /// Total transaction ticks executed.
+    pub ticks: u64,
+    /// Transactions where service actually happened.
+    pub served_transactions: u64,
+}
+
+impl CommunityStats {
+    /// The §4.1 decision success rate:
+    /// `(accepted_cooperative + denied_uncooperative) / all decisions
+    /// by cooperative respondents`. `None` before any decision.
+    pub fn success_rate(&self) -> Option<f64> {
+        let correct = self.accepted_cooperative + self.denied_uncooperative;
+        let total = correct + self.denied_cooperative + self.accepted_uncooperative;
+        if total == 0 {
+            return None;
+        }
+        Some(correct as f64 / total as f64)
+    }
+
+    /// Total arrivals.
+    pub fn arrived_total(&self) -> u64 {
+        self.arrived_cooperative + self.arrived_uncooperative
+    }
+
+    /// Total admissions.
+    pub fn admitted_total(&self) -> u64 {
+        self.admitted_cooperative + self.admitted_uncooperative
+    }
+
+    /// Total refusals, across all reasons.
+    pub fn refused_total(&self) -> u64 {
+        self.refused_introducer_reputation + self.refused_selective + self.refused_no_introducer
+    }
+}
+
+/// A point-in-time population snapshot.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Population {
+    /// Admitted members currently in the community.
+    pub members: usize,
+    /// … of which cooperative.
+    pub cooperative: usize,
+    /// … of which uncooperative.
+    pub uncooperative: usize,
+    /// Arrivals still waiting out the introduction period.
+    pub waiting: usize,
+    /// Arrivals refused (terminal).
+    pub refused: usize,
+    /// Peers flagged malicious (terminal).
+    pub flagged: usize,
+    /// Peers that left the community (departure churn extension).
+    pub departed: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn success_rate_none_without_decisions() {
+        assert_eq!(CommunityStats::default().success_rate(), None);
+    }
+
+    #[test]
+    fn success_rate_formula() {
+        let s = CommunityStats {
+            accepted_cooperative: 90,
+            denied_uncooperative: 7,
+            denied_cooperative: 2,
+            accepted_uncooperative: 1,
+            ..Default::default()
+        };
+        assert!((s.success_rate().unwrap() - 0.97).abs() < 1e-12);
+    }
+
+    #[test]
+    fn totals() {
+        let s = CommunityStats {
+            arrived_cooperative: 30,
+            arrived_uncooperative: 10,
+            admitted_cooperative: 25,
+            admitted_uncooperative: 3,
+            refused_introducer_reputation: 5,
+            refused_selective: 7,
+            refused_no_introducer: 0,
+            ..Default::default()
+        };
+        assert_eq!(s.arrived_total(), 40);
+        assert_eq!(s.admitted_total(), 28);
+        assert_eq!(s.refused_total(), 12);
+    }
+}

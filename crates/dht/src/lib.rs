@@ -1,0 +1,49 @@
+//! # replend-dht
+//!
+//! A Chord-style structured overlay, built from scratch as the routing
+//! and score-manager-selection substrate assumed by the paper:
+//!
+//! > *"We assume the existence of a structured overlay that uses
+//! > distributed hash tables for routing and for selecting score
+//! > managers that keep track of all feedback pertaining to a peer."*
+//! > (§2)
+//!
+//! The overlay is simulated in-process: there are no sockets, and
+//! "messages" are delivered instantly, exactly as in the paper's
+//! simulator (§3). What *is* modelled faithfully:
+//!
+//! * a 64-bit identifier [`ring`](ring::Ring) with successor ownership,
+//! * Chord [`finger-table`](routing) routing with real hop counts
+//!   (O(log n) hops, verified by tests and benchmarked),
+//! * [`score-manager selection`](managers) via salted replica hashing —
+//!   the `numSM`-fold redundancy of §2,
+//! * churn: joins and leaves emit [`HandoffEvent`]s so the reputation
+//!   layer can migrate score state, and a crash model drops state to
+//!   exercise the redundancy (*"redundancy is introduced in the system
+//!   in case a score manager crashes"*, §2).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use replend_dht::ring::Ring;
+//! use replend_types::PeerId;
+//!
+//! let mut ring = Ring::new();
+//! for p in 0..16u64 {
+//!     ring.join(PeerId(p).node_id());
+//! }
+//! // Every key has exactly one owner: its clockwise successor.
+//! let key = PeerId(3).node_id();
+//! let owner = ring.successor(key).unwrap();
+//! assert!(ring.contains(owner));
+//! ```
+
+pub mod managers;
+pub mod ring;
+pub mod routing;
+pub mod stabilize;
+
+pub use managers::ManagerSet;
+pub use ring::{HandoffEvent, Ring};
+pub use routing::{RouteOutcome, Router};
+pub use stabilize::Maintainer;

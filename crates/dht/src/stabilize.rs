@@ -1,0 +1,199 @@
+//! Incremental overlay maintenance (Chord's `stabilize` /
+//! `fix_fingers` loop).
+//!
+//! [`Router::build`](crate::routing::Router::build) computes exact
+//! finger tables, but a real overlay never has them: nodes refresh a
+//! few fingers per maintenance round while churn keeps invalidating
+//! them. [`Maintainer`] reproduces that behaviour — a round-robin
+//! scheduler that refreshes `budget` node tables per round — so the
+//! routing tests and benches can measure lookup quality as a function
+//! of maintenance effort, the trade-off any deployment of the paper's
+//! score-manager overlay would face.
+
+use crate::ring::Ring;
+use crate::routing::Router;
+use replend_types::NodeId;
+
+/// Round-robin finger-table maintenance.
+#[derive(Clone, Debug)]
+pub struct Maintainer {
+    /// Nodes in refresh order (snapshot, lazily repaired).
+    queue: Vec<NodeId>,
+    /// Next queue position.
+    cursor: usize,
+    /// Node tables refreshed per round.
+    budget: usize,
+    /// Total refreshes performed.
+    refreshed: u64,
+}
+
+impl Maintainer {
+    /// A maintainer refreshing `budget` node tables per round.
+    ///
+    /// # Panics
+    /// If `budget` is zero.
+    pub fn new(budget: usize) -> Self {
+        assert!(budget > 0, "maintenance budget must be positive");
+        Maintainer {
+            queue: Vec::new(),
+            cursor: 0,
+            budget,
+            refreshed: 0,
+        }
+    }
+
+    /// Total refreshes performed so far.
+    pub fn refreshed(&self) -> u64 {
+        self.refreshed
+    }
+
+    /// Runs one maintenance round: refreshes up to `budget` live
+    /// nodes' finger tables, cycling through the membership.
+    ///
+    /// Dead nodes encountered in the (stale) queue are dropped from
+    /// the router and skipped without consuming budget.
+    pub fn round(&mut self, ring: &Ring, router: &mut Router) {
+        if ring.is_empty() {
+            self.queue.clear();
+            self.cursor = 0;
+            return;
+        }
+        // Re-snapshot when the cycle completes (or first use), so
+        // joins become visible to maintenance — and purge router
+        // state of nodes that departed since the last snapshot.
+        if self.cursor >= self.queue.len() {
+            self.queue = ring.to_vec();
+            self.cursor = 0;
+            router.retain_live(ring);
+        }
+        let mut done = 0;
+        while done < self.budget && self.cursor < self.queue.len() {
+            let node = self.queue[self.cursor];
+            self.cursor += 1;
+            if ring.contains(node) {
+                router.refresh_node(ring, node);
+                self.refreshed += 1;
+                done += 1;
+            } else {
+                router.forget_node(node);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use replend_types::hash::splitmix64;
+    use replend_types::PeerId;
+
+    fn ring_of(n: u64) -> Ring {
+        let mut ring = Ring::new();
+        for p in 0..n {
+            ring.join(PeerId(p).node_id());
+        }
+        ring
+    }
+
+    #[test]
+    #[should_panic(expected = "budget must be positive")]
+    fn zero_budget_rejected() {
+        Maintainer::new(0);
+    }
+
+    #[test]
+    fn empty_ring_round_is_noop() {
+        let ring = Ring::new();
+        let mut router = Router::new();
+        let mut m = Maintainer::new(4);
+        m.round(&ring, &mut router);
+        assert_eq!(m.refreshed(), 0);
+    }
+
+    #[test]
+    fn full_cycle_refreshes_every_node() {
+        let ring = ring_of(20);
+        let mut router = Router::new();
+        let mut m = Maintainer::new(6);
+        // 20 nodes at 6/round: 4 rounds cover the cycle.
+        for _ in 0..4 {
+            m.round(&ring, &mut router);
+        }
+        assert_eq!(m.refreshed(), 20);
+        assert_eq!(router.len(), 20);
+    }
+
+    #[test]
+    fn departed_nodes_are_forgotten_without_consuming_budget() {
+        let mut ring = ring_of(10);
+        let mut router = Router::build(&ring);
+        let mut m = Maintainer::new(10);
+        m.round(&ring, &mut router); // snapshot taken, full refresh
+        // Kill half, then run the next cycle.
+        let victims: Vec<NodeId> = ring.iter().take(5).collect();
+        for v in &victims {
+            ring.leave(*v);
+        }
+        m.round(&ring, &mut router);
+        m.round(&ring, &mut router);
+        for v in victims {
+            assert!(!ring.contains(v));
+        }
+        assert_eq!(router.len(), 5, "router holds only live nodes");
+    }
+
+    #[test]
+    fn maintenance_restores_routing_quality_after_churn() {
+        // Build exact tables, churn heavily, route (stale, more
+        // hops), maintain to convergence, route again (fewer hops).
+        let mut rng = StdRng::seed_from_u64(55);
+        let ids: Vec<u64> = (0..256u64).map(splitmix64).collect();
+        let mut ring = Ring::new();
+        for &i in &ids {
+            ring.join(NodeId(i));
+        }
+        let mut router = Router::build(&ring);
+        // Churn: 128 leaves + 128 new joins, un-refreshed.
+        for &i in ids.iter().take(128) {
+            ring.leave(NodeId(i));
+        }
+        for p in 1_000..1_128u64 {
+            ring.join(PeerId(p).node_id());
+        }
+        let survivors: Vec<NodeId> = ring.iter().collect();
+        let hops = |router: &Router, rng: &mut StdRng| {
+            let mut total = 0u64;
+            for _ in 0..300 {
+                let from = survivors[rng.gen_range(0..survivors.len())];
+                let key = NodeId(rng.gen());
+                total += router.route(&ring, from, key).unwrap().hops as u64;
+            }
+            total as f64 / 300.0
+        };
+        let stale = hops(&router, &mut rng);
+        let mut m = Maintainer::new(64);
+        for _ in 0..12 {
+            m.round(&ring, &mut router);
+        }
+        let fresh = hops(&router, &mut rng);
+        assert!(
+            fresh <= stale,
+            "maintenance must not worsen routing: stale {stale}, fresh {fresh}"
+        );
+        assert!(fresh < 10.0, "fresh tables should give O(log n) hops: {fresh}");
+    }
+
+    #[test]
+    fn new_joins_become_visible_on_next_cycle() {
+        let mut ring = ring_of(4);
+        let mut router = Router::new();
+        let mut m = Maintainer::new(100);
+        m.round(&ring, &mut router);
+        assert_eq!(router.len(), 4);
+        ring.join(PeerId(99).node_id());
+        m.round(&ring, &mut router); // new snapshot includes the join
+        assert_eq!(router.len(), 5);
+    }
+}

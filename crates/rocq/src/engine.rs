@@ -1,0 +1,581 @@
+//! The [`ReputationEngine`] trait and the replicated [`RocqEngine`].
+//!
+//! The lending layer (crate `replend-core`) talks to reputation purely
+//! through this trait: register/remove peers, deliver post-transaction
+//! opinions, query aggregates, and apply the lending protocol's direct
+//! credits and debits. [`RocqEngine`] implements it with full
+//! score-manager replication over the Chord ring; the simpler engines
+//! in [`baselines`](crate::baselines) implement it centrally for
+//! ablation comparisons.
+
+use crate::credibility::CredibilityTable;
+use crate::params::RocqParams;
+use crate::quality::{quality_from_count, InteractionLog};
+use crate::score::ScoreState;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use replend_dht::managers::replica_key;
+use replend_dht::ring::{HandoffEvent, Ring};
+use replend_types::{NodeId, PeerId, Reputation};
+use std::collections::{BTreeMap, HashMap};
+
+/// Abstract reputation backend.
+///
+/// Object-safe so the community can hold `Box<dyn ReputationEngine>`.
+pub trait ReputationEngine {
+    /// Introduces a new subject with the given starting reputation
+    /// (0 for un-introduced entrants, `introAmt` once credited, …).
+    /// The peer also joins the score-manager overlay where the engine
+    /// has one.
+    fn register_peer(&mut self, peer: PeerId, initial: Reputation);
+
+    /// Removes a subject and its overlay presence.
+    fn remove_peer(&mut self, peer: PeerId);
+
+    /// True if `peer` is registered.
+    fn contains(&self, peer: PeerId) -> bool;
+
+    /// Delivers `reporter`'s opinion (∈ [0, 1]) about `subject` to
+    /// the subject's score managers. Unknown peers are ignored.
+    fn report(&mut self, reporter: PeerId, subject: PeerId, opinion: f64);
+
+    /// The current aggregate reputation of `subject`, or `None` if
+    /// unknown.
+    fn reputation(&self, subject: PeerId) -> Option<Reputation>;
+
+    /// Directly raises `subject`'s reputation by `amount`
+    /// (lending repayment / reward), clamped at 1.
+    fn credit(&mut self, subject: PeerId, amount: f64);
+
+    /// Directly lowers `subject`'s reputation by `amount`
+    /// (lending stake / penalty), clamped at 0.
+    fn debit(&mut self, subject: PeerId, amount: f64);
+
+    /// Engine name for reports and experiment output.
+    fn name(&self) -> &'static str;
+}
+
+/// One replica of a subject's score, hosted by an overlay node.
+#[derive(Clone, Debug)]
+struct Replica {
+    /// Ring key that determines the host.
+    key: NodeId,
+    /// Current host node.
+    host: NodeId,
+    /// Aggregate state.
+    state: ScoreState,
+    /// Per-reporter credibility, local to this replica.
+    creds: CredibilityTable,
+}
+
+/// All replicas of one subject.
+#[derive(Clone, Debug)]
+struct SubjectRecord {
+    replicas: Vec<Replica>,
+}
+
+/// The replicated ROCQ engine.
+///
+/// Every registered peer is simultaneously an overlay node (in the
+/// paper, peers *are* the DHT nodes that act as score managers), so
+/// registration causes a ring join, removal a ring leave, and both
+/// trigger replica re-homing with optional crash loss.
+pub struct RocqEngine {
+    params: RocqParams,
+    num_sm: usize,
+    ring: Ring,
+    subjects: HashMap<PeerId, SubjectRecord>,
+    interactions: InteractionLog,
+    /// Replica-key index: key → (subject, replica slot), for O(moved)
+    /// churn handling instead of O(subjects).
+    key_index: BTreeMap<NodeId, Vec<(PeerId, usize)>>,
+    /// RNG used exclusively for crash-loss decisions.
+    rng: StdRng,
+    /// Number of replica re-homings that lost state (crash model).
+    crash_losses: u64,
+    /// Number of replica re-homings total.
+    rehomings: u64,
+}
+
+impl RocqEngine {
+    /// A new engine with `num_sm` score managers per subject.
+    ///
+    /// # Panics
+    /// If `params` fail validation or `num_sm` is zero.
+    pub fn new(params: RocqParams, num_sm: usize, seed: u64) -> Self {
+        params.validate().expect("invalid ROCQ parameters");
+        assert!(num_sm > 0, "need at least one score manager");
+        RocqEngine {
+            params,
+            num_sm,
+            ring: Ring::new(),
+            subjects: HashMap::new(),
+            interactions: InteractionLog::new(),
+            key_index: BTreeMap::new(),
+            rng: StdRng::seed_from_u64(seed),
+            crash_losses: 0,
+            rehomings: 0,
+        }
+    }
+
+    /// The engine parameters.
+    pub fn params(&self) -> &RocqParams {
+        &self.params
+    }
+
+    /// The configured replication factor.
+    pub fn num_sm(&self) -> usize {
+        self.num_sm
+    }
+
+    /// Live overlay size.
+    pub fn overlay_len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Total replica re-homings caused by churn so far.
+    pub fn rehomings(&self) -> u64 {
+        self.rehomings
+    }
+
+    /// Re-homings that lost state under the crash model.
+    pub fn crash_losses(&self) -> u64 {
+        self.crash_losses
+    }
+
+    /// Per-replica views of `subject` for the inspection API.
+    pub(crate) fn replica_views(
+        &self,
+        subject: PeerId,
+    ) -> Option<Vec<crate::inspect::ReplicaSnapshot>> {
+        let record = self.subjects.get(&subject)?;
+        Some(
+            record
+                .replicas
+                .iter()
+                .enumerate()
+                .map(|(slot, r)| crate::inspect::ReplicaSnapshot {
+                    slot,
+                    host: r.host,
+                    reputation: r.state.reputation(),
+                    evidence: r.state.weight(),
+                    known_reporters: r.creds.len(),
+                })
+                .collect(),
+        )
+    }
+
+    /// Replica 0's credibility for `reporter` (inspection API).
+    pub(crate) fn reporter_credibility(
+        &self,
+        subject: PeerId,
+        reporter: PeerId,
+    ) -> Option<f64> {
+        self.subjects
+            .get(&subject)
+            .and_then(|r| r.replicas.first())
+            .map(|r| r.creds.get(reporter))
+    }
+
+    /// Replica keys lying in the clockwise interval `(start, end]`.
+    fn keys_in_arc(&self, start: NodeId, end: NodeId) -> Vec<NodeId> {
+        if start == end {
+            // Whole ring (first join).
+            return self.key_index.keys().copied().collect();
+        }
+        if start < end {
+            self.key_index
+                .range((
+                    std::ops::Bound::Excluded(start),
+                    std::ops::Bound::Included(end),
+                ))
+                .map(|(k, _)| *k)
+                .collect()
+        } else {
+            // Wrapping arc: (start, MAX] ∪ [MIN, end].
+            self.key_index
+                .range((std::ops::Bound::Excluded(start), std::ops::Bound::Unbounded))
+                .map(|(k, _)| *k)
+                .chain(self.key_index.range(..=end).map(|(k, _)| *k))
+                .collect()
+        }
+    }
+
+    /// Applies a churn handoff: every replica whose key lies in the
+    /// moved arc is re-homed to `event.to`; with probability
+    /// `crash_prob` its state is lost and recovered from a surviving
+    /// sibling replica (or reset when none exists).
+    fn apply_handoff(&mut self, event: HandoffEvent) {
+        let moved = self.keys_in_arc(event.range_start, event.range_end);
+        for key in moved {
+            let assignments = self.key_index.get(&key).cloned().unwrap_or_default();
+            for (subject, slot) in assignments {
+                self.rehomings += 1;
+                let crash = self.params.crash_prob > 0.0
+                    && self.rng.gen::<f64>() < self.params.crash_prob;
+                let record = self
+                    .subjects
+                    .get_mut(&subject)
+                    .expect("key index refers to live subject");
+                if crash {
+                    self.crash_losses += 1;
+                    // Recover from the first sibling replica hosted
+                    // elsewhere; reset when this is the only replica.
+                    let sibling = record
+                        .replicas
+                        .iter()
+                        .enumerate()
+                        .find(|(i, _)| *i != slot)
+                        .map(|(_, r)| (r.state, r.creds.clone()));
+                    let replica = &mut record.replicas[slot];
+                    match sibling {
+                        Some((state, creds)) => {
+                            replica.state.overwrite_from(&state);
+                            replica.creds = creds;
+                        }
+                        None => {
+                            replica.state = ScoreState::new(Reputation::ZERO, 0.0);
+                            replica.creds = CredibilityTable::new(
+                                self.params.initial_credibility,
+                                self.params.gamma,
+                            );
+                        }
+                    }
+                }
+                record.replicas[slot].host = event.to;
+            }
+        }
+    }
+}
+
+impl ReputationEngine for RocqEngine {
+    fn register_peer(&mut self, peer: PeerId, initial: Reputation) {
+        if self.subjects.contains_key(&peer) {
+            return;
+        }
+        // The peer becomes an overlay node first (it may end up
+        // hosting some of its own replicas on tiny rings — harmless).
+        if let Some(event) = self.ring.join(peer.node_id()) {
+            self.apply_handoff(event);
+        }
+        let mut replicas = Vec::with_capacity(self.num_sm);
+        for i in 0..self.num_sm {
+            let key = replica_key(peer, i);
+            let host = self.ring.successor(key).expect("ring non-empty after join");
+            replicas.push(Replica {
+                key,
+                host,
+                state: ScoreState::new(initial, self.params.prior_weight),
+                creds: CredibilityTable::new(
+                    self.params.initial_credibility,
+                    self.params.gamma,
+                ),
+            });
+            self.key_index.entry(key).or_default().push((peer, i));
+        }
+        self.subjects.insert(peer, SubjectRecord { replicas });
+    }
+
+    fn remove_peer(&mut self, peer: PeerId) {
+        let Some(record) = self.subjects.remove(&peer) else {
+            return;
+        };
+        for (i, replica) in record.replicas.iter().enumerate() {
+            if let Some(v) = self.key_index.get_mut(&replica.key) {
+                v.retain(|&(p, s)| !(p == peer && s == i));
+                if v.is_empty() {
+                    self.key_index.remove(&replica.key);
+                }
+            }
+        }
+        self.interactions.forget(peer);
+        if let Some(event) = self.ring.leave(peer.node_id()) {
+            self.apply_handoff(event);
+        }
+    }
+
+    fn contains(&self, peer: PeerId) -> bool {
+        self.subjects.contains_key(&peer)
+    }
+
+    fn report(&mut self, reporter: PeerId, subject: PeerId, opinion: f64) {
+        if !self.subjects.contains_key(&reporter) {
+            return;
+        }
+        let Some(record) = self.subjects.get_mut(&subject) else {
+            return;
+        };
+        let n = self.interactions.record(reporter, subject);
+        let q = quality_from_count(n, self.params.eta, self.params.min_quality);
+        for replica in &mut record.replicas {
+            let c = replica.creds.get(reporter);
+            let prev = replica.state.reputation().value();
+            let agreed = (opinion - prev).abs() <= self.params.agreement_threshold;
+            replica
+                .state
+                .report(opinion, c * q, self.params.weight_cap);
+            replica.creds.update(reporter, agreed);
+        }
+    }
+
+    fn reputation(&self, subject: PeerId) -> Option<Reputation> {
+        let record = self.subjects.get(&subject)?;
+        let values: Vec<Reputation> = record
+            .replicas
+            .iter()
+            .map(|r| r.state.reputation())
+            .collect();
+        Reputation::mean(&values)
+    }
+
+    fn credit(&mut self, subject: PeerId, amount: f64) {
+        if let Some(record) = self.subjects.get_mut(&subject) {
+            for replica in &mut record.replicas {
+                replica.state.adjust(amount.abs());
+            }
+        }
+    }
+
+    fn debit(&mut self, subject: PeerId, amount: f64) {
+        if let Some(record) = self.subjects.get_mut(&subject) {
+            for replica in &mut record.replicas {
+                replica.state.adjust(-amount.abs());
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "rocq"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> RocqEngine {
+        RocqEngine::new(RocqParams::default(), 6, 42)
+    }
+
+    fn engine_with(params: RocqParams, num_sm: usize) -> RocqEngine {
+        RocqEngine::new(params, num_sm, 42)
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one score manager")]
+    fn zero_sm_rejected() {
+        RocqEngine::new(RocqParams::default(), 0, 0);
+    }
+
+    #[test]
+    fn register_and_query() {
+        let mut e = engine();
+        e.register_peer(PeerId(1), Reputation::new(0.1));
+        assert!(e.contains(PeerId(1)));
+        assert!((e.reputation(PeerId(1)).unwrap().value() - 0.1).abs() < 1e-12);
+        assert_eq!(e.reputation(PeerId(99)), None);
+        assert_eq!(e.overlay_len(), 1);
+    }
+
+    #[test]
+    fn duplicate_registration_keeps_state() {
+        let mut e = engine();
+        e.register_peer(PeerId(1), Reputation::new(0.1));
+        e.credit(PeerId(1), 0.4);
+        e.register_peer(PeerId(1), Reputation::ZERO);
+        assert!((e.reputation(PeerId(1)).unwrap().value() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn credit_and_debit_shift_exactly() {
+        let mut e = engine();
+        e.register_peer(PeerId(1), Reputation::new(0.5));
+        e.debit(PeerId(1), 0.1);
+        assert!((e.reputation(PeerId(1)).unwrap().value() - 0.4).abs() < 1e-12);
+        e.credit(PeerId(1), 0.12);
+        assert!((e.reputation(PeerId(1)).unwrap().value() - 0.52).abs() < 1e-12);
+        // Clamping at the edges.
+        e.credit(PeerId(1), 5.0);
+        assert_eq!(e.reputation(PeerId(1)).unwrap(), Reputation::ONE);
+        e.debit(PeerId(1), 5.0);
+        assert_eq!(e.reputation(PeerId(1)).unwrap(), Reputation::ZERO);
+    }
+
+    #[test]
+    fn unknown_subject_ops_are_noops() {
+        let mut e = engine();
+        e.credit(PeerId(5), 0.5);
+        e.debit(PeerId(5), 0.5);
+        e.report(PeerId(5), PeerId(6), 1.0);
+        assert!(!e.contains(PeerId(5)));
+    }
+
+    #[test]
+    fn unregistered_reporter_is_ignored() {
+        let mut e = engine();
+        e.register_peer(PeerId(1), Reputation::new(0.5));
+        let before = e.reputation(PeerId(1)).unwrap();
+        e.report(PeerId(99), PeerId(1), 0.0);
+        assert_eq!(e.reputation(PeerId(1)).unwrap(), before);
+    }
+
+    #[test]
+    fn good_service_reputation_tends_to_one() {
+        // §2: "the reputation value of all cooperative peers should
+        // tend to 1".
+        let mut e = engine();
+        for p in 0..20u64 {
+            e.register_peer(PeerId(p), Reputation::ONE);
+        }
+        e.register_peer(PeerId(100), Reputation::new(0.1));
+        for round in 0..200 {
+            let reporter = PeerId(round % 20);
+            e.report(reporter, PeerId(100), 1.0);
+        }
+        assert!(
+            e.reputation(PeerId(100)).unwrap().value() > 0.9,
+            "got {}",
+            e.reputation(PeerId(100)).unwrap()
+        );
+    }
+
+    #[test]
+    fn bad_service_reputation_tends_to_zero() {
+        let mut e = engine();
+        for p in 0..20u64 {
+            e.register_peer(PeerId(p), Reputation::ONE);
+        }
+        e.register_peer(PeerId(100), Reputation::new(0.1));
+        for round in 0..300 {
+            e.report(PeerId(round % 20), PeerId(100), 0.0);
+        }
+        assert!(
+            e.reputation(PeerId(100)).unwrap().value() < 0.05,
+            "got {}",
+            e.reputation(PeerId(100)).unwrap()
+        );
+    }
+
+    #[test]
+    fn liars_lose_influence() {
+        // A cooperative subject receives honest 1-opinions from many
+        // peers and a constant stream of 0-opinions from one liar.
+        // ROCQ's credibility must marginalize the liar: the aggregate
+        // stays high.
+        let mut e = engine();
+        for p in 0..21u64 {
+            e.register_peer(PeerId(p), Reputation::ONE);
+        }
+        let subject = PeerId(0);
+        let liar = PeerId(20);
+        for round in 0..400u64 {
+            let honest = PeerId(1 + (round % 19));
+            e.report(honest, subject, 1.0);
+            e.report(liar, subject, 0.0);
+        }
+        assert!(
+            e.reputation(subject).unwrap().value() > 0.8,
+            "liar dragged aggregate to {}",
+            e.reputation(subject).unwrap()
+        );
+    }
+
+    #[test]
+    fn remove_peer_cleans_up() {
+        let mut e = engine();
+        for p in 0..10u64 {
+            e.register_peer(PeerId(p), Reputation::HALF);
+        }
+        e.remove_peer(PeerId(3));
+        assert!(!e.contains(PeerId(3)));
+        assert_eq!(e.reputation(PeerId(3)), None);
+        assert_eq!(e.overlay_len(), 9);
+        // Removing again is a no-op.
+        e.remove_peer(PeerId(3));
+        assert_eq!(e.overlay_len(), 9);
+    }
+
+    #[test]
+    fn churn_without_crashes_preserves_reputation() {
+        let mut e = engine();
+        for p in 0..50u64 {
+            e.register_peer(PeerId(p), Reputation::ONE);
+        }
+        e.register_peer(PeerId(100), Reputation::new(0.1));
+        for r in 0..100u64 {
+            e.report(PeerId(r % 50), PeerId(100), 1.0);
+        }
+        let before = e.reputation(PeerId(100)).unwrap().value();
+        // Heavy churn: 50 joins and 20 leaves.
+        for p in 200..250u64 {
+            e.register_peer(PeerId(p), Reputation::HALF);
+        }
+        for p in 0..20u64 {
+            e.remove_peer(PeerId(p));
+        }
+        let after = e.reputation(PeerId(100)).unwrap().value();
+        assert!(
+            (before - after).abs() < 1e-9,
+            "graceful churn must not change stored reputations: {before} -> {after}"
+        );
+        assert!(e.rehomings() > 0, "churn should have re-homed replicas");
+        assert_eq!(e.crash_losses(), 0);
+    }
+
+    #[test]
+    fn crashes_are_masked_by_redundancy() {
+        let params = RocqParams {
+            crash_prob: 1.0, // every re-homing loses state
+            ..Default::default()
+        };
+        let mut e = engine_with(params, 6);
+        for p in 0..50u64 {
+            e.register_peer(PeerId(p), Reputation::ONE);
+        }
+        e.register_peer(PeerId(100), Reputation::new(0.1));
+        for r in 0..100u64 {
+            e.report(PeerId(r % 50), PeerId(100), 1.0);
+        }
+        let before = e.reputation(PeerId(100)).unwrap().value();
+        for p in 200..230u64 {
+            e.register_peer(PeerId(p), Reputation::HALF);
+        }
+        let after = e.reputation(PeerId(100)).unwrap().value();
+        assert!(e.crash_losses() > 0, "crash model must have fired");
+        // Sibling recovery keeps the aggregate close.
+        assert!(
+            (before - after).abs() < 0.05,
+            "redundancy failed to mask crashes: {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn single_sm_crash_loses_state() {
+        // The degenerate numSM = 1 case: a crash has no sibling to
+        // recover from, so the reputation resets — the scenario the
+        // paper's redundancy exists to prevent.
+        let params = RocqParams {
+            crash_prob: 1.0,
+            ..Default::default()
+        };
+        let mut e = engine_with(params, 1);
+        for p in 0..30u64 {
+            e.register_peer(PeerId(p), Reputation::ONE);
+        }
+        // Churn until some subject's single replica is re-homed.
+        for p in 100..200u64 {
+            e.register_peer(PeerId(p), Reputation::HALF);
+        }
+        assert!(e.crash_losses() > 0);
+        // At least one original subject must have lost its perfect
+        // reputation.
+        let lost = (0..30u64)
+            .any(|p| e.reputation(PeerId(p)).unwrap().value() < 0.999);
+        assert!(lost, "with numSM=1 a crash must surface as state loss");
+    }
+
+    #[test]
+    fn engine_name() {
+        assert_eq!(engine().name(), "rocq");
+    }
+}

@@ -1,0 +1,56 @@
+//! # replend-rocq
+//!
+//! A from-scratch implementation of **ROCQ** — the Reputation /
+//! Opinion / Credibility / Quality scheme of Garg, Battiti & Cascella
+//! (refs [7, 8, 10] of the paper) — plus the score-manager replication
+//! layer it runs on and three simpler baseline engines used for
+//! ablations.
+//!
+//! ## The ROCQ model, as implemented
+//!
+//! After each transaction both partners send their **opinion**
+//! (satisfied = 1, unsatisfied = 0) to the other partner's **score
+//! managers** (§2 of the lending paper). Each score-manager replica
+//! maintains, per subject peer:
+//!
+//! * an aggregated **reputation** `R` — the credibility-and-quality-
+//!   weighted running average of received opinions,
+//! * a per-reporter **credibility** `C ∈ (0, 1]` — raised when a
+//!   report agrees with the current aggregate, decayed otherwise, so
+//!   that liars (uncooperative peers always report 0) lose influence,
+//! * the reporter-supplied **quality** `Q ∈ [0, 1]` — the reporter's
+//!   confidence, growing with its first-hand interaction count.
+//!
+//! The aggregation weight of one report is `C · Q`, and the evidence
+//! mass is capped so reputations stay responsive (and lending
+//! penalties can be "recouped … by behaving cooperatively", §3).
+//!
+//! ## Replication and churn
+//!
+//! Each subject has `numSM` replicas hosted at the DHT successors of
+//! its salted replica keys (see [`replend_dht::managers`]). Joins and
+//! leaves of overlay nodes re-home replicas; a re-homed replica copies
+//! state from a surviving sibling (anti-entropy), or loses it entirely
+//! with a configurable crash probability — *"redundancy is introduced
+//! in the system in case a score manager crashes"* (§2). Reads combine
+//! the live replicas' values.
+//!
+//! ## Engines
+//!
+//! Everything above sits behind the object-safe [`ReputationEngine`]
+//! trait so the lending layer is engine-agnostic. Besides
+//! [`RocqEngine`], the [`baselines`] module provides
+//! [`SimpleAverageEngine`](baselines::SimpleAverageEngine),
+//! [`EwmaEngine`](baselines::EwmaEngine) and
+//! [`BetaEngine`](baselines::BetaEngine).
+
+pub mod baselines;
+pub mod credibility;
+pub mod engine;
+pub mod inspect;
+pub mod params;
+pub mod quality;
+pub mod score;
+
+pub use engine::{ReputationEngine, RocqEngine};
+pub use params::RocqParams;

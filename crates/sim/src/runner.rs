@@ -1,0 +1,203 @@
+//! Seeded multi-run execution and summary statistics.
+//!
+//! Every figure in the paper averages 10 independent runs (§4.3).
+//! [`run_many`] executes a closure once per run with a derived seed;
+//! [`run_many_parallel`] does the same across threads — runs are
+//! independent by construction, so the two produce *identical*
+//! results (tested), parallelism being purely a wall-clock
+//! optimization for the sweep binaries.
+
+use replend_types::hash::seed_for_run;
+use serde::{Deserialize, Serialize};
+
+/// Mean / spread summary of one scalar metric across runs.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of runs.
+    pub n: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator); 0 for n < 2.
+    pub std_dev: f64,
+    /// Half-width of the 95% confidence interval
+    /// (`1.96 · std_dev / √n`); 0 for n < 2.
+    pub ci95: f64,
+}
+
+impl Summary {
+    /// Summarizes a slice of per-run values.
+    ///
+    /// Returns `None` for an empty slice.
+    pub fn from_values(values: &[f64]) -> Option<Summary> {
+        if values.is_empty() {
+            return None;
+        }
+        let n = values.len();
+        let mean = values.iter().sum::<f64>() / n as f64;
+        let (std_dev, ci95) = if n >= 2 {
+            let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n as f64 - 1.0);
+            let sd = var.sqrt();
+            (sd, 1.96 * sd / (n as f64).sqrt())
+        } else {
+            (0.0, 0.0)
+        };
+        Some(Summary {
+            n,
+            mean,
+            std_dev,
+            ci95,
+        })
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.4} ± {:.4} (n={})", self.mean, self.ci95, self.n)
+    }
+}
+
+/// Runs `f` once per run index with a seed derived from `base_seed`,
+/// collecting the per-run outputs.
+///
+/// The seed schedule is `seed_for_run(base_seed, i)` — deterministic,
+/// distinct per run, and identical to the schedule used by
+/// [`run_many_parallel`].
+pub fn run_many<T, F>(n_runs: usize, base_seed: u64, mut f: F) -> Vec<T>
+where
+    F: FnMut(u64) -> T,
+{
+    (0..n_runs as u64)
+        .map(|i| f(seed_for_run(base_seed, i)))
+        .collect()
+}
+
+/// Like [`run_many`] but fans runs out over `crossbeam` scoped
+/// threads. Outputs are returned in run order regardless of thread
+/// scheduling, so results are bit-identical to [`run_many`].
+pub fn run_many_parallel<T, F>(n_runs: usize, base_seed: u64, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(u64) -> T + Sync,
+{
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n_runs.max(1));
+    if threads <= 1 || n_runs <= 1 {
+        return (0..n_runs as u64).map(|i| f(seed_for_run(base_seed, i))).collect();
+    }
+    let mut out: Vec<Option<T>> = (0..n_runs).map(|_| None).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let out_cells: Vec<parking_lot_free::Cell<T>> =
+        out.iter_mut().map(parking_lot_free::Cell::new).collect();
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= n_runs {
+                    break;
+                }
+                let value = f(seed_for_run(base_seed, i as u64));
+                out_cells[i].set(value);
+            });
+        }
+    })
+    .expect("worker thread panicked");
+    out.into_iter()
+        .map(|v| v.expect("every run index was executed"))
+        .collect()
+}
+
+/// A tiny send-safe write-once cell over `&mut Option<T>`, avoiding a
+/// mutex per slot: each index is written by exactly one worker (the
+/// atomic counter hands out indices uniquely).
+mod parking_lot_free {
+    use std::sync::Mutex;
+
+    /// Write-once slot wrapper.
+    pub struct Cell<'a, T>(Mutex<&'a mut Option<T>>);
+
+    impl<'a, T> Cell<'a, T> {
+        /// Wraps a mutable slot.
+        pub fn new(slot: &'a mut Option<T>) -> Self {
+            Cell(Mutex::new(slot))
+        }
+
+        /// Stores the value (exactly once per slot by construction).
+        pub fn set(&self, value: T) {
+            **self.0.lock().expect("cell poisoned") = Some(value);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn summary_of_empty_is_none() {
+        assert!(Summary::from_values(&[]).is_none());
+    }
+
+    #[test]
+    fn summary_single_value() {
+        let s = Summary::from_values(&[3.0]).unwrap();
+        assert_eq!(s.n, 1);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.ci95, 0.0);
+    }
+
+    #[test]
+    fn summary_known_values() {
+        let s = Summary::from_values(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(s.mean, 2.5);
+        let expected_sd = (5.0f64 / 3.0).sqrt();
+        assert!((s.std_dev - expected_sd).abs() < 1e-12);
+        assert!((s.ci95 - 1.96 * expected_sd / 2.0).abs() < 1e-12);
+        assert!(s.to_string().contains("n=4"));
+    }
+
+    #[test]
+    fn run_many_derives_distinct_seeds() {
+        let seeds = run_many(10, 77, |s| s);
+        let mut dedup = seeds.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 10);
+    }
+
+    #[test]
+    fn run_many_is_deterministic() {
+        let f = |seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            rng.gen::<f64>()
+        };
+        assert_eq!(run_many(5, 1, f), run_many(5, 1, f));
+        assert_ne!(run_many(5, 1, f), run_many(5, 2, f));
+    }
+
+    #[test]
+    fn parallel_matches_serial_exactly() {
+        let f = |seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..1000).map(|_| rng.gen::<u32>() as u64).sum::<u64>()
+        };
+        let serial = run_many(16, 9, f);
+        let parallel = run_many_parallel(16, 9, f);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn parallel_single_run() {
+        assert_eq!(run_many_parallel(1, 5, |s| s), run_many(1, 5, |s| s));
+    }
+
+    #[test]
+    fn parallel_zero_runs() {
+        let out: Vec<u64> = run_many_parallel(0, 5, |s| s);
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,170 @@
+//! Walker's alias method: O(1) sampling from a *fixed* discrete
+//! distribution after O(n) setup.
+//!
+//! The simulator itself uses the dynamic [`Fenwick`] sampler (the
+//! population grows), but the alias method is the right tool for
+//! static distributions — the `weighted_sampling` bench compares the
+//! two, quantifying the price paid for dynamism.
+//!
+//! [`Fenwick`]: crate::fenwick::Fenwick
+
+use rand::Rng;
+
+/// Precomputed alias tables for a discrete distribution.
+#[derive(Clone, Debug)]
+pub struct AliasSampler {
+    /// Acceptance probability of each slot's own index.
+    prob: Vec<f64>,
+    /// Fallback index taken when the acceptance test fails.
+    alias: Vec<usize>,
+}
+
+impl AliasSampler {
+    /// Builds tables from non-negative weights.
+    ///
+    /// Returns `None` when `weights` is empty, contains a negative or
+    /// non-finite value, or sums to zero.
+    pub fn new(weights: &[f64]) -> Option<AliasSampler> {
+        let n = weights.len();
+        if n == 0 {
+            return None;
+        }
+        if weights.iter().any(|w| !w.is_finite() || *w < 0.0) {
+            return None;
+        }
+        let total: f64 = weights.iter().sum();
+        if total <= 0.0 {
+            return None;
+        }
+        // Scale weights to mean 1.
+        let scaled: Vec<f64> = weights.iter().map(|w| w * n as f64 / total).collect();
+        let mut prob = vec![0.0; n];
+        let mut alias = vec![0usize; n];
+        let mut small: Vec<usize> = Vec::with_capacity(n);
+        let mut large: Vec<usize> = Vec::with_capacity(n);
+        let mut work = scaled;
+        for (i, &w) in work.iter().enumerate() {
+            if w < 1.0 {
+                small.push(i);
+            } else {
+                large.push(i);
+            }
+        }
+        while !small.is_empty() && !large.is_empty() {
+            let s = small.pop().expect("checked non-empty");
+            let l = large.pop().expect("checked non-empty");
+            prob[s] = work[s];
+            alias[s] = l;
+            work[l] = (work[l] + work[s]) - 1.0;
+            if work[l] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        // Numerical leftovers: all remaining slots accept themselves.
+        for i in large.into_iter().chain(small) {
+            prob[i] = 1.0;
+            alias[i] = i;
+        }
+        Some(AliasSampler { prob, alias })
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// True when the sampler has no slots (never constructed so).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draws one index with probability proportional to its weight.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let i = rng.gen_range(0..self.prob.len());
+        if rng.gen::<f64>() < self.prob[i] {
+            i
+        } else {
+            self.alias[i]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_degenerate_inputs() {
+        assert!(AliasSampler::new(&[]).is_none());
+        assert!(AliasSampler::new(&[0.0, 0.0]).is_none());
+        assert!(AliasSampler::new(&[1.0, -1.0]).is_none());
+        assert!(AliasSampler::new(&[f64::NAN]).is_none());
+        assert!(AliasSampler::new(&[f64::INFINITY]).is_none());
+    }
+
+    #[test]
+    fn single_slot_always_sampled() {
+        let s = AliasSampler::new(&[3.0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(s.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn zero_weight_slot_never_sampled() {
+        let s = AliasSampler::new(&[1.0, 0.0, 1.0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            assert_ne!(s.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn distribution_matches_weights() {
+        let weights = [1.0, 2.0, 3.0, 4.0];
+        let s = AliasSampler::new(&weights).unwrap();
+        let mut rng = StdRng::seed_from_u64(42);
+        let trials = 400_000;
+        let mut counts = [0usize; 4];
+        for _ in 0..trials {
+            counts[s.sample(&mut rng)] += 1;
+        }
+        let total: f64 = weights.iter().sum();
+        for (i, &w) in weights.iter().enumerate() {
+            let expected = trials as f64 * w / total;
+            let got = counts[i] as f64;
+            // 5-sigma binomial tolerance.
+            let sigma = (trials as f64 * (w / total) * (1.0 - w / total)).sqrt();
+            assert!(
+                (got - expected).abs() < 5.0 * sigma,
+                "slot {i}: got {got}, expected {expected} ± {sigma}"
+            );
+        }
+    }
+
+    proptest! {
+        /// Every sampled index is valid and has nonzero weight.
+        #[test]
+        fn samples_are_valid_and_supported(
+            weights in proptest::collection::vec(0.0f64..10.0, 1..32),
+            seed in proptest::num::u64::ANY,
+        ) {
+            prop_assume!(weights.iter().sum::<f64>() > 0.0);
+            let s = AliasSampler::new(&weights).unwrap();
+            prop_assert_eq!(s.len(), weights.len());
+            let mut rng = StdRng::seed_from_u64(seed);
+            for _ in 0..64 {
+                let i = s.sample(&mut rng);
+                prop_assert!(i < weights.len());
+                // Slots with exactly zero weight must never be drawn.
+                prop_assert!(weights[i] > 0.0, "drew zero-weight slot {}", i);
+            }
+        }
+    }
+}

@@ -1,0 +1,289 @@
+//! The Zipf topology: a *direct* power-law over arrival rank.
+//!
+//! §3 of the paper says only that *"the probability of a node being
+//! chosen as the potential respondent is distributed according to a
+//! power-law"*. [`ScaleFreeTopology`](crate::scale_free::ScaleFreeTopology)
+//! realizes that through Barabási–Albert degrees; this module is the
+//! alternative literal reading — peer `i` (in arrival order) is
+//! chosen with probability proportional to `(i + 1)^-s` — with no
+//! graph at all.
+//!
+//! The two readings differ in how much probability mass sits on the
+//! founding members: under Zipf with `s = 1`, the 500 founders of a
+//! 5 500-peer community absorb ≈ 72% of respondent/introducer choices
+//! (`ln 500 / ln 5500`), versus ≈ 35% under BA degrees. The
+//! `ablation_topology` bench quantifies what that does to the
+//! admission figures.
+
+use crate::fenwick::Fenwick;
+use crate::Topology;
+use rand::{Rng, RngCore};
+use replend_types::PeerId;
+use std::collections::HashMap;
+
+/// Fixed-point scale for the Fenwick weights.
+const WEIGHT_SCALE: f64 = 1_000_000.0;
+
+/// Rank-based power-law population: the `r`-th peer to arrive is
+/// sampled with probability ∝ `(r + 1)^-s`.
+#[derive(Clone, Debug)]
+pub struct ZipfTopology {
+    /// Power-law exponent `s > 0`.
+    s: f64,
+    /// Slot (arrival rank) → peer; never reused.
+    slot_peer: Vec<PeerId>,
+    /// Peer → slot.
+    slots: HashMap<PeerId, usize>,
+    /// Sampling weights (0 for removed peers).
+    weights: Fenwick,
+    /// Dense list of live slots for O(1) uniform sampling.
+    live: Vec<u32>,
+    /// Position of each live slot in `live`.
+    live_pos: HashMap<u32, usize>,
+}
+
+impl ZipfTopology {
+    /// A new topology with exponent `s` (clamped to at least 0.01).
+    pub fn new(s: f64) -> Self {
+        Self::with_capacity(0, s)
+    }
+
+    /// A new topology with pre-allocated capacity.
+    pub fn with_capacity(n: usize, s: f64) -> Self {
+        ZipfTopology {
+            s: s.max(0.01),
+            slot_peer: Vec::with_capacity(n),
+            slots: HashMap::with_capacity(n),
+            weights: Fenwick::new(),
+            live: Vec::with_capacity(n),
+            live_pos: HashMap::with_capacity(n),
+        }
+    }
+
+    /// The configured exponent.
+    pub fn exponent(&self) -> f64 {
+        self.s
+    }
+
+    /// The fixed-point weight of arrival rank `rank` (0-based).
+    fn rank_weight(&self, rank: usize) -> u64 {
+        let w = WEIGHT_SCALE * ((rank + 1) as f64).powf(-self.s);
+        (w.round() as u64).max(1)
+    }
+
+    fn sample_slot(&self, rng: &mut dyn RngCore, exclude_slot: Option<usize>) -> Option<usize> {
+        let total = self.weights.total();
+        if total == 0 {
+            return None;
+        }
+        if self.live.len() < 2 && exclude_slot.is_some() {
+            let only = *self.live.first()? as usize;
+            return if Some(only) == exclude_slot {
+                None
+            } else {
+                Some(only)
+            };
+        }
+        // Bounded rejection (the head rank can hold a large share),
+        // then uniform fallback.
+        for _ in 0..64 {
+            let u = rng.gen_range(0..total);
+            let slot = self.weights.sample_index(u)?;
+            if Some(slot) != exclude_slot {
+                return Some(slot);
+            }
+        }
+        let n = self.live.len();
+        for _ in 0..64 {
+            let slot = self.live[rng.gen_range(0..n)] as usize;
+            if Some(slot) != exclude_slot {
+                return Some(slot);
+            }
+        }
+        None
+    }
+}
+
+impl Topology for ZipfTopology {
+    fn add_peer(&mut self, peer: PeerId, _rng: &mut dyn RngCore) {
+        if self.slots.contains_key(&peer) {
+            return;
+        }
+        let slot = self.slot_peer.len();
+        self.slot_peer.push(peer);
+        self.slots.insert(peer, slot);
+        let pushed = self.weights.push(self.rank_weight(slot));
+        debug_assert_eq!(pushed, slot);
+        self.live_pos.insert(slot as u32, self.live.len());
+        self.live.push(slot as u32);
+    }
+
+    fn remove_peer(&mut self, peer: PeerId) {
+        let Some(slot) = self.slots.remove(&peer) else {
+            return;
+        };
+        let w = self.weights.weight(slot);
+        self.weights.add(slot, -(w as i64));
+        let pos = self.live_pos.remove(&(slot as u32)).expect("live slot tracked");
+        let last = self.live.len() - 1;
+        self.live.swap(pos, last);
+        self.live.pop();
+        if pos < self.live.len() {
+            self.live_pos.insert(self.live[pos], pos);
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.live.len()
+    }
+
+    fn contains(&self, peer: PeerId) -> bool {
+        self.slots.contains_key(&peer)
+    }
+
+    fn sample(&self, rng: &mut dyn RngCore, exclude: Option<PeerId>) -> Option<PeerId> {
+        let ex = exclude.and_then(|p| self.slots.get(&p).copied());
+        self.sample_slot(rng, ex).map(|s| self.slot_peer[s])
+    }
+
+    fn sample_uniform(&self, rng: &mut dyn RngCore, exclude: Option<PeerId>) -> Option<PeerId> {
+        let ex = exclude.and_then(|p| self.slots.get(&p).copied());
+        let n = self.live.len();
+        if n == 0 {
+            return None;
+        }
+        if n == 1 {
+            let only = self.live[0] as usize;
+            return if Some(only) == ex {
+                None
+            } else {
+                Some(self.slot_peer[only])
+            };
+        }
+        match ex.and_then(|s| self.live_pos.get(&(s as u32)).copied()) {
+            None => Some(self.slot_peer[self.live[rng.gen_range(0..n)] as usize]),
+            Some(ex_pos) => {
+                let mut i = rng.gen_range(0..n - 1);
+                if i >= ex_pos {
+                    i += 1;
+                }
+                Some(self.slot_peer[self.live[i] as usize])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn grown(n: u64, s: f64) -> (ZipfTopology, StdRng) {
+        let mut rng = StdRng::seed_from_u64(31);
+        let mut t = ZipfTopology::new(s);
+        for p in 0..n {
+            t.add_peer(PeerId(p), &mut rng);
+        }
+        (t, rng)
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut t = ZipfTopology::new(1.0);
+        assert_eq!(t.sample(&mut rng, None), None);
+        t.add_peer(PeerId(0), &mut rng);
+        assert_eq!(t.sample(&mut rng, None), Some(PeerId(0)));
+        assert_eq!(t.sample(&mut rng, Some(PeerId(0))), None);
+    }
+
+    #[test]
+    fn early_arrivals_dominate() {
+        let (t, mut rng) = grown(1000, 1.0);
+        let trials = 100_000;
+        let mut first_hits = 0usize;
+        let mut late_hits = 0usize;
+        for _ in 0..trials {
+            match t.sample(&mut rng, None).unwrap() {
+                PeerId(0) => first_hits += 1,
+                PeerId(999) => late_hits += 1,
+                _ => {}
+            }
+        }
+        // P(rank 0) / P(rank 999) = 1000 under s = 1.
+        assert!(
+            first_hits > late_hits * 100,
+            "rank 0 hit {first_hits}, rank 999 hit {late_hits}"
+        );
+    }
+
+    #[test]
+    fn head_mass_matches_harmonic_ratio() {
+        // Under s = 1, the first 100 of 1000 peers hold
+        // H(100)/H(1000) ≈ 0.69 of the mass.
+        let (t, mut rng) = grown(1000, 1.0);
+        let trials = 200_000;
+        let mut head = 0usize;
+        for _ in 0..trials {
+            if t.sample(&mut rng, None).unwrap().raw() < 100 {
+                head += 1;
+            }
+        }
+        let share = head as f64 / trials as f64;
+        let expected = (1..=100).map(|i| 1.0 / i as f64).sum::<f64>()
+            / (1..=1000).map(|i| 1.0 / i as f64).sum::<f64>();
+        assert!(
+            (share - expected).abs() < 0.02,
+            "head share {share} vs harmonic {expected}"
+        );
+    }
+
+    #[test]
+    fn exclusion_respected() {
+        let (t, mut rng) = grown(50, 1.2);
+        for _ in 0..5_000 {
+            assert_ne!(t.sample(&mut rng, Some(PeerId(0))), Some(PeerId(0)));
+        }
+    }
+
+    #[test]
+    fn removal_stops_sampling() {
+        let (mut t, mut rng) = grown(20, 1.0);
+        t.remove_peer(PeerId(0));
+        assert!(!t.contains(PeerId(0)));
+        assert_eq!(t.len(), 19);
+        for _ in 0..5_000 {
+            assert_ne!(t.sample(&mut rng, None), Some(PeerId(0)));
+            assert_ne!(t.sample_uniform(&mut rng, None), Some(PeerId(0)));
+        }
+        t.remove_peer(PeerId(0));
+        assert_eq!(t.len(), 19);
+    }
+
+    #[test]
+    fn uniform_sampling_ignores_rank() {
+        let (t, mut rng) = grown(100, 1.5);
+        let trials = 200_000;
+        let mut head = 0usize;
+        for _ in 0..trials {
+            if t.sample_uniform(&mut rng, None).unwrap().raw() < 10 {
+                head += 1;
+            }
+        }
+        let share = head as f64 / trials as f64;
+        assert!((share - 0.1).abs() < 0.01, "uniform head share {share}");
+    }
+
+    #[test]
+    fn duplicate_add_is_noop() {
+        let (mut t, mut rng) = grown(5, 1.0);
+        t.add_peer(PeerId(2), &mut rng);
+        assert_eq!(t.len(), 5);
+    }
+
+    #[test]
+    fn exponent_clamped() {
+        assert!(ZipfTopology::new(-3.0).exponent() > 0.0);
+    }
+}

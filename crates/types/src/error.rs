@@ -1,0 +1,137 @@
+//! Error types shared across the workspace.
+//!
+//! Implemented by hand (no `thiserror`) per the workspace dependency
+//! policy; the variants carry enough structure for tests to assert on
+//! causes rather than on message strings.
+
+use crate::id::PeerId;
+use std::error::Error;
+use std::fmt;
+
+/// A configuration rejected by validation.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum ConfigError {
+    /// A numeric parameter fell outside its documented range.
+    OutOfRange {
+        /// Parameter name as printed in Table 1 / the config structs.
+        param: &'static str,
+        /// Offending value.
+        value: f64,
+        /// Human-readable description of the accepted range.
+        expected: &'static str,
+    },
+    /// Parameters are individually fine but mutually inconsistent.
+    Inconsistent {
+        /// Description of the violated relationship.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::OutOfRange {
+                param,
+                value,
+                expected,
+            } => write!(f, "parameter {param} = {value} outside {expected}"),
+            ConfigError::Inconsistent { what } => write!(f, "inconsistent configuration: {what}"),
+        }
+    }
+}
+
+impl Error for ConfigError {}
+
+/// A violation of the lending / reputation protocol detected at
+/// runtime.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum ProtocolError {
+    /// An operation referenced a peer unknown to the community.
+    UnknownPeer(PeerId),
+    /// A peer attempted to act before being admitted.
+    NotAdmitted(PeerId),
+    /// A second introduction arrived for a peer that already has one
+    /// pending or granted — the "multiple introduction requests"
+    /// attack of §2; score managers zero the peer's reputation.
+    DuplicateIntroduction {
+        /// The over-eager newcomer.
+        newcomer: PeerId,
+    },
+    /// An introducer's reputation was below `minIntro`.
+    InsufficientReputation {
+        /// The would-be introducer.
+        introducer: PeerId,
+    },
+    /// A peer asked for an introduction again before its waiting
+    /// period elapsed.
+    WaitingPeriodActive {
+        /// The impatient newcomer.
+        newcomer: PeerId,
+    },
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::UnknownPeer(p) => write!(f, "unknown peer {p}"),
+            ProtocolError::NotAdmitted(p) => write!(f, "{p} is not admitted to the community"),
+            ProtocolError::DuplicateIntroduction { newcomer } => {
+                write!(f, "duplicate introduction detected for {newcomer}")
+            }
+            ProtocolError::InsufficientReputation { introducer } => {
+                write!(f, "{introducer} lacks the minIntro reputation to introduce")
+            }
+            ProtocolError::WaitingPeriodActive { newcomer } => {
+                write!(f, "{newcomer} must wait out the introduction period")
+            }
+        }
+    }
+}
+
+impl Error for ProtocolError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_error_displays_param() {
+        let e = ConfigError::OutOfRange {
+            param: "intro_amt",
+            value: 2.0,
+            expected: "[0, 1]",
+        };
+        assert_eq!(e.to_string(), "parameter intro_amt = 2 outside [0, 1]");
+    }
+
+    #[test]
+    fn inconsistent_displays_reason() {
+        let e = ConfigError::Inconsistent {
+            what: "min_intro must be strictly greater than intro_amt",
+        };
+        assert!(e.to_string().contains("min_intro"));
+    }
+
+    #[test]
+    fn protocol_errors_display() {
+        let p = PeerId(9);
+        assert!(ProtocolError::UnknownPeer(p).to_string().contains("peer#9"));
+        assert!(ProtocolError::DuplicateIntroduction { newcomer: p }
+            .to_string()
+            .contains("duplicate"));
+        assert!(ProtocolError::InsufficientReputation { introducer: p }
+            .to_string()
+            .contains("minIntro"));
+        assert!(ProtocolError::WaitingPeriodActive { newcomer: p }
+            .to_string()
+            .contains("wait"));
+        assert!(ProtocolError::NotAdmitted(p).to_string().contains("admitted"));
+    }
+
+    #[test]
+    fn errors_are_std_errors() {
+        fn assert_err<E: std::error::Error>(_: &E) {}
+        assert_err(&ConfigError::Inconsistent { what: "x" });
+        assert_err(&ProtocolError::UnknownPeer(PeerId(0)));
+    }
+}

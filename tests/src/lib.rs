@@ -1,0 +1,51 @@
+//! Shared helpers for the cross-crate integration tests of the
+//! `replend` workspace.
+//!
+//! The test files in `tests/` exercise whole-community behaviour —
+//! the paper's qualitative claims, protocol conservation through the
+//! full stack, determinism, and scaled-down versions of every figure.
+
+use replend_core::community::{Community, CommunityBuilder};
+use replend_core::{BootstrapPolicy, EngineKind};
+use replend_types::Table1;
+
+/// A community in the paper's operating regime, scaled down so a
+/// debug-build test finishes quickly: arrivals total a fraction of
+/// the founding population over the run.
+pub fn steady_community(seed: u64) -> Community {
+    CommunityBuilder::new(steady_config()).seed(seed).build()
+}
+
+/// The scaled-down steady-regime configuration.
+pub fn steady_config() -> Table1 {
+    Table1::paper_defaults()
+        .with_num_init(200)
+        .with_arrival_rate(0.005)
+        .with_num_trans(20_000)
+}
+
+/// The scaled-down growth-regime configuration (Figure 1 and friends:
+/// arrivals dominate the founders).
+pub fn growth_config() -> Table1 {
+    Table1::paper_defaults()
+        .with_num_init(200)
+        .with_arrival_rate(0.05)
+        .with_num_trans(20_000)
+}
+
+/// Builds, runs and returns a community for the given config/policy.
+pub fn run_community(
+    config: Table1,
+    policy: BootstrapPolicy,
+    engine: EngineKind,
+    seed: u64,
+    ticks: u64,
+) -> Community {
+    let mut c = CommunityBuilder::new(config)
+        .policy(policy)
+        .engine(engine)
+        .seed(seed)
+        .build();
+    c.run(ticks);
+    c
+}

@@ -1,0 +1,106 @@
+//! Churn extension tests: departures, score-manager crash tolerance
+//! under full simulation, and the message-level protocol accounting.
+
+use replend_core::community::CommunityBuilder;
+use replend_core::BootstrapPolicy;
+use replend_tests::{growth_config, steady_config};
+
+#[test]
+fn departures_remove_members_cleanly() {
+    let mut c = CommunityBuilder::new(steady_config())
+        .departure_rate(0.01)
+        .seed(41)
+        .build();
+    c.run(10_000);
+    let s = c.stats();
+    assert!(s.departures > 30, "departures should fire: {s:?}");
+    let pop = c.population();
+    assert_eq!(pop.departed as u64, s.departures);
+    assert_eq!(
+        pop.members + pop.waiting + pop.refused + pop.flagged + pop.departed,
+        c.peers_seen()
+    );
+}
+
+#[test]
+fn community_survives_heavy_departure_churn() {
+    // Departure rate comparable to the arrival rate: the community
+    // stays functional and reputations stay sane.
+    let mut c = CommunityBuilder::new(growth_config())
+        .departure_rate(0.02)
+        .seed(42)
+        .build();
+    c.run(15_000);
+    let coop = c.mean_cooperative_reputation().unwrap();
+    assert!(coop > 0.5, "mean cooperative reputation {coop} under churn");
+    assert!(c.population().members > 50, "community collapsed");
+    for p in c.members() {
+        let r = c.reputation(p.id).unwrap().value();
+        assert!((0.0..=1.0).contains(&r));
+    }
+}
+
+#[test]
+fn departures_and_arrivals_compose_deterministically() {
+    let run = |seed: u64| {
+        let mut c = CommunityBuilder::new(steady_config())
+            .departure_rate(0.005)
+            .seed(seed)
+            .build();
+        c.run(8_000);
+        (*c.stats(), c.population())
+    };
+    assert_eq!(run(43), run(43));
+    assert_ne!(run(43), run(44));
+}
+
+#[test]
+fn message_accounting_matches_admissions_end_to_end() {
+    let mut c = CommunityBuilder::new(growth_config()).seed(45).build();
+    c.run(15_000);
+    let m = c.messages();
+    let s = c.stats();
+    let num_sm = c.config().sim.num_sm as u64;
+    assert_eq!(m.introduction_requests, s.arrived_total());
+    assert_eq!(m.credit_sent, s.admitted_total() * num_sm * num_sm);
+    // Idempotence: exactly numSM first-deliveries per admission.
+    assert_eq!(
+        m.credit_sent - m.credit_duplicates,
+        s.admitted_total() * num_sm
+    );
+}
+
+#[test]
+fn partial_sm_crashes_do_not_lose_introductions() {
+    // 30% of introducer-side SMs crash before forwarding; with
+    // numSM = 6 at least one survivor is near-certain, so admissions
+    // proceed with full credit.
+    let mut reliable = CommunityBuilder::new(growth_config()).seed(46).build();
+    let mut lossy = CommunityBuilder::new(growth_config())
+        .sm_crash_prob(0.3)
+        .seed(46)
+        .build();
+    reliable.run(15_000);
+    lossy.run(15_000);
+    let a = reliable.stats().admitted_total();
+    let b = lossy.stats().admitted_total();
+    assert!(b > 0);
+    let ratio = b as f64 / a.max(1) as f64;
+    assert!(
+        ratio > 0.8,
+        "crash-prone SMs should barely affect admissions: {a} vs {b}"
+    );
+}
+
+#[test]
+fn open_admission_generates_no_protocol_messages() {
+    let mut c = CommunityBuilder::new(growth_config())
+        .policy(BootstrapPolicy::OpenAdmission { initial: 0.5 })
+        .seed(47)
+        .build();
+    c.run(5_000);
+    let m = c.messages();
+    assert_eq!(m.credit_sent, 0);
+    assert_eq!(m.deduct_stake, 0);
+    assert_eq!(m.audit_verdicts, 0);
+}

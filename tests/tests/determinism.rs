@@ -1,0 +1,96 @@
+//! Determinism guarantees: seeded runs are bit-identical, the
+//! parallel multi-run harness matches the serial schedule, and
+//! different seeds actually explore different trajectories.
+
+use replend_core::community::CommunityBuilder;
+use replend_core::{BootstrapPolicy, EngineKind};
+use replend_rocq::RocqParams;
+use replend_sim::runner::{run_many, run_many_parallel};
+use replend_tests::{run_community, steady_config};
+
+#[test]
+fn identical_seeds_identical_runs() {
+    for policy in [
+        BootstrapPolicy::ReputationLending,
+        BootstrapPolicy::OpenAdmission { initial: 0.5 },
+        BootstrapPolicy::FixedCredit { credit: 0.1 },
+    ] {
+        let a = run_community(steady_config(), policy, EngineKind::default(), 11, 5_000);
+        let b = run_community(steady_config(), policy, EngineKind::default(), 11, 5_000);
+        assert_eq!(a.stats(), b.stats(), "policy {}", policy.name());
+        assert_eq!(a.population(), b.population());
+        assert_eq!(
+            a.mean_cooperative_reputation(),
+            b.mean_cooperative_reputation()
+        );
+    }
+}
+
+#[test]
+fn identical_seeds_identical_runs_across_engines() {
+    for engine in [
+        EngineKind::Rocq(RocqParams::default()),
+        EngineKind::SimpleAverage,
+        EngineKind::Ewma { alpha: 0.1 },
+        EngineKind::Beta,
+    ] {
+        let a = run_community(
+            steady_config(),
+            BootstrapPolicy::ReputationLending,
+            engine,
+            12,
+            5_000,
+        );
+        let b = run_community(
+            steady_config(),
+            BootstrapPolicy::ReputationLending,
+            engine,
+            12,
+            5_000,
+        );
+        assert_eq!(a.stats(), b.stats());
+    }
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = run_community(
+        steady_config(),
+        BootstrapPolicy::ReputationLending,
+        EngineKind::default(),
+        13,
+        5_000,
+    );
+    let b = run_community(
+        steady_config(),
+        BootstrapPolicy::ReputationLending,
+        EngineKind::default(),
+        14,
+        5_000,
+    );
+    assert_ne!(a.stats(), b.stats());
+}
+
+#[test]
+fn parallel_fanout_matches_serial() {
+    let work = |seed: u64| {
+        let mut c = CommunityBuilder::new(steady_config()).seed(seed).build();
+        c.run(2_000);
+        (*c.stats(), c.population())
+    };
+    let serial = run_many(8, 1234, work);
+    let parallel = run_many_parallel(8, 1234, work);
+    assert_eq!(serial, parallel);
+}
+
+#[test]
+fn step_by_step_equals_bulk_run() {
+    let mut a = CommunityBuilder::new(steady_config()).seed(15).build();
+    let mut b = CommunityBuilder::new(steady_config()).seed(15).build();
+    a.run(3_000);
+    for _ in 0..3_000 {
+        b.step();
+    }
+    assert_eq!(a.stats(), b.stats());
+    assert_eq!(a.time(), b.time());
+}

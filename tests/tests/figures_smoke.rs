@@ -1,0 +1,204 @@
+//! Scaled-down versions of every figure in §4, asserting the
+//! *qualitative shape* the paper reports. The full-scale runs live in
+//! the `replend-bench` binaries; these keep the shapes under CI.
+
+use replend_core::community::CommunityBuilder;
+use replend_core::{BootstrapPolicy, EngineKind};
+use replend_tests::run_community;
+use replend_types::{Table1, TopologyKind};
+
+const TICKS: u64 = 15_000;
+
+fn growth(seed_extra: u64) -> Table1 {
+    let _ = seed_extra;
+    Table1::paper_defaults()
+        .with_num_init(150)
+        .with_arrival_rate(0.05)
+        .with_num_trans(TICKS)
+}
+
+#[test]
+fn fig1_shape_uncoop_growth_is_sublinear_and_topology_independent() {
+    let mut finals = Vec::new();
+    for topology in [TopologyKind::Random, TopologyKind::Powerlaw] {
+        let c = run_community(
+            growth(0).with_topology(topology),
+            BootstrapPolicy::ReputationLending,
+            EngineKind::default(),
+            21,
+            TICKS,
+        );
+        let pop = c.population();
+        let s = c.stats();
+        // Slope ≪ f_uncoop / (1 - f_uncoop) = 1/3: far fewer
+        // uncooperative than a third of the cooperative count.
+        assert!(
+            (pop.uncooperative as f64) < 0.25 * pop.cooperative as f64,
+            "{topology}: uncoop {} vs coop {}",
+            pop.uncooperative,
+            pop.cooperative
+        );
+        assert!(s.admitted_uncooperative > 0);
+        finals.push(pop.uncooperative as f64);
+    }
+    // Topology independence (§4.1): same order of magnitude.
+    let (a, b) = (finals[0], finals[1]);
+    assert!((a - b).abs() / a.max(b) < 0.5, "random {a} vs powerlaw {b}");
+}
+
+#[test]
+fn fig2_shape_low_rates_flat_high_rates_depressed() {
+    // Mean cooperative reputation at the end: low arrival rates keep
+    // it high; a rate that floods the community with newcomers drags
+    // it down (the paper's "system is overwhelmed" regime).
+    let mut means = Vec::new();
+    for lambda in [0.002, 0.1] {
+        let config = Table1::paper_defaults()
+            .with_num_init(150)
+            .with_arrival_rate(lambda)
+            .with_num_trans(TICKS);
+        let mut c = CommunityBuilder::new(config).seed(22).build();
+        c.run(TICKS);
+        means.push(c.mean_cooperative_reputation().unwrap());
+    }
+    let (low_rate, high_rate) = (means[0], means[1]);
+    assert!(low_rate > 0.85, "λ=0.002 mean {low_rate}");
+    assert!(
+        high_rate < low_rate - 0.1,
+        "flooding must depress the mean: {high_rate} vs {low_rate}"
+    );
+}
+
+#[test]
+fn fig3_shape_more_naive_more_uncooperative() {
+    let mut uncoop_at = Vec::new();
+    for f_naive in [0.0, 0.5, 1.0] {
+        let c = run_community(
+            growth(1).with_f_naive(f_naive),
+            BootstrapPolicy::ReputationLending,
+            EngineKind::default(),
+            23,
+            TICKS,
+        );
+        uncoop_at.push(c.population().uncooperative as f64);
+    }
+    assert!(
+        uncoop_at[0] < uncoop_at[1] && uncoop_at[1] < uncoop_at[2],
+        "uncooperative members must grow with naive share: {uncoop_at:?}"
+    );
+    // At f_naive = 0, admissions come only from the err_sel mistakes.
+    assert!(uncoop_at[0] > 0.0, "err_sel floor admits a few");
+}
+
+#[test]
+fn fig4_shape_higher_stakes_more_rep_refusals_flat_selective() {
+    let mut rep_refusals = Vec::new();
+    let mut selective_refusals = Vec::new();
+    for intro_amt in [0.1, 0.4] {
+        let c = run_community(
+            growth(2).with_intro_amt_scaled_reward(intro_amt),
+            BootstrapPolicy::ReputationLending,
+            EngineKind::default(),
+            24,
+            TICKS,
+        );
+        rep_refusals.push(c.stats().refused_introducer_reputation as f64);
+        selective_refusals.push(c.stats().refused_selective as f64);
+    }
+    assert!(
+        rep_refusals[1] > rep_refusals[0] * 1.5,
+        "rep refusals must grow with introAmt: {rep_refusals:?}"
+    );
+    let (a, b) = (selective_refusals[0], selective_refusals[1]);
+    assert!(
+        (a - b).abs() / a.max(b) < 0.4,
+        "selective refusals should stay ≈ flat: {selective_refusals:?}"
+    );
+}
+
+#[test]
+fn fig5_shape_proportions_stable_across_stakes() {
+    let mut shares = Vec::new();
+    for intro_amt in [0.1, 0.35] {
+        let c = run_community(
+            growth(3).with_intro_amt_scaled_reward(intro_amt),
+            BootstrapPolicy::ReputationLending,
+            EngineKind::default(),
+            25,
+            TICKS,
+        );
+        let pop = c.population();
+        shares.push(pop.uncooperative as f64 / pop.members.max(1) as f64);
+    }
+    assert!(
+        (shares[0] - shares[1]).abs() < 0.08,
+        "uncooperative share should barely move: {shares:?}"
+    );
+}
+
+#[test]
+fn fig6_shape_coop_falls_linearly_uncoop_bounded() {
+    let mut coops = Vec::new();
+    let mut uncoops = Vec::new();
+    for pct in [0.0, 0.5, 1.0] {
+        let c = run_community(
+            growth(4).with_f_uncoop(pct),
+            BootstrapPolicy::ReputationLending,
+            EngineKind::default(),
+            26,
+            TICKS,
+        );
+        let pop = c.population();
+        coops.push(pop.cooperative as f64);
+        uncoops.push(pop.uncooperative as f64);
+    }
+    assert!(
+        coops[0] > coops[1] && coops[1] > coops[2],
+        "cooperative members must fall with the uncooperative share: {coops:?}"
+    );
+    // At 100% uncooperative, only founders remain cooperative.
+    assert_eq!(coops[2], 150.0);
+    // Uncooperative membership is bounded well below the arrivals.
+    let c = run_community(
+        growth(4).with_f_uncoop(1.0),
+        BootstrapPolicy::ReputationLending,
+        EngineKind::default(),
+        26,
+        TICKS,
+    );
+    let s = c.stats();
+    assert!(
+        (s.admitted_uncooperative as f64) < 0.6 * s.arrived_uncooperative as f64,
+        "bounded influx: {} of {}",
+        s.admitted_uncooperative,
+        s.arrived_uncooperative
+    );
+}
+
+#[test]
+fn success_rate_with_and_without_introductions_is_similar() {
+    // §4.1: the introduction requirement must not significantly
+    // change the decision success rate.
+    let config = Table1::paper_defaults()
+        .with_num_init(200)
+        .with_arrival_rate(0.005)
+        .with_num_trans(TICKS);
+    let with = run_community(
+        config,
+        BootstrapPolicy::ReputationLending,
+        EngineKind::default(),
+        27,
+        TICKS,
+    );
+    let without = run_community(
+        config,
+        BootstrapPolicy::OpenAdmission { initial: 0.5 },
+        EngineKind::default(),
+        27,
+        TICKS,
+    );
+    let a = with.stats().success_rate().unwrap();
+    let b = without.stats().success_rate().unwrap();
+    assert!(a > 0.85 && b > 0.75, "rates: lending {a}, open {b}");
+    assert!((a - b).abs() < 0.15, "rates should be comparable: {a} vs {b}");
+}

@@ -1,0 +1,140 @@
+//! Property-based whole-community invariants: short runs over
+//! randomly drawn configurations must never violate the protocol's
+//! structural guarantees, whatever the parameters.
+
+use proptest::prelude::*;
+use replend_core::community::CommunityBuilder;
+use replend_core::peer::PeerStatus;
+use replend_core::{BootstrapPolicy, EngineKind};
+use replend_types::Table1;
+
+fn arb_policy() -> impl Strategy<Value = BootstrapPolicy> {
+    prop_oneof![
+        Just(BootstrapPolicy::ReputationLending),
+        (0.0f64..=1.0).prop_map(|initial| BootstrapPolicy::OpenAdmission { initial }),
+        (0.0f64..=0.5).prop_map(|credit| BootstrapPolicy::FixedCredit { credit }),
+        Just(BootstrapPolicy::PositiveOnly),
+        Just(BootstrapPolicy::ComplaintsOnly),
+    ]
+}
+
+fn arb_config() -> impl Strategy<Value = Table1> {
+    (
+        10usize..80,        // num_init
+        0.0f64..0.1,        // arrival rate
+        0.0f64..=1.0,       // f_uncoop
+        0.0f64..=1.0,       // f_naive
+        0.0f64..=0.3,       // err_sel
+        0.02f64..=0.4,      // intro_amt
+        1u64..300,          // wait period
+        1u32..40,           // audit_trans
+    )
+        .prop_map(
+            |(num_init, lambda, f_uncoop, f_naive, err_sel, intro_amt, wait, audit)| {
+                let mut c = Table1::paper_defaults()
+                    .with_num_init(num_init)
+                    .with_arrival_rate(lambda)
+                    .with_f_uncoop(f_uncoop)
+                    .with_f_naive(f_naive)
+                    .with_intro_amt(intro_amt);
+                c.sim.err_sel = err_sel;
+                c.lending.wait_period = wait;
+                c.lending.audit_trans = audit;
+                c.lending.reward = 0.2 * intro_amt;
+                c
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24, // each case is a full (short) simulation
+        .. ProptestConfig::default()
+    })]
+
+    /// Structural invariants hold for arbitrary configurations and
+    /// policies.
+    #[test]
+    fn community_invariants(
+        config in arb_config(),
+        policy in arb_policy(),
+        seed in proptest::num::u64::ANY,
+        ticks in 200u64..1500,
+    ) {
+        let mut c = CommunityBuilder::new(config)
+            .policy(policy)
+            .engine(EngineKind::default())
+            .seed(seed)
+            .build();
+        c.run(ticks);
+
+        let s = *c.stats();
+        let pop = c.population();
+
+        // Conservation: every peer ever seen is in exactly one bucket.
+        prop_assert_eq!(
+            pop.members + pop.waiting + pop.refused + pop.flagged + pop.departed,
+            c.peers_seen()
+        );
+        prop_assert_eq!(
+            s.arrived_total() as usize + config.sim.num_init,
+            c.peers_seen()
+        );
+
+        // Ledger consistency.
+        prop_assert!(s.admitted_cooperative <= s.arrived_cooperative);
+        prop_assert!(s.admitted_uncooperative <= s.arrived_uncooperative);
+        prop_assert_eq!(
+            s.admitted_total() + s.refused_total() + pop.waiting as u64,
+            s.arrived_total()
+        );
+        prop_assert_eq!(s.ticks, ticks);
+        prop_assert!(s.served_transactions <= s.ticks);
+
+        // Reputation range: every member readable and in [0, 1].
+        for p in c.members() {
+            let r = c.reputation(p.id);
+            prop_assert!(r.is_some(), "{:?} unreadable", p.id);
+            let v = r.unwrap().value();
+            prop_assert!((0.0..=1.0).contains(&v));
+        }
+
+        // Waiting peers only exist under the lending policy.
+        if policy.immediate_admission().is_some() {
+            prop_assert_eq!(pop.waiting, 0);
+            prop_assert_eq!(s.refused_total(), 0);
+        }
+
+        // Refusal reasons are policy-consistent: selective refusals
+        // only happen to uncooperative applicants.
+        for peer in (0..c.peers_seen() as u64).map(replend_types::PeerId) {
+            let rec = c.peer(peer).unwrap();
+            if rec.status
+                == PeerStatus::Refused(replend_core::peer::RefusalReason::SelectiveRefusal)
+            {
+                prop_assert!(
+                    !rec.profile.behavior.is_cooperative(),
+                    "cooperative {peer} refused selectively"
+                );
+            }
+        }
+    }
+
+    /// Determinism holds for arbitrary configurations.
+    #[test]
+    fn determinism_under_arbitrary_configs(
+        config in arb_config(),
+        policy in arb_policy(),
+        seed in proptest::num::u64::ANY,
+    ) {
+        let run = |seed: u64| {
+            let mut c = CommunityBuilder::new(config)
+                .policy(policy)
+                .seed(seed)
+                .build();
+            c.run(400);
+            (*c.stats(), c.population())
+        };
+        prop_assert_eq!(run(seed), run(seed));
+    }
+}
