@@ -21,10 +21,7 @@ fn bench_growth(c: &mut Criterion) {
     ] {
         group.bench_function(format!("{}/10k_ticks", policy.name()), |b| {
             b.iter(|| {
-                let mut community = CommunityBuilder::new(config)
-                    .policy(policy)
-                    .seed(3)
-                    .build();
+                let mut community = CommunityBuilder::new(config).policy(policy).seed(3).build();
                 community.run(10_000);
                 black_box(community.stats().admitted_total())
             })

@@ -66,7 +66,13 @@ fn main() {
     );
     if let Ok(path) = write_csv(
         "ablation_audit_trans.csv",
-        &["audit_trans", "audits_passed", "audits_failed", "coop_members", "uncoop_members"],
+        &[
+            "audit_trans",
+            "audits_passed",
+            "audits_failed",
+            "coop_members",
+            "uncoop_members",
+        ],
         &csv_rows,
     ) {
         println!("CSV written to {}", path.display());
@@ -93,7 +99,10 @@ fn main() {
             fmt(m.coop_members, 1),
             fmt(m.uncoop_members, 1),
             fmt(m.waiting, 1),
-            fmt(m.uncoop_members / (m.coop_members + m.uncoop_members).max(1.0), 4),
+            fmt(
+                m.uncoop_members / (m.coop_members + m.uncoop_members).max(1.0),
+                4,
+            ),
         ]);
         csv_rows.push(vec![
             wait.to_string(),
@@ -104,7 +113,13 @@ fn main() {
     }
     print_table(
         "waiting-period sweep (longer T: more arrivals in the waiting room, same admission mix)",
-        &["T", "coop members", "uncoop members", "waiting", "uncoop share"],
+        &[
+            "T",
+            "coop members",
+            "uncoop members",
+            "waiting",
+            "uncoop share",
+        ],
         &rows,
     );
     if let Ok(path) = write_csv(

@@ -73,7 +73,13 @@ fn main() {
 
     match write_csv(
         "ablation_sm.csv",
-        &["num_sm", "crash_prob", "mean_coop_rep", "success_rate", "uncoop_members"],
+        &[
+            "num_sm",
+            "crash_prob",
+            "mean_coop_rep",
+            "success_rate",
+            "uncoop_members",
+        ],
         &csv_rows,
     ) {
         Ok(path) => println!("CSV written to {}", path.display()),

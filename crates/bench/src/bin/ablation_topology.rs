@@ -35,7 +35,11 @@ fn main() {
 
     let mut rows = Vec::new();
     let mut csv_rows = Vec::new();
-    for topology in [TopologyKind::Random, TopologyKind::Powerlaw, TopologyKind::Zipf] {
+    for topology in [
+        TopologyKind::Random,
+        TopologyKind::Powerlaw,
+        TopologyKind::Zipf,
+    ] {
         let config = Table1::paper_defaults()
             .with_arrival_rate(GROWTH_LAMBDA)
             .with_num_trans(ticks)

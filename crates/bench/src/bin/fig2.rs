@@ -39,8 +39,7 @@ fn reputation_series(lambda: f64, runs: usize, ticks: u64) -> (TimeSeries, f64) 
         (series, uncoop)
     });
     let series: Vec<TimeSeries> = outputs.iter().map(|(s, _)| s.clone()).collect();
-    let uncoop =
-        outputs.iter().map(|(_, u)| *u).sum::<f64>() / outputs.len().max(1) as f64;
+    let uncoop = outputs.iter().map(|(_, u)| *u).sum::<f64>() / outputs.len().max(1) as f64;
     (average_series(&series).expect("aligned runs"), uncoop)
 }
 
@@ -56,11 +55,7 @@ fn main() {
     for lambda in RATES {
         let (series, uncoop_end) = reputation_series(lambda, runs, ticks);
         for (t, v) in series.points() {
-            csv_rows.push(vec![
-                format!("{lambda}"),
-                t.ticks().to_string(),
-                fmt(v, 4),
-            ]);
+            csv_rows.push(vec![format!("{lambda}"), t.ticks().to_string(), fmt(v, 4)]);
         }
         let vals = series.values();
         let start = vals.first().copied().unwrap_or(0.0);

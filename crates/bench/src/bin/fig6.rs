@@ -20,7 +20,9 @@ use replend_bench::output::{fmt, print_table, write_csv};
 use replend_core::{BootstrapPolicy, EngineKind};
 use replend_types::Table1;
 
-const UNCOOP_PERCENT: [f64; 11] = [0.0, 10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0, 90.0, 100.0];
+const UNCOOP_PERCENT: [f64; 11] = [
+    0.0, 10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0, 90.0, 100.0,
+];
 
 fn main() {
     let runs = env_runs(PAPER_RUNS);

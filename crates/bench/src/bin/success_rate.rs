@@ -25,7 +25,10 @@ fn main() {
 
     let config = Table1::paper_defaults().with_num_trans(ticks);
     let modes: [(&str, BootstrapPolicy); 2] = [
-        ("introductions required (lending)", BootstrapPolicy::ReputationLending),
+        (
+            "introductions required (lending)",
+            BootstrapPolicy::ReputationLending,
+        ),
         (
             "no introductions (open admission)",
             BootstrapPolicy::OpenAdmission { initial: 0.5 },

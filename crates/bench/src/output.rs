@@ -90,10 +90,6 @@ mod tests {
 
     #[test]
     fn print_table_does_not_panic() {
-        print_table(
-            "demo",
-            &["x", "value"],
-            &[vec!["1".into(), "2.0".into()]],
-        );
+        print_table("demo", &["x", "value"], &[vec!["1".into(), "2.0".into()]]);
     }
 }

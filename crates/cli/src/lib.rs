@@ -171,8 +171,7 @@ pub fn parse_args(args: &[&str]) -> Result<Command, UsageError> {
                         i += 2;
                     }
                     "--min-intro" => {
-                        out.config.lending.min_intro_override =
-                            Some(parse_value(flag, value)?);
+                        out.config.lending.min_intro_override = Some(parse_value(flag, value)?);
                         i += 2;
                     }
                     "--departure-rate" => {
@@ -335,8 +334,7 @@ fn run_simulation(args: &RunArgs) -> String {
     });
 
     let col = |f: fn(&RunOutput) -> f64| -> Summary {
-        Summary::from_values(&outputs.iter().map(f).collect::<Vec<_>>())
-            .expect("at least one run")
+        Summary::from_values(&outputs.iter().map(f).collect::<Vec<_>>()).expect("at least one run")
     };
     let mut out = String::new();
     let _ = writeln!(
@@ -365,11 +363,18 @@ fn run_simulation(args: &RunArgs) -> String {
             }
         }
         let total: u64 = merged.iter().sum();
-        let _ = writeln!(out, "  member reputation histogram ({buckets} buckets, all runs):");
+        let _ = writeln!(
+            out,
+            "  member reputation histogram ({buckets} buckets, all runs):"
+        );
         for (i, &b) in merged.iter().enumerate() {
             let lo = i as f64 / buckets as f64;
             let hi = (i + 1) as f64 / buckets as f64;
-            let bar_len = if total > 0 { (b * 50 / total.max(1)) as usize } else { 0 };
+            let bar_len = if total > 0 {
+                (b * 50 / total.max(1)) as usize
+            } else {
+                0
+            };
             let _ = writeln!(
                 out,
                 "    [{lo:.2}, {hi:.2})  {b:>7}  {}",
@@ -382,9 +387,14 @@ fn run_simulation(args: &RunArgs) -> String {
             let n = first.series.len();
             let _ = writeln!(out, "  reputation series (every {} ticks):", args.sample);
             for i in 0..n {
-                let mean: f64 = outputs.iter().map(|r| r.series[i]).sum::<f64>()
-                    / outputs.len() as f64;
-                let _ = writeln!(out, "    t={:>9}  {:.4}", (i as u64 + 1) * args.sample, mean);
+                let mean: f64 =
+                    outputs.iter().map(|r| r.series[i]).sum::<f64>() / outputs.len() as f64;
+                let _ = writeln!(
+                    out,
+                    "    t={:>9}  {:.4}",
+                    (i as u64 + 1) * args.sample,
+                    mean
+                );
             }
         }
     }
@@ -436,24 +446,42 @@ mod tests {
     fn run_parses_all_flags() {
         let Command::Run(args) = parse_args(&[
             "run",
-            "--ticks", "1000",
-            "--lambda", "0.05",
-            "--num-init", "100",
-            "--num-sm", "4",
-            "--f-uncoop", "0.4",
-            "--f-naive", "0.2",
-            "--err-sel", "0.05",
-            "--topology", "zipf",
-            "--policy", "open",
-            "--intro-amt", "0.2",
-            "--reward", "0.04",
-            "--wait", "500",
-            "--audit-trans", "10",
-            "--min-intro", "0.45",
-            "--departure-rate", "0.001",
-            "--seed", "9",
-            "--runs", "3",
-            "--sample", "250",
+            "--ticks",
+            "1000",
+            "--lambda",
+            "0.05",
+            "--num-init",
+            "100",
+            "--num-sm",
+            "4",
+            "--f-uncoop",
+            "0.4",
+            "--f-naive",
+            "0.2",
+            "--err-sel",
+            "0.05",
+            "--topology",
+            "zipf",
+            "--policy",
+            "open",
+            "--intro-amt",
+            "0.2",
+            "--reward",
+            "0.04",
+            "--wait",
+            "500",
+            "--audit-trans",
+            "10",
+            "--min-intro",
+            "0.45",
+            "--departure-rate",
+            "0.001",
+            "--seed",
+            "9",
+            "--runs",
+            "3",
+            "--sample",
+            "250",
         ])
         .unwrap() else {
             panic!("expected Run");
@@ -496,8 +524,21 @@ mod tests {
     #[test]
     fn execute_small_run_produces_summary() {
         let cmd = parse_args(&[
-            "run", "--ticks", "2000", "--num-init", "50", "--lambda", "0.02",
-            "--seed", "5", "--runs", "2", "--sample", "1000", "--histogram", "5",
+            "run",
+            "--ticks",
+            "2000",
+            "--num-init",
+            "50",
+            "--lambda",
+            "0.02",
+            "--seed",
+            "5",
+            "--runs",
+            "2",
+            "--sample",
+            "1000",
+            "--histogram",
+            "5",
         ])
         .unwrap();
         let text = execute(cmd);
@@ -520,10 +561,25 @@ mod tests {
     fn usage_mentions_every_flag() {
         let u = usage();
         for flag in [
-            "--ticks", "--lambda", "--num-init", "--num-sm", "--f-uncoop",
-            "--f-naive", "--err-sel", "--topology", "--policy", "--intro-amt",
-            "--reward", "--wait", "--audit-trans", "--min-intro",
-            "--departure-rate", "--seed", "--runs", "--sample", "--histogram",
+            "--ticks",
+            "--lambda",
+            "--num-init",
+            "--num-sm",
+            "--f-uncoop",
+            "--f-naive",
+            "--err-sel",
+            "--topology",
+            "--policy",
+            "--intro-amt",
+            "--reward",
+            "--wait",
+            "--audit-trans",
+            "--min-intro",
+            "--departure-rate",
+            "--seed",
+            "--runs",
+            "--sample",
+            "--histogram",
         ] {
             assert!(u.contains(flag), "usage missing {flag}");
         }

@@ -20,9 +20,9 @@
 
 use crate::audit::perform_audit;
 use crate::introduction::{IntroOutcome, IntroductionBook, PendingIntro};
+use crate::lending;
 use crate::log::{Event, EventLog, LoggedEvent};
 use crate::messages::{MessageBus, MessageCounters};
-use crate::lending;
 use crate::peer::{PeerRecord, PeerStatus, RefusalReason};
 use crate::policy::{BootstrapPolicy, EngineKind};
 use crate::stats::{CommunityStats, Population};
@@ -35,9 +35,7 @@ use replend_sim::series::TimeSeries;
 use replend_sim::stats::Histogram;
 use replend_topology::{build_topology, Topology};
 use replend_types::hash::splitmix64;
-use replend_types::{
-    Behavior, PeerId, PeerProfile, ProtocolError, Reputation, SimTime, Table1,
-};
+use replend_types::{Behavior, PeerId, PeerProfile, ProtocolError, Reputation, SimTime, Table1};
 
 /// Barabási–Albert attachment parameter used for the scale-free
 /// topology (edges per arriving peer).
@@ -151,9 +149,13 @@ impl CommunityBuilder {
     /// # Panics
     /// If the configuration fails validation.
     pub fn build(self) -> Community {
-        self.config.validate().expect("invalid Table-1 configuration");
+        self.config
+            .validate()
+            .expect("invalid Table-1 configuration");
         let mut rng = StdRng::seed_from_u64(self.seed);
-        let engine = self.engine.build(self.config.sim.num_sm, splitmix64(self.seed));
+        let engine = self
+            .engine
+            .build(self.config.sim.num_sm, splitmix64(self.seed));
         let expected = self.config.sim.num_init
             + (self.config.sim.arrival_rate * self.config.sim.num_trans as f64) as usize
             + 16;
@@ -432,7 +434,8 @@ impl Community {
             Behavior::Cooperative => self.stats.arrived_cooperative += 1,
             Behavior::Uncooperative => self.stats.arrived_uncooperative += 1,
         }
-        self.peers.push(PeerRecord::arriving(id, profile, self.clock));
+        self.peers
+            .push(PeerRecord::arriving(id, profile, self.clock));
 
         match self.policy.immediate_admission() {
             Some(initial) => {
@@ -472,7 +475,8 @@ impl Community {
             Behavior::Cooperative => self.stats.arrived_cooperative += 1,
             Behavior::Uncooperative => self.stats.arrived_uncooperative += 1,
         }
-        self.peers.push(PeerRecord::arriving(id, profile, self.clock));
+        self.peers
+            .push(PeerRecord::arriving(id, profile, self.clock));
         self.file_request(id, introducer);
         Ok(id)
     }
@@ -589,9 +593,9 @@ impl Community {
         // newcomer is admitted with nothing and stays implicitly
         // excluded (served with probability 0).
         self.engine.debit(pending.introducer, params.intro_amt);
-        let outcome =
-            self.bus
-                .fan_out_credit(pending.request, pending.newcomer, &mut self.rng);
+        let outcome = self
+            .bus
+            .fan_out_credit(pending.request, pending.newcomer, &mut self.rng);
         let initial = if outcome.delivered {
             Reputation::new(params.intro_amt)
         } else {
@@ -664,7 +668,8 @@ impl Community {
         let Some(victim) = self.topology.sample_uniform(&mut self.rng, None) else {
             return;
         };
-        self.log.record(self.clock, Event::Departed { peer: victim });
+        self.log
+            .record(self.clock, Event::Departed { peer: victim });
         self.topology.remove_peer(victim);
         self.engine.remove_peer(victim);
         self.peers[victim.index()].status = PeerStatus::Departed;
@@ -692,7 +697,10 @@ impl Community {
             .unwrap_or(Reputation::ZERO);
         let serve = self.rng.gen::<f64>() < requester_rep.value();
 
-        let requester_coop = self.peers[requester.index()].profile.behavior.is_cooperative();
+        let requester_coop = self.peers[requester.index()]
+            .profile
+            .behavior
+            .is_cooperative();
         let respondent_coop = self.peers[respondent.index()]
             .profile
             .behavior
@@ -765,8 +773,7 @@ impl Community {
         );
         self.bus.send_audit_verdict();
         if settlement.satisfactory {
-            self.engine
-                .credit(introducer, settlement.introducer_credit);
+            self.engine.credit(introducer, settlement.introducer_credit);
             self.stats.audits_passed += 1;
         } else {
             self.engine.debit(newcomer, settlement.newcomer_debit);
@@ -804,11 +811,9 @@ mod tests {
 
     #[test]
     fn founding_mixes_naive_and_selective() {
-        let c = CommunityBuilder::new(
-            Table1::paper_defaults().with_num_init(500),
-        )
-        .seed(3)
-        .build();
+        let c = CommunityBuilder::new(Table1::paper_defaults().with_num_init(500))
+            .seed(3)
+            .build();
         let naive = c.members().filter(|p| p.profile.policy.is_naive()).count();
         // f_naive = 0.3 of 500 → about 150, generous tolerance.
         assert!((90..=210).contains(&naive), "naive count {naive}");
@@ -913,11 +918,9 @@ mod tests {
 
     #[test]
     fn lending_refuses_some_uncooperative_arrivals() {
-        let mut c = CommunityBuilder::new(
-            small_config().with_f_uncoop(0.5).with_f_naive(0.0),
-        )
-        .seed(7)
-        .build();
+        let mut c = CommunityBuilder::new(small_config().with_f_uncoop(0.5).with_f_naive(0.0))
+            .seed(7)
+            .build();
         c.run(5_000);
         let s = c.stats();
         assert!(
@@ -963,14 +966,15 @@ mod tests {
     fn duplicate_introduction_attack_is_caught() {
         let mut c = built(10);
         // Admit one arrival through the normal flow.
-        let profile = PeerProfile::cooperative(
-            replend_types::IntroducerPolicy::Naive,
-        );
-        let newcomer = c.arrival_with_chosen_introducer(profile, PeerId(0)).unwrap();
+        let profile = PeerProfile::cooperative(replend_types::IntroducerPolicy::Naive);
+        let newcomer = c
+            .arrival_with_chosen_introducer(profile, PeerId(0))
+            .unwrap();
         c.run(c.config().lending.wait_period + 2);
         assert!(c.peer(newcomer).unwrap().status.is_member());
         // Now solicit a second introduction from another member.
-        c.solicit_duplicate_introduction(newcomer, PeerId(1)).unwrap();
+        c.solicit_duplicate_introduction(newcomer, PeerId(1))
+            .unwrap();
         c.run(c.config().lending.wait_period + 2);
         assert_eq!(c.peer(newcomer).unwrap().status, PeerStatus::Flagged);
         assert_eq!(c.reputation(newcomer), Some(Reputation::ZERO));
@@ -1095,7 +1099,10 @@ mod tests {
         // Each grant fans out numSM² credits.
         let num_sm = c.config().sim.num_sm as u64;
         assert_eq!(m.credit_sent, s.admitted_total() * num_sm * num_sm);
-        assert_eq!(m.credit_duplicates, s.admitted_total() * num_sm * (num_sm - 1));
+        assert_eq!(
+            m.credit_duplicates,
+            s.admitted_total() * num_sm * (num_sm - 1)
+        );
         assert_eq!(
             m.audit_verdicts,
             (s.audits_passed + s.audits_failed) * num_sm * num_sm

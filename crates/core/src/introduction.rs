@@ -22,8 +22,8 @@
 //! introduce this peer") — the reputation is zeroed and the peer
 //! flagged malicious. [`IntroductionBook`] owns all of this state.
 
-use replend_types::{PeerId, ProtocolError, RequestId, SimTime};
 use replend_types::id::RequestIdGen;
+use replend_types::{PeerId, ProtocolError, RequestId, SimTime};
 use std::collections::HashMap;
 
 /// A not-yet-resolved introduction request.

@@ -33,10 +33,7 @@ pub fn may_introduce(params: &LendingParams, introducer_rep: Reputation) -> bool
 /// In debug builds, if the introducer was below `minIntro` (callers
 /// must gate on [`may_introduce`]).
 #[inline]
-pub fn apply_loan(
-    params: &LendingParams,
-    introducer_rep: Reputation,
-) -> (Reputation, Reputation) {
+pub fn apply_loan(params: &LendingParams, introducer_rep: Reputation) -> (Reputation, Reputation) {
     debug_assert!(
         may_introduce(params, introducer_rep),
         "loan from an under-threshold introducer"

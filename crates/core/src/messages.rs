@@ -149,8 +149,7 @@ impl MessageBus {
         self.counters.deduct_stake += self.num_sm as u64;
         let mut replicas_credited = 0usize;
         for sender in 0..self.num_sm {
-            let crashed =
-                self.sender_crash_prob > 0.0 && rng.gen::<f64>() < self.sender_crash_prob;
+            let crashed = self.sender_crash_prob > 0.0 && rng.gen::<f64>() < self.sender_crash_prob;
             if crashed {
                 // A crashed SM sends nothing — this is exactly the
                 // failure the numSM-fold redundancy exists to mask.

@@ -109,12 +109,7 @@ impl PeerRecord {
     /// Marks the peer admitted at `now`, introduced by `introducer`
     /// (when applicable) and subject to an audit after `audit_trans`
     /// transactions (when applicable).
-    pub fn admit(
-        &mut self,
-        now: SimTime,
-        introducer: Option<PeerId>,
-        audit_trans: Option<u32>,
-    ) {
+    pub fn admit(&mut self, now: SimTime, introducer: Option<PeerId>, audit_trans: Option<u32>) {
         self.status = PeerStatus::Member;
         self.admitted_at = Some(now);
         self.introducer = introducer;

@@ -112,7 +112,10 @@ mod tests {
 
     #[test]
     fn lending_defers_admission() {
-        assert_eq!(BootstrapPolicy::ReputationLending.immediate_admission(), None);
+        assert_eq!(
+            BootstrapPolicy::ReputationLending.immediate_admission(),
+            None
+        );
     }
 
     #[test]
@@ -125,8 +128,14 @@ mod tests {
             BootstrapPolicy::FixedCredit { credit: 0.1 }.immediate_admission(),
             Some(0.1)
         );
-        assert_eq!(BootstrapPolicy::PositiveOnly.immediate_admission(), Some(0.0));
-        assert_eq!(BootstrapPolicy::ComplaintsOnly.immediate_admission(), Some(1.0));
+        assert_eq!(
+            BootstrapPolicy::PositiveOnly.immediate_admission(),
+            Some(0.0)
+        );
+        assert_eq!(
+            BootstrapPolicy::ComplaintsOnly.immediate_admission(),
+            Some(1.0)
+        );
     }
 
     #[test]
@@ -139,7 +148,10 @@ mod tests {
     #[test]
     fn engines_build() {
         assert_eq!(EngineKind::default().build(6, 1).name(), "rocq");
-        assert_eq!(EngineKind::SimpleAverage.build(1, 1).name(), "simple-average");
+        assert_eq!(
+            EngineKind::SimpleAverage.build(1, 1).name(),
+            "simple-average"
+        );
         assert_eq!(EngineKind::Ewma { alpha: 0.2 }.build(1, 1).name(), "ewma");
         assert_eq!(EngineKind::Beta.build(1, 1).name(), "beta");
     }

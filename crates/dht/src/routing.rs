@@ -85,7 +85,12 @@ impl Router {
 
     /// The closest finger of `node` that *strictly precedes* `key`
     /// clockwise and is still alive, if any improves on `node` itself.
-    fn closest_preceding_live_finger(&self, ring: &Ring, node: NodeId, key: NodeId) -> Option<NodeId> {
+    fn closest_preceding_live_finger(
+        &self,
+        ring: &Ring,
+        node: NodeId,
+        key: NodeId,
+    ) -> Option<NodeId> {
         let table = self.fingers.get(&node)?;
         // Walk fingers from farthest to nearest, classic Chord.
         for &f in table.iter().rev() {

@@ -131,7 +131,7 @@ mod tests {
         let mut router = Router::build(&ring);
         let mut m = Maintainer::new(10);
         m.round(&ring, &mut router); // snapshot taken, full refresh
-        // Kill half, then run the next cycle.
+                                     // Kill half, then run the next cycle.
         let victims: Vec<NodeId> = ring.iter().take(5).collect();
         for v in &victims {
             ring.leave(*v);
@@ -182,7 +182,10 @@ mod tests {
             fresh <= stale,
             "maintenance must not worsen routing: stale {stale}, fresh {fresh}"
         );
-        assert!(fresh < 10.0, "fresh tables should give O(log n) hops: {fresh}");
+        assert!(
+            fresh < 10.0,
+            "fresh tables should give O(log n) hops: {fresh}"
+        );
     }
 
     #[test]

@@ -249,13 +249,21 @@ mod tests {
             engine.report(PeerId(2), PeerId(1), 1.0);
         }
         let high = engine.reputation(PeerId(1)).unwrap().value();
-        assert!(high > 0.5, "{}: sustained 1-opinions got {high}", engine.name());
+        assert!(
+            high > 0.5,
+            "{}: sustained 1-opinions got {high}",
+            engine.name()
+        );
 
         for _ in 0..200 {
             engine.report(PeerId(2), PeerId(1), 0.0);
         }
         let low = engine.reputation(PeerId(1)).unwrap().value();
-        assert!(low < high, "{}: 0-opinions must lower reputation", engine.name());
+        assert!(
+            low < high,
+            "{}: 0-opinions must lower reputation",
+            engine.name()
+        );
 
         // Unknown reporter ignored.
         let before = engine.reputation(PeerId(1)).unwrap();

@@ -166,11 +166,7 @@ impl RocqEngine {
     }
 
     /// Replica 0's credibility for `reporter` (inspection API).
-    pub(crate) fn reporter_credibility(
-        &self,
-        subject: PeerId,
-        reporter: PeerId,
-    ) -> Option<f64> {
+    pub(crate) fn reporter_credibility(&self, subject: PeerId, reporter: PeerId) -> Option<f64> {
         self.subjects
             .get(&subject)
             .and_then(|r| r.replicas.first())
@@ -211,8 +207,8 @@ impl RocqEngine {
             let assignments = self.key_index.get(&key).cloned().unwrap_or_default();
             for (subject, slot) in assignments {
                 self.rehomings += 1;
-                let crash = self.params.crash_prob > 0.0
-                    && self.rng.gen::<f64>() < self.params.crash_prob;
+                let crash =
+                    self.params.crash_prob > 0.0 && self.rng.gen::<f64>() < self.params.crash_prob;
                 let record = self
                     .subjects
                     .get_mut(&subject)
@@ -266,10 +262,7 @@ impl ReputationEngine for RocqEngine {
                 key,
                 host,
                 state: ScoreState::new(initial, self.params.prior_weight),
-                creds: CredibilityTable::new(
-                    self.params.initial_credibility,
-                    self.params.gamma,
-                ),
+                creds: CredibilityTable::new(self.params.initial_credibility, self.params.gamma),
             });
             self.key_index.entry(key).or_default().push((peer, i));
         }
@@ -311,9 +304,7 @@ impl ReputationEngine for RocqEngine {
             let c = replica.creds.get(reporter);
             let prev = replica.state.reputation().value();
             let agreed = (opinion - prev).abs() <= self.params.agreement_threshold;
-            replica
-                .state
-                .report(opinion, c * q, self.params.weight_cap);
+            replica.state.report(opinion, c * q, self.params.weight_cap);
             replica.creds.update(reporter, agreed);
         }
     }
@@ -569,8 +560,7 @@ mod tests {
         assert!(e.crash_losses() > 0);
         // At least one original subject must have lost its perfect
         // reputation.
-        let lost = (0..30u64)
-            .any(|p| e.reputation(PeerId(p)).unwrap().value() < 0.999);
+        let lost = (0..30u64).any(|p| e.reputation(PeerId(p)).unwrap().value() < 0.999);
         assert!(lost, "with numSM=1 a crash must surface as state loss");
     }
 

@@ -124,7 +124,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         // The paper's default λ = 0.01 per tick — counts over 100-tick
         // windows have mean 1.
-        let xs: Vec<f64> = (0..200_000).map(|_| poisson(&mut rng, 1.0) as f64).collect();
+        let xs: Vec<f64> = (0..200_000)
+            .map(|_| poisson(&mut rng, 1.0) as f64)
+            .collect();
         let (mean, var) = mean_and_var(&xs);
         assert!((mean - 1.0).abs() < 0.02, "mean {mean}");
         assert!((var - 1.0).abs() < 0.05, "variance {var}");
@@ -133,7 +135,9 @@ mod tests {
     #[test]
     fn poisson_large_mean_uses_gaussian_branch() {
         let mut rng = StdRng::seed_from_u64(5);
-        let xs: Vec<f64> = (0..100_000).map(|_| poisson(&mut rng, 100.0) as f64).collect();
+        let xs: Vec<f64> = (0..100_000)
+            .map(|_| poisson(&mut rng, 100.0) as f64)
+            .collect();
         let (mean, var) = mean_and_var(&xs);
         assert!((mean - 100.0).abs() < 0.5, "mean {mean}");
         assert!((var - 100.0).abs() < 3.0, "variance {var}");
@@ -160,7 +164,9 @@ mod tests {
     #[test]
     fn power_law_is_heavy_tailed() {
         let mut rng = StdRng::seed_from_u64(8);
-        let xs: Vec<u64> = (0..100_000).map(|_| power_law(&mut rng, 2.0, 1, 10_000)).collect();
+        let xs: Vec<u64> = (0..100_000)
+            .map(|_| power_law(&mut rng, 2.0, 1, 10_000))
+            .collect();
         let ones = xs.iter().filter(|&&x| x == 1).count() as f64 / xs.len() as f64;
         // For α=2 over [1, 10000], P(X=1) ≈ 1 - 2^-1 = 0.5.
         assert!((ones - 0.5).abs() < 0.03, "P(X=1) = {ones}");

@@ -141,7 +141,11 @@ mod tests {
         for i in 0..10u32 {
             q.schedule(SimTime(5), i);
         }
-        let popped: Vec<u32> = q.drain_due(SimTime(5)).into_iter().map(|(_, e)| e).collect();
+        let popped: Vec<u32> = q
+            .drain_due(SimTime(5))
+            .into_iter()
+            .map(|(_, e)| e)
+            .collect();
         assert_eq!(popped, (0..10).collect::<Vec<_>>());
     }
 

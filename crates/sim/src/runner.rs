@@ -71,7 +71,7 @@ where
         .collect()
 }
 
-/// Like [`run_many`] but fans runs out over `crossbeam` scoped
+/// Like [`run_many`] but fans runs out over `std::thread` scoped
 /// threads. Outputs are returned in run order regardless of thread
 /// scheduling, so results are bit-identical to [`run_many`].
 pub fn run_many_parallel<T, F>(n_runs: usize, base_seed: u64, f: F) -> Vec<T>
@@ -84,15 +84,17 @@ where
         .unwrap_or(1)
         .min(n_runs.max(1));
     if threads <= 1 || n_runs <= 1 {
-        return (0..n_runs as u64).map(|i| f(seed_for_run(base_seed, i))).collect();
+        return (0..n_runs as u64)
+            .map(|i| f(seed_for_run(base_seed, i)))
+            .collect();
     }
     let mut out: Vec<Option<T>> = (0..n_runs).map(|_| None).collect();
     let next = std::sync::atomic::AtomicUsize::new(0);
     let out_cells: Vec<parking_lot_free::Cell<T>> =
         out.iter_mut().map(parking_lot_free::Cell::new).collect();
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if i >= n_runs {
                     break;
@@ -101,8 +103,7 @@ where
                 out_cells[i].set(value);
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
     out.into_iter()
         .map(|v| v.expect("every run index was executed"))
         .collect()

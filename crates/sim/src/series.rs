@@ -141,7 +141,10 @@ mod tests {
         let mut a = TimeSeries::new(10);
         a.push(1.0);
         let b = TimeSeries::new(20);
-        assert!(average_series(&[a.clone(), b]).is_none(), "interval mismatch");
+        assert!(
+            average_series(&[a.clone(), b]).is_none(),
+            "interval mismatch"
+        );
         let mut c = TimeSeries::new(10);
         c.push(1.0);
         c.push(2.0);

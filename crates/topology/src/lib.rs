@@ -80,16 +80,10 @@ pub trait Topology {
 /// `expected_capacity` is a sizing hint; `m` is the Barabási–Albert
 /// attachment count (edges per newcomer), ignored for
 /// [`TopologyKind::Random`].
-pub fn build_topology(
-    kind: TopologyKind,
-    expected_capacity: usize,
-    m: usize,
-) -> Box<dyn Topology> {
+pub fn build_topology(kind: TopologyKind, expected_capacity: usize, m: usize) -> Box<dyn Topology> {
     match kind {
         TopologyKind::Random => Box::new(RandomTopology::with_capacity(expected_capacity)),
-        TopologyKind::Powerlaw => {
-            Box::new(ScaleFreeTopology::with_capacity(expected_capacity, m))
-        }
+        TopologyKind::Powerlaw => Box::new(ScaleFreeTopology::with_capacity(expected_capacity, m)),
         TopologyKind::Zipf => Box::new(ZipfTopology::with_capacity(expected_capacity, 1.0)),
     }
 }
@@ -103,7 +97,11 @@ mod tests {
     #[test]
     fn build_topology_dispatches() {
         let mut rng = StdRng::seed_from_u64(1);
-        for kind in [TopologyKind::Random, TopologyKind::Powerlaw, TopologyKind::Zipf] {
+        for kind in [
+            TopologyKind::Random,
+            TopologyKind::Powerlaw,
+            TopologyKind::Zipf,
+        ] {
             let mut t = build_topology(kind, 16, 3);
             assert!(t.is_empty());
             for p in 0..10u64 {

@@ -31,11 +31,7 @@ impl RandomTopology {
         }
     }
 
-    fn sample_impl(
-        &self,
-        rng: &mut dyn RngCore,
-        exclude: Option<PeerId>,
-    ) -> Option<PeerId> {
+    fn sample_impl(&self, rng: &mut dyn RngCore, exclude: Option<PeerId>) -> Option<PeerId> {
         match exclude {
             None => {
                 if self.members.is_empty() {

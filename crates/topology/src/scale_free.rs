@@ -83,10 +83,7 @@ impl ScaleFreeTopology {
 
     /// Current degree of `peer` (0 if absent).
     pub fn degree_of(&self, peer: PeerId) -> u32 {
-        self.slots
-            .get(&peer)
-            .map(|&s| self.degree[s])
-            .unwrap_or(0)
+        self.slots.get(&peer).map(|&s| self.degree[s]).unwrap_or(0)
     }
 
     /// Degrees of all live peers — input for the power-law
@@ -208,7 +205,10 @@ impl Topology for ScaleFreeTopology {
         self.degree[slot] = 0;
         self.alive[slot] = false;
         // Remove from the dense live list.
-        let pos = self.live_pos.remove(&(slot as u32)).expect("live slot tracked");
+        let pos = self
+            .live_pos
+            .remove(&(slot as u32))
+            .expect("live slot tracked");
         let last = self.live.len() - 1;
         self.live.swap(pos, last);
         self.live.pop();

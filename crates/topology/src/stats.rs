@@ -62,10 +62,7 @@ pub fn power_law_alpha_mle(degrees: &[u32], d_min: u32) -> Option<f64> {
     if tail.len() < 10 {
         return None;
     }
-    let denom: f64 = tail
-        .iter()
-        .map(|&d| (d / (d_min as f64 - 0.5)).ln())
-        .sum();
+    let denom: f64 = tail.iter().map(|&d| (d / (d_min as f64 - 0.5)).ln()).sum();
     if denom <= 0.0 {
         return None;
     }

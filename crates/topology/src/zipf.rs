@@ -124,7 +124,10 @@ impl Topology for ZipfTopology {
         };
         let w = self.weights.weight(slot);
         self.weights.add(slot, -(w as i64));
-        let pos = self.live_pos.remove(&(slot as u32)).expect("live slot tracked");
+        let pos = self
+            .live_pos
+            .remove(&(slot as u32))
+            .expect("live slot tracked");
         let last = self.live.len() - 1;
         self.live.swap(pos, last);
         self.live.pop();

@@ -212,10 +212,7 @@ mod tests {
         // Above both → cooperative selective with the given err_sel.
         let p = PeerProfile::sample(0.25, 0.3, 0.1, 0.5, 0.9);
         assert_eq!(p.behavior, Behavior::Cooperative);
-        assert_eq!(
-            p.policy,
-            IntroducerPolicy::Selective { error_rate: 0.1 }
-        );
+        assert_eq!(p.policy, IntroducerPolicy::Selective { error_rate: 0.1 });
     }
 
     #[test]

@@ -391,8 +391,14 @@ mod tests {
 
     #[test]
     fn rejects_bad_fractions() {
-        assert!(Table1::paper_defaults().with_f_uncoop(1.5).validate().is_err());
-        assert!(Table1::paper_defaults().with_f_naive(-0.1).validate().is_err());
+        assert!(Table1::paper_defaults()
+            .with_f_uncoop(1.5)
+            .validate()
+            .is_err());
+        assert!(Table1::paper_defaults()
+            .with_f_naive(-0.1)
+            .validate()
+            .is_err());
         assert!(Table1::paper_defaults()
             .with_arrival_rate(f64::NAN)
             .validate()
@@ -408,13 +414,19 @@ mod tests {
 
     #[test]
     fn rejects_empty_population_or_no_sms() {
-        assert!(Table1::paper_defaults().with_num_init(0).validate().is_err());
+        assert!(Table1::paper_defaults()
+            .with_num_init(0)
+            .validate()
+            .is_err());
         assert!(Table1::paper_defaults().with_num_sm(0).validate().is_err());
     }
 
     #[test]
     fn error_messages_render() {
-        let err = Table1::paper_defaults().with_f_uncoop(2.0).validate().unwrap_err();
+        let err = Table1::paper_defaults()
+            .with_f_uncoop(2.0)
+            .validate()
+            .unwrap_err();
         let msg = err.to_string();
         assert!(msg.contains("f_uncoop"), "got: {msg}");
     }

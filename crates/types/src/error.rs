@@ -125,7 +125,9 @@ mod tests {
         assert!(ProtocolError::WaitingPeriodActive { newcomer: p }
             .to_string()
             .contains("wait"));
-        assert!(ProtocolError::NotAdmitted(p).to_string().contains("admitted"));
+        assert!(ProtocolError::NotAdmitted(p)
+            .to_string()
+            .contains("admitted"));
     }
 
     #[test]

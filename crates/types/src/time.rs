@@ -10,9 +10,7 @@ use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
 
 /// A point in simulated time, measured in transaction ticks.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct SimTime(pub u64);
 
 impl SimTime {

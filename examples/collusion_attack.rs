@@ -45,7 +45,10 @@ fn main() {
     // Let the mole build reputation through honest participation.
     community.run(40_000);
     let mole_rep = community.reputation(mole).unwrap();
-    println!("after honest phase, mole reputation = {:.3}", mole_rep.value());
+    println!(
+        "after honest phase, mole reputation = {:.3}",
+        mole_rep.value()
+    );
 
     // Phase 2: the mole starts vouching for its malicious friends,
     // one at a time.
@@ -101,7 +104,5 @@ fn main() {
     community.run(wait + 1);
     assert_eq!(community.peer(greedy).unwrap().status, PeerStatus::Flagged);
     assert_eq!(community.reputation(greedy), Some(Reputation::ZERO));
-    println!(
-        "duplicate-introduction attack: peer {greedy:?} flagged malicious, reputation zeroed"
-    );
+    println!("duplicate-introduction attack: peer {greedy:?} flagged malicious, reputation zeroed");
 }

@@ -53,8 +53,14 @@ fn main() {
     println!("\n== protocol messages ==");
     println!("introduction requests  {:>8}", m.introduction_requests);
     println!("stake deductions       {:>8}", m.deduct_stake);
-    println!("credit fan-out sent    {:>8}  (numSM^2 per admission)", m.credit_sent);
-    println!("credit duplicates      {:>8}  (absorbed idempotently)", m.credit_duplicates);
+    println!(
+        "credit fan-out sent    {:>8}  (numSM^2 per admission)",
+        m.credit_sent
+    );
+    println!(
+        "credit duplicates      {:>8}  (absorbed idempotently)",
+        m.credit_duplicates
+    );
     println!("audit verdicts         {:>8}", m.audit_verdicts);
 
     // Case file: the most recent refusal, traced through the log.

@@ -52,6 +52,15 @@ fn main() {
         stats.success_rate().unwrap_or(0.0) * 100.0
     );
 
+    // Smoke check: the run actually happened and the admission ledger
+    // conserves peers — every arrival is in exactly one bucket.
+    assert_eq!(stats.ticks, 50_000, "simulation ran to completion");
+    assert_eq!(
+        pop.members + pop.waiting + pop.refused + pop.flagged + pop.departed,
+        community.peers_seen(),
+        "population buckets must partition all peers ever seen"
+    );
+
     // The paper's qualitative claims, checked right here:
     assert!(
         community.mean_cooperative_reputation().unwrap_or(0.0) > 0.7,

@@ -68,7 +68,14 @@ fn campaign(policy: BootstrapPolicy, waves: usize, life: u64) -> (usize, f64) {
             }
         }
     }
-    (admitted, if rep_n > 0 { rep_sum / rep_n as f64 } else { 0.0 })
+    (
+        admitted,
+        if rep_n > 0 {
+            rep_sum / rep_n as f64
+        } else {
+            0.0
+        },
+    )
 }
 
 fn main() {

@@ -1,0 +1,167 @@
+//! Offline stand-in for `criterion 0.5` — see `shims/README.md`.
+//!
+//! Times each benchmark with `std::time::Instant` and prints
+//! mean/min per iteration. No statistical analysis, outlier
+//! rejection, plots or baselines — just honest wall-clock numbers so
+//! `cargo bench` produces comparable figures across commits on the
+//! same machine.
+
+use std::fmt::Display;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Target measurement time per benchmark.
+const MEASURE_FOR: Duration = Duration::from_millis(300);
+/// Iterations used to estimate a benchmark's cost.
+const PROBE_ITERS: u64 = 3;
+
+/// Entry point handed to benchmark functions.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&id.to_string(), f);
+        self
+    }
+}
+
+/// A named collection of benchmarks (prefixes their ids).
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API parity; the shim sizes runs by wall-clock.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API parity.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&format!("{}/{}", self.name, id), f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// How `iter_batched` amortises setup cost (accepted for parity; the
+/// shim always runs setup once per measured batch element).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Passed to the benchmark closure; collects timing.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, keeping its output alive via `black_box`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` over inputs produced (untimed) by `setup`.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(id: &str, mut f: F) {
+    // Probe to size the measured run to roughly MEASURE_FOR.
+    let mut probe = Bencher {
+        iters: PROBE_ITERS,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut probe);
+    let per_iter = probe.elapsed.max(Duration::from_nanos(1)) / PROBE_ITERS as u32;
+    let iters = (MEASURE_FOR.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u64;
+
+    let mut bench = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bench);
+    let mean = bench.elapsed.as_secs_f64() / bench.iters as f64;
+    println!(
+        "{id:<60} {:>12} iters   mean {}",
+        bench.iters,
+        fmt_time(mean)
+    );
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:8.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:8.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:8.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:8.2} s ")
+    }
+}
+
+/// `criterion_group!(name, target, ...)` — builds a runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// `criterion_main!(group, ...)` — builds `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

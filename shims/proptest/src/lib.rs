@@ -1,0 +1,375 @@
+//! Offline stand-in for `proptest 1` — see `shims/README.md`.
+//!
+//! Implements the subset the workspace's property tests use:
+//!
+//! * the [`proptest!`] macro (optional `#![proptest_config(..)]`
+//!   header, multiple `#[test]` fns per block, `pat in strategy`
+//!   arguments),
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`],
+//!   [`prop_assume!`], [`prop_oneof!`],
+//! * the [`Strategy`](strategy::Strategy) trait with `prop_map` and
+//!   `boxed`, implemented for numeric ranges, tuples and [`Just`](strategy::Just),
+//! * `num::{u32, u64, usize, i64, f64}::ANY`, `bool::ANY`,
+//!   `collection::{vec, btree_set}`, and [`ProptestConfig`].
+//!
+//! Generation is seeded deterministically per test (FNV-1a of the
+//! test's module path and name), so runs are reproducible. There is
+//! **no shrinking**: a failing case panics with the case seed and the
+//! assertion message, which together are enough to replay it under a
+//! debugger by re-running the (deterministic) test binary.
+
+pub mod collection;
+pub mod strategy;
+
+pub mod prelude {
+    //! The usual `use proptest::prelude::*;` surface.
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        ProptestConfig, TestCaseError,
+    };
+}
+
+/// Runtime configuration of a `proptest!` block.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of accepted (non-rejected) cases to run per test.
+    pub cases: u32,
+    /// Upper bound on `prop_assume!` rejections before giving up.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` filtered the case out; draw another.
+    Reject,
+    /// A `prop_assert*!` failed.
+    Fail(String),
+}
+
+/// FNV-1a, used to derive a per-test base seed from its name.
+#[doc(hidden)]
+pub fn __fnv1a(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Strategies over primitive numeric types, namespaced like the real
+/// crate: `proptest::num::u64::ANY`.
+pub mod num {
+    macro_rules! any_module {
+        ($($m:ident => $t:ty),*) => {$(
+            pub mod $m {
+                /// Strategy producing any value of the type.
+                #[derive(Clone, Copy, Debug)]
+                pub struct Any;
+                /// `proptest::num::<ty>::ANY`.
+                pub const ANY: Any = Any;
+
+                impl $crate::strategy::Strategy for Any {
+                    type Value = $t;
+                    fn generate(&self, rng: &mut $crate::strategy::TestRng) -> $t {
+                        use ::rand::Rng as _;
+                        rng.gen::<$t>()
+                    }
+                }
+            }
+        )*};
+    }
+    any_module!(u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => usize,
+                i8 => i8, i16 => i16, i32 => i32, i64 => i64, isize => isize);
+
+    pub mod f64 {
+        /// Strategy producing any `f64`, including negatives, huge
+        /// magnitudes, signed zeros, infinities and NaN — matching the
+        /// real crate's "any bit pattern class" spirit so clamping
+        /// code is exercised against pathological inputs.
+        #[derive(Clone, Copy, Debug)]
+        pub struct Any;
+        /// `proptest::num::f64::ANY`.
+        pub const ANY: Any = Any;
+
+        impl crate::strategy::Strategy for Any {
+            type Value = f64;
+            fn generate(&self, rng: &mut crate::strategy::TestRng) -> f64 {
+                use ::rand::Rng as _;
+                match rng.gen_range(0u32..16) {
+                    0 => f64::NAN,
+                    1 => f64::INFINITY,
+                    2 => f64::NEG_INFINITY,
+                    3 => -0.0,
+                    4 => 0.0,
+                    // Wide magnitude sweep: sign * 10^[-300, 300].
+                    5..=9 => {
+                        let sign = if rng.gen::<bool>() { 1.0 } else { -1.0 };
+                        let exp = rng.gen_range(-300.0f64..300.0);
+                        sign * 10f64.powf(exp) * (1.0 + rng.gen::<f64>())
+                    }
+                    // Ordinary human-scale values.
+                    _ => {
+                        let sign = if rng.gen::<bool>() { 1.0 } else { -1.0 };
+                        sign * rng.gen_range(0.0f64..1000.0)
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `proptest::bool::ANY`.
+pub mod bool {
+    /// Strategy producing either boolean.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+    /// `proptest::bool::ANY`.
+    pub const ANY: Any = Any;
+
+    impl crate::strategy::Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut crate::strategy::TestRng) -> bool {
+            use ::rand::Rng as _;
+            rng.gen::<bool>()
+        }
+    }
+}
+
+/// `prop_assert!(cond)` / `prop_assert!(cond, "fmt", args..)`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {}: {}",
+                stringify!($cond),
+                format_args!($($fmt)+)
+            )));
+        }
+    };
+}
+
+/// `prop_assert_eq!(left, right)` with optional message.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left), stringify!($right), l, r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `{} == {}`: {}\n  left: {:?}\n right: {:?}",
+                stringify!($left), stringify!($right), format_args!($($fmt)+), l, r
+            )));
+        }
+    }};
+}
+
+/// `prop_assert_ne!(left, right)` with optional message.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($left), stringify!($right), l
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `{} != {}`: {}\n  both: {:?}",
+                stringify!($left), stringify!($right), format_args!($($fmt)+), l
+            )));
+        }
+    }};
+}
+
+/// `prop_assume!(cond)` — reject the case without failing the test.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)+)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// `prop_oneof![s1, s2, ...]` — uniform choice between strategies
+/// that share a value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// The `proptest! { ... }` block macro.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!(($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let base_seed =
+                $crate::__fnv1a(concat!(module_path!(), "::", stringify!($name)));
+            let mut accepted: u32 = 0;
+            let mut rejected: u32 = 0;
+            let mut attempt: u64 = 0;
+            while accepted < config.cases {
+                let case_seed = base_seed.wrapping_add(
+                    attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                );
+                attempt += 1;
+                let mut __rng = <$crate::strategy::TestRng as $crate::strategy::SeedableRng>::seed_from_u64(case_seed);
+                $(let $arg = $crate::strategy::Strategy::generate(&($strategy), &mut __rng);)+
+                let outcome = (|| -> ::std::result::Result<(), $crate::TestCaseError> {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                match outcome {
+                    ::std::result::Result::Ok(()) => accepted += 1,
+                    ::std::result::Result::Err($crate::TestCaseError::Reject) => {
+                        rejected += 1;
+                        assert!(
+                            rejected <= config.max_global_rejects,
+                            "proptest: too many prop_assume! rejections ({rejected})"
+                        );
+                    }
+                    ::std::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest case {accepted} failed (case seed {case_seed:#x}): {msg}"
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_items!(($cfg) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::{SeedableRng as _, Strategy};
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(
+            a in 3u64..17,
+            b in 0.25f64..=0.75,
+            c in 1usize..4,
+        ) {
+            prop_assert!((3..17).contains(&a));
+            prop_assert!((0.25..=0.75).contains(&b));
+            prop_assert!((1..4).contains(&c));
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0u64..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 7, ..ProptestConfig::default() })]
+        #[test]
+        fn config_header_is_honoured(_x in 0u64..10) {
+            prop_assert!(true);
+        }
+    }
+
+    #[test]
+    fn prop_map_and_oneof_compose() {
+        let strat = prop_oneof![
+            (0u64..10).prop_map(|v| v as f64),
+            Just(42.0f64),
+            (0.0f64..1.0),
+        ];
+        let mut rng = crate::strategy::TestRng::seed_from_u64(1);
+        let mut saw_just = false;
+        for _ in 0..200 {
+            let v = strat.generate(&mut rng);
+            assert!(v.is_finite());
+            if v == 42.0 {
+                saw_just = true;
+            }
+        }
+        assert!(saw_just);
+    }
+
+    #[test]
+    fn collections_respect_size() {
+        let strat = crate::collection::vec(0u64..50, 1..64);
+        let mut rng = crate::strategy::TestRng::seed_from_u64(2);
+        for _ in 0..100 {
+            let v = strat.generate(&mut rng);
+            assert!((1..64).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 50));
+        }
+        let set = crate::collection::btree_set(crate::num::u64::ANY, 3..32);
+        for _ in 0..100 {
+            let s = set.generate(&mut rng);
+            assert!((3..32).contains(&s.len()));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let strat = (crate::num::u64::ANY, 0.0f64..=1.0);
+        let mut a = crate::strategy::TestRng::seed_from_u64(9);
+        let mut b = crate::strategy::TestRng::seed_from_u64(9);
+        for _ in 0..100 {
+            assert_eq!(strat.generate(&mut a), strat.generate(&mut b));
+        }
+    }
+}

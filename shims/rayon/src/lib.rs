@@ -1,0 +1,55 @@
+//! Offline stand-in for `rayon 1` — see `shims/README.md`.
+//!
+//! Degrades to sequential execution: `par_iter()` family methods
+//! return ordinary iterators and [`join`] runs its closures in order.
+//! The simulator's genuinely parallel fan-out
+//! (`replend_sim::runner::run_many_parallel`) uses `std::thread`
+//! directly and does not go through this shim. When real `rayon`
+//! becomes available the call sites keep working unchanged — only
+//! faster.
+
+/// Runs both closures (sequentially here) and returns both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+pub mod prelude {
+    //! Sequential stand-ins for the rayon parallel-iterator traits.
+
+    /// `par_iter()` on shared references — sequential fallback.
+    pub trait IntoParallelRefIterator<'data> {
+        type Iter: Iterator<Item = Self::Item>;
+        type Item: 'data;
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, C: 'data + ?Sized> IntoParallelRefIterator<'data> for C
+    where
+        &'data C: IntoIterator,
+    {
+        type Iter = <&'data C as IntoIterator>::IntoIter;
+        type Item = <&'data C as IntoIterator>::Item;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// `into_par_iter()` — sequential fallback.
+    pub trait IntoParallelIterator {
+        type Iter: Iterator<Item = Self::Item>;
+        type Item;
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<C: IntoIterator> IntoParallelIterator for C {
+        type Iter = C::IntoIter;
+        type Item = C::Item;
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+}

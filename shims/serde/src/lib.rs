@@ -1,0 +1,57 @@
+//! Offline stand-in for `serde` — see `shims/README.md`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its value types
+//! (configs, stats, messages) but does not yet serialize anything to
+//! a wire format — figure output goes through hand-rolled CSV in
+//! `replend-bench`. This shim therefore provides the two trait names
+//! as blanket-implemented markers plus no-op derive macros, which
+//! keeps every `use serde::{Serialize, Deserialize}` and
+//! `#[derive(Serialize, Deserialize)]` call site source-compatible
+//! with the real crate.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize` (blanket-implemented).
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize` (blanket-implemented).
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T> DeserializeOwned for T {}
+
+pub mod de {
+    //! Namespace parity with the real crate.
+    pub use super::{Deserialize, DeserializeOwned};
+}
+
+pub mod ser {
+    //! Namespace parity with the real crate.
+    pub use super::Serialize;
+}
+
+#[cfg(test)]
+mod tests {
+    #[derive(super::Serialize, super::Deserialize)]
+    struct Plain {
+        _x: u64,
+    }
+
+    #[derive(super::Serialize, super::Deserialize)]
+    enum Enumish {
+        _A,
+        _B { _v: f64 },
+    }
+
+    fn assert_bounds<T: super::Serialize + for<'de> super::Deserialize<'de>>() {}
+
+    #[test]
+    fn derives_and_blanket_impls_compose() {
+        assert_bounds::<Plain>();
+        assert_bounds::<Enumish>();
+        assert_bounds::<Vec<(u64, f64)>>();
+    }
+}

@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde_derive` — see `shims/README.md`.
+//!
+//! The sibling `serde` shim blanket-implements its `Serialize` /
+//! `Deserialize` marker traits for all types, so these derives only
+//! need to *exist* (and swallow `#[serde(...)]` attributes) for
+//! `#[derive(Serialize, Deserialize)]` call sites to compile
+//! unchanged against the real crates later.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -94,3 +94,52 @@ fn step_by_step_equals_bulk_run() {
     assert_eq!(a.stats(), b.stats());
     assert_eq!(a.time(), b.time());
 }
+
+/// Byte-identical determinism: two same-seed `run(5_000)` runs must
+/// agree on every bit of observable state — not merely `==` (which
+/// for floats would conflate `0.0`/`-0.0` and could hide NaN payload
+/// drift), but the exact bytes of the admission ledger, the
+/// population snapshot, and the bit patterns of the mean-reputation
+/// floats — for each of the three bootstrap policies the paper's
+/// figures compare.
+#[test]
+fn same_seed_stats_are_byte_identical_across_policies() {
+    fn fingerprint(policy: BootstrapPolicy, seed: u64) -> (String, Vec<u64>) {
+        let mut c = CommunityBuilder::new(steady_config())
+            .policy(policy)
+            .engine(EngineKind::default())
+            .seed(seed)
+            .build();
+        c.run(5_000);
+        let debug_bytes = format!("{:?} {:?}", c.stats(), c.population());
+        let float_bits = [
+            c.mean_cooperative_reputation(),
+            c.mean_uncooperative_reputation(),
+        ]
+        .iter()
+        .map(|m| m.unwrap_or(f64::NAN).to_bits())
+        .collect();
+        (debug_bytes, float_bits)
+    }
+
+    for policy in [
+        BootstrapPolicy::ReputationLending,
+        BootstrapPolicy::OpenAdmission { initial: 0.5 },
+        BootstrapPolicy::FixedCredit { credit: 0.1 },
+    ] {
+        let a = fingerprint(policy, 2006);
+        let b = fingerprint(policy, 2006);
+        assert_eq!(
+            a.0.as_bytes(),
+            b.0.as_bytes(),
+            "stats bytes diverged under {}",
+            policy.name()
+        );
+        assert_eq!(
+            a.1,
+            b.1,
+            "mean-reputation bit patterns diverged under {}",
+            policy.name()
+        );
+    }
+}

@@ -2,8 +2,8 @@
 //! checked on whole-community runs through the full stack
 //! (lending protocol → ROCQ over the DHT → topology → simulator).
 
-use replend_tests::{growth_config, run_community, steady_community, steady_config};
 use replend_core::{BootstrapPolicy, EngineKind};
+use replend_tests::{growth_config, run_community, steady_community, steady_config};
 use replend_types::TopologyKind;
 
 #[test]
@@ -60,7 +60,10 @@ fn lending_excludes_most_uncooperative_arrivals() {
         admitted_share < 0.45,
         "uncooperative admission share {admitted_share}"
     );
-    assert!(s.admitted_uncooperative > 0, "some always slip through (naive + err_sel)");
+    assert!(
+        s.admitted_uncooperative > 0,
+        "some always slip through (naive + err_sel)"
+    );
 }
 
 #[test]
@@ -162,7 +165,6 @@ fn stats_ledgers_are_internally_consistent() {
     let pop = c.population();
     assert_eq!(
         pop.members,
-        s.admitted_total() as usize + c.config().sim.num_init
-            - pop.flagged
+        s.admitted_total() as usize + c.config().sim.num_init - pop.flagged
     );
 }

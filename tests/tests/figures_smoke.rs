@@ -200,5 +200,8 @@ fn success_rate_with_and_without_introductions_is_similar() {
     let a = with.stats().success_rate().unwrap();
     let b = without.stats().success_rate().unwrap();
     assert!(a > 0.85 && b > 0.75, "rates: lending {a}, open {b}");
-    assert!((a - b).abs() < 0.15, "rates should be comparable: {a} vs {b}");
+    assert!(
+        (a - b).abs() < 0.15,
+        "rates should be comparable: {a} vs {b}"
+    );
 }

@@ -20,14 +20,14 @@ fn arb_policy() -> impl Strategy<Value = BootstrapPolicy> {
 
 fn arb_config() -> impl Strategy<Value = Table1> {
     (
-        10usize..80,        // num_init
-        0.0f64..0.1,        // arrival rate
-        0.0f64..=1.0,       // f_uncoop
-        0.0f64..=1.0,       // f_naive
-        0.0f64..=0.3,       // err_sel
-        0.02f64..=0.4,      // intro_amt
-        1u64..300,          // wait period
-        1u32..40,           // audit_trans
+        10usize..80,   // num_init
+        0.0f64..0.1,   // arrival rate
+        0.0f64..=1.0,  // f_uncoop
+        0.0f64..=1.0,  // f_naive
+        0.0f64..=0.3,  // err_sel
+        0.02f64..=0.4, // intro_amt
+        1u64..300,     // wait period
+        1u32..40,      // audit_trans
     )
         .prop_map(
             |(num_init, lambda, f_uncoop, f_naive, err_sel, intro_amt, wait, audit)| {

@@ -15,12 +15,32 @@ fn quiet() -> replend_core::Community {
     CommunityBuilder::new(config).seed(71).build()
 }
 
+/// A founder with the `Naive` introducer policy (admits anyone): which
+/// founders are naive depends on the seed, so look one up instead of
+/// hard-coding an id.
+fn naive_founder(c: &replend_core::Community) -> PeerId {
+    naive_founders(c, 1)[0]
+}
+
+/// The first `n` naive founders (distinct), for tests that need more
+/// than one independent introducer.
+fn naive_founders(c: &replend_core::Community, n: usize) -> Vec<PeerId> {
+    let ids: Vec<PeerId> = c
+        .members()
+        .filter(|p| p.profile.policy.is_naive())
+        .take(n)
+        .map(|p| p.id)
+        .collect();
+    assert_eq!(ids.len(), n, "f_naive > 0: expected {n} naive founders");
+    ids
+}
+
 #[test]
 fn introduction_debits_introducer_exactly_intro_amt() {
     let mut c = quiet();
     let wait = c.config().lending.wait_period;
     let intro_amt = c.config().lending.intro_amt;
-    let introducer = PeerId(0);
+    let introducer = naive_founder(&c);
     let before = c.reputation(introducer).unwrap().value();
 
     let newcomer = c
@@ -57,10 +77,11 @@ fn newcomer_admitted_at_exactly_request_plus_wait() {
     let mut c = quiet();
     let wait = c.config().lending.wait_period;
     let t0 = c.time();
+    let introducer = naive_founder(&c);
     let newcomer = c
         .arrival_with_chosen_introducer(
             PeerProfile::cooperative(IntroducerPolicy::Naive),
-            PeerId(3),
+            introducer,
         )
         .unwrap();
     while !c.peer(newcomer).unwrap().status.is_member() {
@@ -77,7 +98,7 @@ fn newcomer_admitted_at_exactly_request_plus_wait() {
 #[test]
 fn cooperative_newcomer_eventually_passes_audit_and_introducer_is_repaid() {
     let mut c = quiet();
-    let introducer = PeerId(0);
+    let introducer = naive_founder(&c);
     let newcomer = c
         .arrival_with_chosen_introducer(
             PeerProfile::cooperative(IntroducerPolicy::Naive),
@@ -99,7 +120,7 @@ fn cooperative_newcomer_eventually_passes_audit_and_introducer_is_repaid() {
 #[test]
 fn uncooperative_newcomer_fails_audit_and_stake_is_burned() {
     let mut c = quiet();
-    let introducer = PeerId(0);
+    let introducer = naive_founder(&c);
     let newcomer = c
         .arrival_with_chosen_introducer(PeerProfile::uncooperative(), introducer)
         .unwrap();
@@ -122,8 +143,9 @@ fn below_threshold_introducer_cannot_vouch() {
     // Admit a freerider (via a naive founder), then have *it* try to
     // introduce someone: its reputation (≈ introAmt, falling) is
     // below minIntro, so the request must be refused.
+    let patsy = naive_founder(&c);
     let freerider = c
-        .arrival_with_chosen_introducer(PeerProfile::uncooperative(), PeerId(0))
+        .arrival_with_chosen_introducer(PeerProfile::uncooperative(), patsy)
         .unwrap();
     c.run(wait + 1);
     assert!(c.peer(freerider).unwrap().status.is_member());
@@ -137,9 +159,7 @@ fn below_threshold_introducer_cannot_vouch() {
     c.run(wait + 1);
     assert_eq!(
         c.peer(hopeful).unwrap().status,
-        PeerStatus::Refused(
-            replend_core::peer::RefusalReason::InsufficientIntroducerReputation
-        )
+        PeerStatus::Refused(replend_core::peer::RefusalReason::InsufficientIntroducerReputation)
     );
 }
 
@@ -169,14 +189,16 @@ fn selective_introducer_refuses_uncooperative_applicant() {
 fn flagged_peer_is_out_of_the_transaction_pool() {
     let mut c = quiet();
     let wait = c.config().lending.wait_period;
+    let introducers = naive_founders(&c, 2);
     let greedy = c
         .arrival_with_chosen_introducer(
             PeerProfile::cooperative(IntroducerPolicy::Naive),
-            PeerId(0),
+            introducers[0],
         )
         .unwrap();
     c.run(wait + 1);
-    c.solicit_duplicate_introduction(greedy, PeerId(1)).unwrap();
+    c.solicit_duplicate_introduction(greedy, introducers[1])
+        .unwrap();
     c.run(wait + 1);
     assert_eq!(c.peer(greedy).unwrap().status, PeerStatus::Flagged);
     assert_eq!(c.reputation(greedy), Some(Reputation::ZERO));
@@ -192,10 +214,11 @@ fn reward_is_capped_at_full_reputation() {
     // not exceeding 1"). Verified via the Reputation type end-to-end:
     // any read of any peer is within [0, 1].
     let mut c = quiet();
+    let introducer = naive_founder(&c);
     let _ = c
         .arrival_with_chosen_introducer(
             PeerProfile::cooperative(IntroducerPolicy::Naive),
-            PeerId(0),
+            introducer,
         )
         .unwrap();
     c.run(60_000);
