@@ -1,0 +1,74 @@
+//! Criterion bench: per-tick cost of the *sampled* community hot path
+//! at paper scale and beyond.
+//!
+//! The paper's figures sample the population mix and the mean
+//! cooperative/uncooperative reputations as the run progresses. This
+//! bench isolates what one sampled tick costs at community sizes from
+//! 1 k to 50 k members — the quantity the incremental accounting
+//! refactor targets — plus the individual snapshot queries
+//! (`population`, the two means, the 10-bucket reputation histogram)
+//! so the aggregate read path can be tracked in isolation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use replend_core::community::{Community, CommunityBuilder};
+use replend_types::Table1;
+use std::hint::black_box;
+
+/// Community sizes exercised. 1 000 is the paper's own operating
+/// point (Table 1: numInit = 1 000); the larger points are the scale
+/// targets from ROADMAP.md.
+const SIZES: &[usize] = &[1_000, 10_000, 50_000];
+
+/// A static community of `n` members: no arrivals, no departures, so
+/// every measured iteration sees the same population size.
+fn static_community(n: usize) -> Community {
+    let config = Table1::paper_defaults()
+        .with_num_init(n)
+        .with_arrival_rate(0.0)
+        .with_num_trans(100_000);
+    CommunityBuilder::new(config).seed(99).build()
+}
+
+/// The Figure-2 sampler: population mix plus both reputation means.
+fn sample(c: &Community) -> f64 {
+    let pop = c.population();
+    let coop = c.mean_cooperative_reputation().unwrap_or(0.0);
+    let uncoop = c.mean_uncooperative_reputation().unwrap_or(0.0);
+    pop.members as f64 + coop + uncoop
+}
+
+fn bench_sampled_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("community_scale");
+    for &n in SIZES {
+        let mut community = static_community(n);
+        group.bench_function(format!("sampled_step/{n}"), |b| {
+            b.iter(|| {
+                community.step();
+                black_box(sample(&community))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("community_queries");
+    for &n in SIZES {
+        let mut community = static_community(n);
+        // Age the community a little so reputations are non-trivial.
+        community.run(1_000);
+        group.bench_function(format!("population/{n}"), |b| {
+            b.iter(|| black_box(community.population()))
+        });
+        group.bench_function(format!("mean_coop_rep/{n}"), |b| {
+            b.iter(|| black_box(community.mean_cooperative_reputation()))
+        });
+        group.bench_function(format!("histogram10/{n}"), |b| {
+            b.iter(|| black_box(community.reputation_histogram(10).count()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sampled_step, bench_queries);
+criterion_main!(benches);

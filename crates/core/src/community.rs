@@ -23,7 +23,8 @@ use crate::introduction::{IntroOutcome, IntroductionBook, PendingIntro};
 use crate::lending;
 use crate::log::{Event, EventLog, LoggedEvent};
 use crate::messages::{MessageBus, MessageCounters};
-use crate::peer::{PeerRecord, PeerStatus, RefusalReason};
+use crate::peer::{PeerRecord, RefusalReason};
+use crate::peer_table::PeerTable;
 use crate::policy::{BootstrapPolicy, EngineKind};
 use crate::stats::{CommunityStats, Population};
 use rand::rngs::StdRng;
@@ -35,7 +36,10 @@ use replend_sim::series::TimeSeries;
 use replend_sim::stats::Histogram;
 use replend_topology::{build_topology, Topology};
 use replend_types::hash::splitmix64;
-use replend_types::{Behavior, PeerId, PeerProfile, ProtocolError, Reputation, SimTime, Table1};
+use replend_types::{
+    Behavior, Feedback, PeerId, PeerProfile, ProtocolError, Reputation, ReputationDelta, SimTime,
+    Table1,
+};
 
 /// Barabási–Albert attachment parameter used for the scale-free
 /// topology (edges per arriving peer).
@@ -168,7 +172,7 @@ impl CommunityBuilder {
             policy: self.policy,
             engine,
             topology,
-            peers: Vec::with_capacity(expected),
+            table: PeerTable::with_capacity(expected),
             book: IntroductionBook::new(),
             bus,
             events: EventQueue::new(),
@@ -178,6 +182,7 @@ impl CommunityBuilder {
             rng,
             stats: CommunityStats::default(),
             log: EventLog::new(self.log_capacity),
+            delta_buf: Vec::new(),
         };
         community.found_population();
         community
@@ -190,7 +195,7 @@ pub struct Community {
     policy: BootstrapPolicy,
     engine: Box<dyn ReputationEngine>,
     topology: Box<dyn Topology>,
-    peers: Vec<PeerRecord>,
+    table: PeerTable,
     book: IntroductionBook,
     bus: MessageBus,
     events: EventQueue<CommunityEvent>,
@@ -200,6 +205,8 @@ pub struct Community {
     rng: StdRng,
     stats: CommunityStats,
     log: EventLog,
+    /// Scratch buffer for draining engine deltas (reused per tick).
+    delta_buf: Vec<ReputationDelta>,
 }
 
 impl Community {
@@ -214,7 +221,7 @@ impl Community {
     fn found_population(&mut self) {
         let sim = self.config.sim;
         for _ in 0..sim.num_init {
-            let id = PeerId(self.peers.len() as u64);
+            let id = self.table.next_id();
             let policy = if self.rng.gen::<f64>() < sim.f_naive {
                 replend_types::IntroducerPolicy::Naive
             } else {
@@ -223,10 +230,26 @@ impl Community {
                 }
             };
             let profile = PeerProfile::cooperative(policy);
-            self.peers.push(PeerRecord::founding(id, profile));
             self.engine.register_peer(id, Reputation::ONE);
+            let rep = self.engine.reputation(id).unwrap_or(Reputation::ONE);
+            self.table
+                .push_founding(PeerRecord::founding(id, profile), rep.value());
             self.topology.add_peer(id, &mut self.rng);
         }
+        // Crash-recovery re-homings during the founding joins may have
+        // moved earlier founders' aggregates; fold those in.
+        self.sync_engine_deltas();
+    }
+
+    /// Drains the engine's pending reputation deltas into the peer
+    /// table's accumulators. Called after every engine mutation so the
+    /// O(1) aggregates never lag observable state.
+    fn sync_engine_deltas(&mut self) {
+        self.engine.drain_deltas(&mut self.delta_buf);
+        for delta in &self.delta_buf {
+            self.table.apply_delta(delta);
+        }
+        self.delta_buf.clear();
     }
 
     // ------------------------------------------------------------------
@@ -264,19 +287,21 @@ impl Community {
         self.log.iter()
     }
 
-    /// Retained events about one peer, oldest first.
-    pub fn history_of(&self, peer: PeerId) -> Vec<LoggedEvent> {
+    /// Retained events about one peer, oldest first — a borrowed
+    /// iterator over the log's per-peer index (no allocation, no
+    /// full-log scan).
+    pub fn history_of(&self, peer: PeerId) -> impl Iterator<Item = &LoggedEvent> + '_ {
         self.log.history_of(peer)
     }
 
     /// The record of `peer`, if known.
     pub fn peer(&self, peer: PeerId) -> Option<&PeerRecord> {
-        self.peers.get(peer.index())
+        self.table.get(peer)
     }
 
     /// Number of peers ever seen (members, waiting, refused, flagged).
     pub fn peers_seen(&self) -> usize {
-        self.peers.len()
+        self.table.len()
     }
 
     /// Current reputation of `peer` as aggregated by its score
@@ -285,76 +310,38 @@ impl Community {
         self.engine.reputation(peer)
     }
 
-    /// Iterates over admitted members.
+    /// Iterates over admitted members (via the member index — no scan
+    /// over refused/departed/waiting peers).
     pub fn members(&self) -> impl Iterator<Item = &PeerRecord> + '_ {
-        self.peers.iter().filter(|p| p.status.is_member())
+        self.table.members()
     }
 
-    /// Point-in-time population snapshot.
+    /// Point-in-time population snapshot — an O(1) copy of counters
+    /// maintained at every status transition.
     pub fn population(&self) -> Population {
-        let mut pop = Population::default();
-        for p in &self.peers {
-            match p.status {
-                PeerStatus::Member => {
-                    pop.members += 1;
-                    match p.profile.behavior {
-                        Behavior::Cooperative => pop.cooperative += 1,
-                        Behavior::Uncooperative => pop.uncooperative += 1,
-                    }
-                }
-                PeerStatus::Waiting => pop.waiting += 1,
-                PeerStatus::Refused(_) => pop.refused += 1,
-                PeerStatus::Flagged => pop.flagged += 1,
-                PeerStatus::Departed => pop.departed += 1,
-            }
-        }
-        pop
+        self.table.population()
     }
 
     /// Mean reputation over cooperative members (the Figure-2
-    /// quantity). `None` when there are no cooperative members.
+    /// quantity) — an O(1) accumulator read. `None` when there are no
+    /// cooperative members.
     pub fn mean_cooperative_reputation(&self) -> Option<f64> {
-        let mut sum = 0.0;
-        let mut n = 0usize;
-        for p in self.members() {
-            if p.profile.behavior.is_cooperative() {
-                if let Some(r) = self.engine.reputation(p.id) {
-                    sum += r.value();
-                    n += 1;
-                }
-            }
-        }
-        (n > 0).then(|| sum / n as f64)
+        self.table.mean_cooperative_reputation()
     }
 
     /// Histogram of member reputations over `buckets` equal bins of
     /// `[0, 1]` (the community's trust distribution; bimodal under
     /// the paper's model — cooperative mass near 1, uncooperative
-    /// near 0).
+    /// near 0). O(buckets) for bucket counts dividing
+    /// [`crate::peer_table::HIST_RESOLUTION`], O(members) otherwise.
     pub fn reputation_histogram(&self, buckets: usize) -> Histogram {
-        let mut hist = Histogram::new(0.0, 1.0 + 1e-9, buckets.max(1));
-        for p in self.members() {
-            if let Some(r) = self.engine.reputation(p.id) {
-                hist.record(r.value());
-            }
-        }
-        hist
+        self.table.histogram(buckets)
     }
 
-    /// Mean reputation over uncooperative members. `None` when there
-    /// are none.
+    /// Mean reputation over uncooperative members — an O(1)
+    /// accumulator read. `None` when there are none.
     pub fn mean_uncooperative_reputation(&self) -> Option<f64> {
-        let mut sum = 0.0;
-        let mut n = 0usize;
-        for p in self.members() {
-            if !p.profile.behavior.is_cooperative() {
-                if let Some(r) = self.engine.reputation(p.id) {
-                    sum += r.value();
-                    n += 1;
-                }
-            }
-        }
-        (n > 0).then(|| sum / n as f64)
+        self.table.mean_uncooperative_reputation()
     }
 
     // ------------------------------------------------------------------
@@ -429,13 +416,13 @@ impl Community {
     /// Handles an arrival with a caller-chosen profile (the scenario
     /// examples use this to script attacks).
     pub fn arrival_with_profile(&mut self, profile: PeerProfile) -> PeerId {
-        let id = PeerId(self.peers.len() as u64);
+        let id = self.table.next_id();
         match profile.behavior {
             Behavior::Cooperative => self.stats.arrived_cooperative += 1,
             Behavior::Uncooperative => self.stats.arrived_uncooperative += 1,
         }
-        self.peers
-            .push(PeerRecord::arriving(id, profile, self.clock));
+        self.table
+            .push_arriving(PeerRecord::arriving(id, profile, self.clock));
 
         match self.policy.immediate_admission() {
             Some(initial) => {
@@ -463,20 +450,16 @@ impl Community {
         profile: PeerProfile,
         introducer: PeerId,
     ) -> Result<PeerId, ProtocolError> {
-        if !self
-            .peers
-            .get(introducer.index())
-            .is_some_and(|p| p.status.is_member())
-        {
+        if !self.table.is_member(introducer) {
             return Err(ProtocolError::NotAdmitted(introducer));
         }
-        let id = PeerId(self.peers.len() as u64);
+        let id = self.table.next_id();
         match profile.behavior {
             Behavior::Cooperative => self.stats.arrived_cooperative += 1,
             Behavior::Uncooperative => self.stats.arrived_uncooperative += 1,
         }
-        self.peers
-            .push(PeerRecord::arriving(id, profile, self.clock));
+        self.table
+            .push_arriving(PeerRecord::arriving(id, profile, self.clock));
         self.file_request(id, introducer);
         Ok(id)
     }
@@ -490,18 +473,10 @@ impl Community {
         newcomer: PeerId,
         introducer: PeerId,
     ) -> Result<(), ProtocolError> {
-        if !self
-            .peers
-            .get(newcomer.index())
-            .is_some_and(|p| p.status.is_member())
-        {
+        if !self.table.is_member(newcomer) {
             return Err(ProtocolError::NotAdmitted(newcomer));
         }
-        if !self
-            .peers
-            .get(introducer.index())
-            .is_some_and(|p| p.status.is_member())
-        {
+        if !self.table.is_member(introducer) {
             return Err(ProtocolError::NotAdmitted(introducer));
         }
         let willing = self.introducer_willing(introducer, newcomer);
@@ -521,8 +496,18 @@ impl Community {
 
     /// The introducer's willingness decision for an applicant.
     fn introducer_willing(&mut self, introducer: PeerId, applicant: PeerId) -> bool {
-        let applicant_behavior = self.peers[applicant.index()].profile.behavior;
-        let policy = self.peers[introducer.index()].profile.policy;
+        let applicant_behavior = self
+            .table
+            .get(applicant)
+            .expect("known peer")
+            .profile
+            .behavior;
+        let policy = self
+            .table
+            .get(introducer)
+            .expect("known peer")
+            .profile
+            .policy;
         policy.would_introduce(applicant_behavior, self.rng.gen())
     }
 
@@ -621,13 +606,20 @@ impl Community {
                 introducer,
             },
         );
-        self.peers[id.index()].admit(self.clock, introducer, audit);
+        // Register first so the table can track the engine's exact
+        // (bit-identical) aggregate for the new member.
         self.engine.register_peer(id, initial);
+        let rep = self.engine.reputation(id).unwrap_or(initial);
+        self.table
+            .admit(id, self.clock, introducer, audit, rep.value());
         self.topology.add_peer(id, &mut self.rng);
-        match self.peers[id.index()].profile.behavior {
+        match self.table.get(id).expect("just admitted").profile.behavior {
             Behavior::Cooperative => self.stats.admitted_cooperative += 1,
             Behavior::Uncooperative => self.stats.admitted_uncooperative += 1,
         }
+        // The overlay join (and, in the lending flow, the preceding
+        // introducer debit) may have moved other members' aggregates.
+        self.sync_engine_deltas();
     }
 
     fn refuse(&mut self, id: PeerId, reason: RefusalReason) {
@@ -638,7 +630,7 @@ impl Community {
                 reason,
             },
         );
-        self.peers[id.index()].status = PeerStatus::Refused(reason);
+        self.table.refuse(id, reason);
         match reason {
             RefusalReason::InsufficientIntroducerReputation => {
                 self.stats.refused_introducer_reputation += 1;
@@ -655,7 +647,10 @@ impl Community {
     fn flag_malicious(&mut self, id: PeerId) {
         self.log.record(self.clock, Event::Flagged { peer: id });
         self.engine.debit(id, 1.0);
-        self.peers[id.index()].status = PeerStatus::Flagged;
+        // Apply the zeroing delta while the peer still counts as a
+        // member, then retire it from the aggregates.
+        self.sync_engine_deltas();
+        self.table.flag(id);
         self.stats.flagged_malicious += 1;
         self.topology.remove_peer(id);
     }
@@ -672,7 +667,10 @@ impl Community {
             .record(self.clock, Event::Departed { peer: victim });
         self.topology.remove_peer(victim);
         self.engine.remove_peer(victim);
-        self.peers[victim.index()].status = PeerStatus::Departed;
+        // Crash-recovery deltas from the overlay leave affect only
+        // *other* subjects; the victim's tracked value is final.
+        self.sync_engine_deltas();
+        self.table.depart(victim);
         self.stats.departures += 1;
     }
 
@@ -697,11 +695,17 @@ impl Community {
             .unwrap_or(Reputation::ZERO);
         let serve = self.rng.gen::<f64>() < requester_rep.value();
 
-        let requester_coop = self.peers[requester.index()]
+        let requester_coop = self
+            .table
+            .get(requester)
+            .expect("topology members are known peers")
             .profile
             .behavior
             .is_cooperative();
-        let respondent_coop = self.peers[respondent.index()]
+        let respondent_coop = self
+            .table
+            .get(respondent)
+            .expect("topology members are known peers")
             .profile
             .behavior
             .is_cooperative();
@@ -743,14 +747,19 @@ impl Community {
         } else {
             0.0
         };
-        self.engine
-            .report(requester, respondent, opinion_about_respondent);
-        self.engine
-            .report(respondent, requester, opinion_about_requester);
+        // The tick's reports go to the engine as one batched call
+        // (applied in order — semantics identical to two sequential
+        // reports, but per-subject bookkeeping is amortised).
+        let batch = [
+            Feedback::new(requester, respondent, opinion_about_respondent),
+            Feedback::new(respondent, requester, opinion_about_requester),
+        ];
+        self.engine.report_batch(&batch);
+        self.sync_engine_deltas();
 
         // Audit countdowns.
         for peer in [requester, respondent] {
-            if self.peers[peer.index()].record_transaction() {
+            if self.table.record_transaction(peer) {
                 self.run_audit(peer);
             }
         }
@@ -758,7 +767,7 @@ impl Community {
 
     /// Settles the audit of `newcomer` (§3, "Performance audit").
     fn run_audit(&mut self, newcomer: PeerId) {
-        let Some(introducer) = self.peers[newcomer.index()].introducer else {
+        let Some(introducer) = self.table.get(newcomer).and_then(|p| p.introducer) else {
             return;
         };
         let rep = self.engine.reputation(newcomer).unwrap_or(Reputation::ZERO);
@@ -779,12 +788,60 @@ impl Community {
             self.engine.debit(newcomer, settlement.newcomer_debit);
             self.stats.audits_failed += 1;
         }
+        self.sync_engine_deltas();
+    }
+
+    // ------------------------------------------------------------------
+    // Test oracle
+    // ------------------------------------------------------------------
+
+    /// The seed implementation's full O(n) population scan, kept as
+    /// the oracle for the incremental counters.
+    #[cfg(test)]
+    fn recount_population(&self) -> Population {
+        use crate::peer::PeerStatus;
+        let mut pop = Population::default();
+        for p in self.table.records() {
+            match p.status {
+                PeerStatus::Member => {
+                    pop.members += 1;
+                    match p.profile.behavior {
+                        Behavior::Cooperative => pop.cooperative += 1,
+                        Behavior::Uncooperative => pop.uncooperative += 1,
+                    }
+                }
+                PeerStatus::Waiting => pop.waiting += 1,
+                PeerStatus::Refused(_) => pop.refused += 1,
+                PeerStatus::Flagged => pop.flagged += 1,
+                PeerStatus::Departed => pop.departed += 1,
+            }
+        }
+        pop
+    }
+
+    /// The seed implementation's per-member engine poll, kept as the
+    /// oracle for the mean-reputation accumulators.
+    #[cfg(test)]
+    fn recount_mean(&self, cooperative: bool) -> Option<f64> {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for p in self.table.records() {
+            if p.status.is_member() && p.profile.behavior.is_cooperative() == cooperative {
+                if let Some(r) = self.engine.reputation(p.id) {
+                    sum += r.value();
+                    n += 1;
+                }
+            }
+        }
+        (n > 0).then(|| sum / n as f64)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::peer::PeerStatus;
+    use proptest::prelude::*;
 
     fn small_config() -> Table1 {
         Table1::paper_defaults()
@@ -865,7 +922,8 @@ mod tests {
         let mut c = built(5);
         c.run(10_000);
         let admitted: Vec<_> = c
-            .peers
+            .table
+            .records()
             .iter()
             .filter(|p| p.introducer.is_some())
             .map(|p| p.id)
@@ -1027,7 +1085,8 @@ mod tests {
         assert_eq!(pop.departed as u64, s.departures);
         // Departed peers are out of the engine and the topology.
         let departed = c
-            .peers
+            .table
+            .records()
             .iter()
             .find(|p| p.status == PeerStatus::Departed)
             .expect("at least one departed peer");
@@ -1064,7 +1123,8 @@ mod tests {
         for _ in 0..10_000 {
             c.step();
             if let Some(p) = c
-                .peers
+                .table
+                .records()
                 .iter()
                 .find(|p| p.introducer.is_some() && p.status.is_member())
             {
@@ -1139,11 +1199,12 @@ mod tests {
         // request, then admission by the same introducer, T ticks
         // later.
         let member = c
-            .peers
+            .table
+            .records()
             .iter()
             .find(|p| p.introducer.is_some() && p.status.is_member())
             .expect("some lending admission");
-        let history = c.history_of(member.id);
+        let history: Vec<_> = c.history_of(member.id).copied().collect();
         assert!(history.len() >= 2, "history: {history:?}");
         let Event::IntroductionRequested { introducer, .. } = history[0].event else {
             panic!("first event should be the request: {history:?}");
@@ -1190,5 +1251,122 @@ mod tests {
             CommunityBuilder::new(Table1::paper_defaults().with_f_uncoop(2.0)).build()
         });
         assert!(result.is_err());
+    }
+
+    /// Compares every incrementally-maintained aggregate against the
+    /// seed's from-scratch scans (kept as `recount_*` oracles).
+    fn assert_accounting_matches_oracle(c: &Community) {
+        // Integer counters must agree exactly.
+        assert_eq!(c.population(), c.recount_population());
+        // Tracked per-member reputations must be bit-identical to the
+        // engine's aggregates.
+        for p in c.members() {
+            let engine_rep = c.reputation(p.id).expect("members are registered");
+            let tracked = c.table.tracked_reputation(p.id).unwrap();
+            assert_eq!(
+                tracked.to_bits(),
+                engine_rep.value().to_bits(),
+                "tracked reputation of {:?} drifted",
+                p.id
+            );
+        }
+        // Compensated means must match a recount to ~1 ULP-per-op.
+        for cooperative in [true, false] {
+            let incremental = if cooperative {
+                c.mean_cooperative_reputation()
+            } else {
+                c.mean_uncooperative_reputation()
+            };
+            let recount = c.recount_mean(cooperative);
+            match (incremental, recount) {
+                (None, None) => {}
+                (Some(a), Some(b)) => {
+                    assert!(
+                        (a - b).abs() <= 1e-9,
+                        "mean(coop={cooperative}) {a} vs recount {b}"
+                    );
+                }
+                other => panic!("mean presence diverged: {other:?}"),
+            }
+        }
+        // The maintained histogram must conserve the member count.
+        assert_eq!(
+            c.reputation_histogram(10).count() as usize,
+            c.population().members
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+        /// The churn oracle (ISSUE 2): after a long random-churn run —
+        /// arrivals, departures, refusals, audits, flags, engine
+        /// crash-recovery — the incremental Population counters and
+        /// mean-reputation accumulators exactly match a from-scratch
+        /// recount over all peers.
+        #[test]
+        fn incremental_accounting_matches_recount_under_churn(
+            seed in proptest::num::u64::ANY,
+            arrival_rate in 0.01f64..0.2,
+            departure_rate in 0.0f64..0.02,
+            f_uncoop in 0.1f64..0.6,
+            crash_prob in 0.0f64..0.3,
+            ticks in 1_500u64..4_000,
+        ) {
+            let config = Table1::paper_defaults()
+                .with_num_init(50)
+                .with_arrival_rate(arrival_rate)
+                .with_f_uncoop(f_uncoop)
+                .with_num_trans(10_000);
+            let params = replend_rocq::RocqParams {
+                crash_prob,
+                ..Default::default()
+            };
+            let mut c = CommunityBuilder::new(config)
+                .engine(EngineKind::Rocq(params))
+                .departure_rate(departure_rate)
+                .seed(seed)
+                .build();
+            c.run(ticks);
+            // Fold in a duplicate-introduction attack so the flag
+            // transition is exercised too: the target must be a
+            // lending admission (founders have no recorded grant, so
+            // soliciting for them is a harmless re-admission).
+            let target = c
+                .members()
+                .find(|p| p.introducer.is_some())
+                .map(|p| p.id);
+            let sponsor = c.members().map(|p| p.id).find(|&id| Some(id) != target);
+            if let (Some(a), Some(b)) = (target, sponsor) {
+                if c.solicit_duplicate_introduction(a, b).is_ok() {
+                    c.run(c.config().lending.wait_period + 2);
+                }
+            }
+            assert_accounting_matches_oracle(&c);
+        }
+    }
+
+    #[test]
+    fn accounting_matches_oracle_across_policies_and_engines() {
+        for policy in [
+            BootstrapPolicy::ReputationLending,
+            BootstrapPolicy::OpenAdmission { initial: 0.5 },
+            BootstrapPolicy::FixedCredit { credit: 0.1 },
+        ] {
+            for engine in [
+                EngineKind::default(),
+                EngineKind::SimpleAverage,
+                EngineKind::Ewma { alpha: 0.1 },
+                EngineKind::Beta,
+            ] {
+                let mut c = CommunityBuilder::new(small_config())
+                    .policy(policy)
+                    .engine(engine)
+                    .departure_rate(0.005)
+                    .seed(21)
+                    .build();
+                c.run(4_000);
+                assert_accounting_matches_oracle(&c);
+            }
+        }
     }
 }

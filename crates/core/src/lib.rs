@@ -24,6 +24,10 @@
 //! * [`log`] — an optional bounded event log ("why was peer X
 //!   refused?") for observability;
 //! * [`peer`] — runtime peer records (profile, admission status);
+//! * [`peer_table`] — the indexed peer store maintaining the
+//!   population counters, mean-reputation accumulators and the member
+//!   reputation histogram incrementally, so per-tick sampling is O(1)
+//!   instead of O(members);
 //! * [`policy`] — the [`BootstrapPolicy`](policy::BootstrapPolicy)
 //!   alternatives compared in the ablations (open admission, fixed
 //!   credit à la BitTorrent/Scrivener, positive-only,
@@ -58,6 +62,7 @@ pub mod lending;
 pub mod log;
 pub mod messages;
 pub mod peer;
+pub mod peer_table;
 pub mod policy;
 pub mod stats;
 

@@ -10,7 +10,7 @@
 use crate::peer::RefusalReason;
 use replend_types::{PeerId, SimTime};
 use serde::{Deserialize, Serialize};
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 
 /// One logged protocol event.
 #[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
@@ -80,13 +80,22 @@ pub struct LoggedEvent {
     pub event: Event,
 }
 
-/// Bounded ring-buffer event log.
+/// Bounded ring-buffer event log with a per-peer index.
+///
+/// Events get monotonically increasing sequence numbers; the index
+/// stores, per subject peer, the live sequence numbers of its events.
+/// [`EventLog::history_of`] therefore touches only the peer's own
+/// events (borrowed, zero-copy) instead of scanning — and possibly
+/// allocating a copy of — the whole buffer.
 #[derive(Clone, Debug, Default)]
 pub struct EventLog {
     capacity: usize,
     events: VecDeque<LoggedEvent>,
-    /// Events discarded because the buffer was full.
+    /// Events discarded because the buffer was full. Also the
+    /// sequence number of the oldest retained event.
     dropped: u64,
+    /// Per-subject sequence numbers of retained events, oldest first.
+    by_peer: HashMap<PeerId, VecDeque<u64>>,
 }
 
 impl EventLog {
@@ -96,6 +105,7 @@ impl EventLog {
             capacity,
             events: VecDeque::with_capacity(capacity.min(4096)),
             dropped: 0,
+            by_peer: HashMap::new(),
         }
     }
 
@@ -125,9 +135,23 @@ impl EventLog {
             return;
         }
         if self.events.len() == self.capacity {
-            self.events.pop_front();
+            let evicted = self.events.pop_front().expect("len == capacity > 0");
+            // The evicted event is globally oldest, hence also the
+            // oldest in its subject's index — an O(1) pop.
+            let subject = evicted.event.subject();
+            if let Some(seqs) = self.by_peer.get_mut(&subject) {
+                seqs.pop_front();
+                if seqs.is_empty() {
+                    self.by_peer.remove(&subject);
+                }
+            }
             self.dropped += 1;
         }
+        let seq = self.dropped + self.events.len() as u64;
+        self.by_peer
+            .entry(event.subject())
+            .or_default()
+            .push_back(seq);
         self.events.push_back(LoggedEvent { at, event });
     }
 
@@ -136,13 +160,15 @@ impl EventLog {
         self.events.iter()
     }
 
-    /// Retained events about one peer, oldest first.
-    pub fn history_of(&self, peer: PeerId) -> Vec<LoggedEvent> {
-        self.events
-            .iter()
-            .filter(|e| e.event.subject() == peer)
-            .copied()
-            .collect()
+    /// Retained events about one peer, oldest first — a borrowed
+    /// iterator over the peer's index entries; events about other
+    /// peers are never touched.
+    pub fn history_of(&self, peer: PeerId) -> impl Iterator<Item = &LoggedEvent> + '_ {
+        self.by_peer
+            .get(&peer)
+            .into_iter()
+            .flatten()
+            .map(move |&seq| &self.events[(seq - self.dropped) as usize])
     }
 
     /// The most recent event of any kind, if retained.
@@ -211,10 +237,31 @@ mod tests {
                 reason: RefusalReason::SelectiveRefusal,
             },
         );
-        let history = log.history_of(PeerId(5));
+        let history: Vec<&LoggedEvent> = log.history_of(PeerId(5)).collect();
         assert_eq!(history.len(), 2);
         assert_eq!(history[0].at, SimTime(1));
         assert_eq!(history[1].at, SimTime(3));
+        assert_eq!(log.history_of(PeerId(99)).count(), 0);
+    }
+
+    #[test]
+    fn history_index_survives_eviction() {
+        let mut log = EventLog::new(4);
+        // Peers 0 and 1 alternate; the ring holds the last 4 events.
+        for round in 0..6u64 {
+            log.record(SimTime(round), ev(round % 2));
+        }
+        assert_eq!(log.dropped(), 2);
+        let p0: Vec<u64> = log.history_of(PeerId(0)).map(|e| e.at.ticks()).collect();
+        let p1: Vec<u64> = log.history_of(PeerId(1)).map(|e| e.at.ticks()).collect();
+        assert_eq!(p0, vec![2, 4], "evicted events must leave the index");
+        assert_eq!(p1, vec![3, 5]);
+        // A peer whose only events were evicted has an empty history.
+        let mut log2 = EventLog::new(1);
+        log2.record(SimTime(1), ev(7));
+        log2.record(SimTime(2), ev(8));
+        assert_eq!(log2.history_of(PeerId(7)).count(), 0);
+        assert_eq!(log2.history_of(PeerId(8)).count(), 1);
     }
 
     #[test]

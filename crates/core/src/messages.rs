@@ -248,7 +248,7 @@ mod tests {
         assert_eq!(first.replicas_credited, 4);
         let second = bus.fan_out_credit(RequestId(7), PeerId(1), &mut rng);
         assert_eq!(second.replicas_credited, 0, "idempotence");
-        assert!(second.delivered == false);
+        assert!(!second.delivered);
     }
 
     #[test]

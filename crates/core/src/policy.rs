@@ -12,11 +12,12 @@ use replend_rocq::{ReputationEngine, RocqEngine, RocqParams};
 use serde::{Deserialize, Serialize};
 
 /// How new arrivals are admitted.
-#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Debug, Default, Serialize, Deserialize)]
 pub enum BootstrapPolicy {
     /// The paper's mechanism: admission requires an introduction and
     /// a reputation loan (parameters in
     /// [`LendingParams`](replend_types::LendingParams)).
+    #[default]
     ReputationLending,
     /// "No introductions required": every arrival admitted instantly
     /// with the given initial reputation — the paper's comparison
@@ -62,12 +63,6 @@ impl BootstrapPolicy {
             BootstrapPolicy::PositiveOnly => "positive-only",
             BootstrapPolicy::ComplaintsOnly => "complaints-only",
         }
-    }
-}
-
-impl Default for BootstrapPolicy {
-    fn default() -> Self {
-        BootstrapPolicy::ReputationLending
     }
 }
 

@@ -85,7 +85,7 @@ impl Ring {
         self.nodes
             .range(key..)
             .map(|(id, _)| *id)
-            .chain(self.nodes.iter().map(|(id, _)| *id))
+            .chain(self.nodes.keys().copied())
             .nth(k)
     }
 

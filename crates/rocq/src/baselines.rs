@@ -7,14 +7,24 @@
 //! the *lending* mechanism contributes from what *ROCQ* contributes.
 
 use crate::engine::ReputationEngine;
-use replend_types::{PeerId, Reputation};
+use replend_types::{PeerId, Reputation, ReputationDelta};
 use std::collections::HashMap;
+
+/// Pushes a delta when `old` and `new` differ bitwise (shared by the
+/// three baseline engines).
+fn note(deltas: &mut Vec<ReputationDelta>, subject: PeerId, old: Reputation, new: Reputation) {
+    let delta = ReputationDelta { subject, old, new };
+    if !delta.is_noop() {
+        deltas.push(delta);
+    }
+}
 
 /// Plain running average of all opinions plus a direct-adjustment
 /// offset.
 #[derive(Clone, Debug, Default)]
 pub struct SimpleAverageEngine {
     subjects: HashMap<PeerId, SimpleState>,
+    deltas: Vec<ReputationDelta>,
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -65,8 +75,11 @@ impl ReputationEngine for SimpleAverageEngine {
             return;
         }
         if let Some(s) = self.subjects.get_mut(&subject) {
+            let old = Self::value(s);
             s.sum += opinion.clamp(0.0, 1.0);
             s.count += 1;
+            let new = Self::value(s);
+            note(&mut self.deltas, subject, old, new);
         }
     }
 
@@ -76,14 +89,24 @@ impl ReputationEngine for SimpleAverageEngine {
 
     fn credit(&mut self, subject: PeerId, amount: f64) {
         if let Some(s) = self.subjects.get_mut(&subject) {
+            let old = Self::value(s);
             s.offset += amount.abs();
+            let new = Self::value(s);
+            note(&mut self.deltas, subject, old, new);
         }
     }
 
     fn debit(&mut self, subject: PeerId, amount: f64) {
         if let Some(s) = self.subjects.get_mut(&subject) {
+            let old = Self::value(s);
             s.offset -= amount.abs();
+            let new = Self::value(s);
+            note(&mut self.deltas, subject, old, new);
         }
+    }
+
+    fn drain_deltas(&mut self, out: &mut Vec<ReputationDelta>) {
+        out.append(&mut self.deltas);
     }
 
     fn name(&self) -> &'static str {
@@ -96,6 +119,7 @@ impl ReputationEngine for SimpleAverageEngine {
 pub struct EwmaEngine {
     alpha: f64,
     subjects: HashMap<PeerId, Reputation>,
+    deltas: Vec<ReputationDelta>,
 }
 
 impl EwmaEngine {
@@ -108,6 +132,7 @@ impl EwmaEngine {
         EwmaEngine {
             alpha,
             subjects: HashMap::new(),
+            deltas: Vec::new(),
         }
     }
 }
@@ -131,7 +156,10 @@ impl ReputationEngine for EwmaEngine {
         }
         let alpha = self.alpha;
         if let Some(r) = self.subjects.get_mut(&subject) {
+            let old = *r;
             *r = r.lerp_toward(Reputation::new(opinion), alpha);
+            let new = *r;
+            note(&mut self.deltas, subject, old, new);
         }
     }
 
@@ -141,14 +169,24 @@ impl ReputationEngine for EwmaEngine {
 
     fn credit(&mut self, subject: PeerId, amount: f64) {
         if let Some(r) = self.subjects.get_mut(&subject) {
+            let old = *r;
             *r = r.saturating_add(amount.abs());
+            let new = *r;
+            note(&mut self.deltas, subject, old, new);
         }
     }
 
     fn debit(&mut self, subject: PeerId, amount: f64) {
         if let Some(r) = self.subjects.get_mut(&subject) {
+            let old = *r;
             *r = r.saturating_sub(amount.abs());
+            let new = *r;
+            note(&mut self.deltas, subject, old, new);
         }
+    }
+
+    fn drain_deltas(&mut self, out: &mut Vec<ReputationDelta>) {
+        out.append(&mut self.deltas);
     }
 
     fn name(&self) -> &'static str {
@@ -162,6 +200,7 @@ impl ReputationEngine for EwmaEngine {
 #[derive(Clone, Debug, Default)]
 pub struct BetaEngine {
     subjects: HashMap<PeerId, BetaState>,
+    deltas: Vec<ReputationDelta>,
 }
 
 #[derive(Clone, Copy, Debug, Default)]
@@ -206,9 +245,12 @@ impl ReputationEngine for BetaEngine {
             return;
         }
         if let Some(s) = self.subjects.get_mut(&subject) {
+            let old = Self::value(s);
             let o = opinion.clamp(0.0, 1.0);
             s.successes += o;
             s.failures += 1.0 - o;
+            let new = Self::value(s);
+            note(&mut self.deltas, subject, old, new);
         }
     }
 
@@ -218,14 +260,24 @@ impl ReputationEngine for BetaEngine {
 
     fn credit(&mut self, subject: PeerId, amount: f64) {
         if let Some(s) = self.subjects.get_mut(&subject) {
+            let old = Self::value(s);
             s.offset += amount.abs();
+            let new = Self::value(s);
+            note(&mut self.deltas, subject, old, new);
         }
     }
 
     fn debit(&mut self, subject: PeerId, amount: f64) {
         if let Some(s) = self.subjects.get_mut(&subject) {
+            let old = Self::value(s);
             s.offset -= amount.abs();
+            let new = Self::value(s);
+            note(&mut self.deltas, subject, old, new);
         }
+    }
+
+    fn drain_deltas(&mut self, out: &mut Vec<ReputationDelta>) {
+        out.append(&mut self.deltas);
     }
 
     fn name(&self) -> &'static str {
@@ -342,5 +394,48 @@ mod tests {
         assert_eq!(SimpleAverageEngine::new().name(), "simple-average");
         assert_eq!(EwmaEngine::new(0.2).name(), "ewma");
         assert_eq!(BetaEngine::new().name(), "beta");
+    }
+
+    /// Every baseline surfaces its mutations as a contiguous delta
+    /// chain ending at the live value — the contract the community's
+    /// incremental accumulators depend on.
+    fn exercise_deltas(engine: &mut dyn ReputationEngine) {
+        engine.register_peer(PeerId(1), Reputation::new(0.5));
+        engine.register_peer(PeerId(2), Reputation::ONE);
+        let mut deltas = Vec::new();
+        engine.drain_deltas(&mut deltas);
+        assert!(
+            deltas.is_empty(),
+            "{}: registration is not a delta",
+            engine.name()
+        );
+
+        let start = engine.reputation(PeerId(1)).unwrap();
+        engine.report(PeerId(2), PeerId(1), 1.0);
+        engine.credit(PeerId(1), 0.1);
+        engine.debit(PeerId(1), 0.3);
+        engine.drain_deltas(&mut deltas);
+        assert!(
+            !deltas.is_empty(),
+            "{}: mutations must emit deltas",
+            engine.name()
+        );
+        assert_eq!(deltas[0].old, start, "{}", engine.name());
+        for pair in deltas.windows(2) {
+            assert_eq!(pair[0].new, pair[1].old, "{}: chain breaks", engine.name());
+        }
+        assert_eq!(
+            deltas.last().unwrap().new,
+            engine.reputation(PeerId(1)).unwrap(),
+            "{}: chain must end at the live value",
+            engine.name()
+        );
+    }
+
+    #[test]
+    fn baseline_delta_contract() {
+        exercise_deltas(&mut SimpleAverageEngine::new());
+        exercise_deltas(&mut EwmaEngine::new(0.1));
+        exercise_deltas(&mut BetaEngine::new());
     }
 }

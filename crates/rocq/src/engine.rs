@@ -16,7 +16,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use replend_dht::managers::replica_key;
 use replend_dht::ring::{HandoffEvent, Ring};
-use replend_types::{NodeId, PeerId, Reputation};
+use replend_types::{Feedback, NodeId, PeerId, Reputation, ReputationDelta};
 use std::collections::{BTreeMap, HashMap};
 
 /// Abstract reputation backend.
@@ -51,6 +51,25 @@ pub trait ReputationEngine {
     /// (lending stake / penalty), clamped at 0.
     fn debit(&mut self, subject: PeerId, amount: f64);
 
+    /// Delivers a tick's worth of opinions in one call, applied in
+    /// order with semantics identical to calling
+    /// [`ReputationEngine::report`] per element. Engines may override
+    /// this to amortise per-subject bookkeeping across the batch.
+    fn report_batch(&mut self, batch: &[Feedback]) {
+        for f in batch {
+            self.report(f.reporter, f.subject, f.opinion);
+        }
+    }
+
+    /// Appends to `out` every aggregate change since the last drain,
+    /// in mutation order, and clears the internal buffer.
+    ///
+    /// This is how the community keeps its incrementally-maintained
+    /// mean-reputation accumulators in sync without polling every
+    /// member: reports, lending credits/debits and crash-recovery
+    /// re-homings all surface here as [`ReputationDelta`]s.
+    fn drain_deltas(&mut self, out: &mut Vec<ReputationDelta>);
+
     /// Engine name for reports and experiment output.
     fn name(&self) -> &'static str;
 }
@@ -68,10 +87,37 @@ struct Replica {
     creds: CredibilityTable,
 }
 
-/// All replicas of one subject.
+/// All replicas of one subject, plus the cached aggregate.
 #[derive(Clone, Debug)]
 struct SubjectRecord {
     replicas: Vec<Replica>,
+    /// Mean over `replicas` in slot order, maintained at every
+    /// mutation point so [`ReputationEngine::reputation`] is an O(1)
+    /// read instead of an O(numSM) re-aggregation per query.
+    cached: Reputation,
+    /// Batch sequence number of the last [`RocqEngine::report_batch`]
+    /// that touched this subject (O(1) per-batch dedup).
+    touched_seq: u64,
+}
+
+impl SubjectRecord {
+    /// Re-aggregates the cache from the replicas — in slot order with
+    /// the same sum-then-divide arithmetic as [`Reputation::mean`], so
+    /// the cache stays bit-identical to what `reputation()` used to
+    /// compute per query (no allocation on this hot path).
+    fn recompute(&mut self) -> Reputation {
+        if self.replicas.is_empty() {
+            self.cached = Reputation::ZERO;
+            return self.cached;
+        }
+        let sum: f64 = self
+            .replicas
+            .iter()
+            .map(|r| r.state.reputation().value())
+            .sum();
+        self.cached = Reputation::new(sum / self.replicas.len() as f64);
+        self.cached
+    }
 }
 
 /// The replicated ROCQ engine.
@@ -95,6 +141,10 @@ pub struct RocqEngine {
     crash_losses: u64,
     /// Number of replica re-homings total.
     rehomings: u64,
+    /// Aggregate changes since the last [`ReputationEngine::drain_deltas`].
+    deltas: Vec<ReputationDelta>,
+    /// Monotonic id of the current `report_batch` call.
+    batch_seq: u64,
 }
 
 impl RocqEngine {
@@ -115,6 +165,8 @@ impl RocqEngine {
             rng: StdRng::seed_from_u64(seed),
             crash_losses: 0,
             rehomings: 0,
+            deltas: Vec::new(),
+            batch_seq: 0,
         }
     }
 
@@ -237,9 +289,58 @@ impl RocqEngine {
                             );
                         }
                     }
+                    // Recovery rewrote replica state: refresh the
+                    // cached aggregate and surface the change.
+                    let old = record.cached;
+                    let new = record.recompute();
+                    let delta = ReputationDelta { subject, old, new };
+                    if !delta.is_noop() {
+                        self.deltas.push(delta);
+                    }
                 }
                 record.replicas[slot].host = event.to;
             }
+        }
+    }
+
+    /// Applies one opinion to `subject`'s replicas *without*
+    /// refreshing the cached aggregate (shared by [`report`] and
+    /// [`report_batch`], which refresh at different granularities).
+    ///
+    /// Returns `false` when reporter or subject is unknown.
+    ///
+    /// [`report`]: ReputationEngine::report
+    /// [`report_batch`]: ReputationEngine::report_batch
+    fn apply_report(&mut self, reporter: PeerId, subject: PeerId, opinion: f64) -> bool {
+        if !self.subjects.contains_key(&reporter) {
+            return false;
+        }
+        let Some(record) = self.subjects.get_mut(&subject) else {
+            return false;
+        };
+        let n = self.interactions.record(reporter, subject);
+        let q = quality_from_count(n, self.params.eta, self.params.min_quality);
+        for replica in &mut record.replicas {
+            let c = replica.creds.get(reporter);
+            let prev = replica.state.reputation().value();
+            let agreed = (opinion - prev).abs() <= self.params.agreement_threshold;
+            replica.state.report(opinion, c * q, self.params.weight_cap);
+            replica.creds.update(reporter, agreed);
+        }
+        true
+    }
+
+    /// Refreshes `subject`'s cached aggregate, emitting a delta when
+    /// it moved.
+    fn refresh_cache(&mut self, subject: PeerId) {
+        let Some(record) = self.subjects.get_mut(&subject) else {
+            return;
+        };
+        let old = record.cached;
+        let new = record.recompute();
+        let delta = ReputationDelta { subject, old, new };
+        if !delta.is_noop() {
+            self.deltas.push(delta);
         }
     }
 }
@@ -266,7 +367,13 @@ impl ReputationEngine for RocqEngine {
             });
             self.key_index.entry(key).or_default().push((peer, i));
         }
-        self.subjects.insert(peer, SubjectRecord { replicas });
+        let mut record = SubjectRecord {
+            replicas,
+            cached: Reputation::ZERO,
+            touched_seq: 0,
+        };
+        record.recompute();
+        self.subjects.insert(peer, record);
     }
 
     fn remove_peer(&mut self, peer: PeerId) {
@@ -292,47 +399,63 @@ impl ReputationEngine for RocqEngine {
     }
 
     fn report(&mut self, reporter: PeerId, subject: PeerId, opinion: f64) {
-        if !self.subjects.contains_key(&reporter) {
-            return;
-        }
-        let Some(record) = self.subjects.get_mut(&subject) else {
-            return;
-        };
-        let n = self.interactions.record(reporter, subject);
-        let q = quality_from_count(n, self.params.eta, self.params.min_quality);
-        for replica in &mut record.replicas {
-            let c = replica.creds.get(reporter);
-            let prev = replica.state.reputation().value();
-            let agreed = (opinion - prev).abs() <= self.params.agreement_threshold;
-            replica.state.report(opinion, c * q, self.params.weight_cap);
-            replica.creds.update(reporter, agreed);
+        if self.apply_report(reporter, subject, opinion) {
+            self.refresh_cache(subject);
         }
     }
 
     fn reputation(&self, subject: PeerId) -> Option<Reputation> {
-        let record = self.subjects.get(&subject)?;
-        let values: Vec<Reputation> = record
-            .replicas
-            .iter()
-            .map(|r| r.state.reputation())
-            .collect();
-        Reputation::mean(&values)
+        self.subjects.get(&subject).map(|r| r.cached)
     }
 
     fn credit(&mut self, subject: PeerId, amount: f64) {
-        if let Some(record) = self.subjects.get_mut(&subject) {
-            for replica in &mut record.replicas {
-                replica.state.adjust(amount.abs());
-            }
+        let Some(record) = self.subjects.get_mut(&subject) else {
+            return;
+        };
+        for replica in &mut record.replicas {
+            replica.state.adjust(amount.abs());
         }
+        self.refresh_cache(subject);
     }
 
     fn debit(&mut self, subject: PeerId, amount: f64) {
-        if let Some(record) = self.subjects.get_mut(&subject) {
-            for replica in &mut record.replicas {
-                replica.state.adjust(-amount.abs());
+        let Some(record) = self.subjects.get_mut(&subject) else {
+            return;
+        };
+        for replica in &mut record.replicas {
+            replica.state.adjust(-amount.abs());
+        }
+        self.refresh_cache(subject);
+    }
+
+    fn report_batch(&mut self, batch: &[Feedback]) {
+        // Apply every opinion in order (bit-identical to sequential
+        // `report` calls), but refresh each touched subject's cached
+        // aggregate only once — the per-subject sequence number makes
+        // the dedup O(1) regardless of batch size.
+        self.batch_seq += 1;
+        let seq = self.batch_seq;
+        let mut touched: Vec<PeerId> = Vec::new();
+        for f in batch {
+            if !self.apply_report(f.reporter, f.subject, f.opinion) {
+                continue;
+            }
+            let record = self
+                .subjects
+                .get_mut(&f.subject)
+                .expect("apply_report verified the subject");
+            if record.touched_seq != seq {
+                record.touched_seq = seq;
+                touched.push(f.subject);
             }
         }
+        for subject in touched {
+            self.refresh_cache(subject);
+        }
+    }
+
+    fn drain_deltas(&mut self, out: &mut Vec<ReputationDelta>) {
+        out.append(&mut self.deltas);
     }
 
     fn name(&self) -> &'static str {
@@ -567,5 +690,129 @@ mod tests {
     #[test]
     fn engine_name() {
         assert_eq!(engine().name(), "rocq");
+    }
+
+    #[test]
+    fn cached_aggregate_matches_replica_mean() {
+        let mut e = engine();
+        for p in 0..10u64 {
+            e.register_peer(PeerId(p), Reputation::new(0.3));
+        }
+        for r in 0..50u64 {
+            e.report(PeerId(r % 10), PeerId(0), 1.0);
+        }
+        e.credit(PeerId(0), 0.05);
+        e.debit(PeerId(0), 0.01);
+        let snap = e.snapshot(PeerId(0)).unwrap();
+        assert_eq!(
+            snap.combined().unwrap().value().to_bits(),
+            e.reputation(PeerId(0)).unwrap().value().to_bits(),
+            "cache must stay bit-identical to the replica mean"
+        );
+    }
+
+    #[test]
+    fn deltas_track_every_mutation() {
+        let mut e = engine();
+        e.register_peer(PeerId(1), Reputation::ONE);
+        e.register_peer(PeerId(2), Reputation::new(0.5));
+        let mut deltas = Vec::new();
+        e.drain_deltas(&mut deltas);
+        assert!(deltas.is_empty(), "registration emits no deltas");
+
+        let before = e.reputation(PeerId(2)).unwrap();
+        e.report(PeerId(1), PeerId(2), 1.0);
+        e.credit(PeerId(2), 0.1);
+        e.debit(PeerId(2), 0.05);
+        e.drain_deltas(&mut deltas);
+        assert_eq!(deltas.len(), 3);
+        assert_eq!(deltas[0].old, before, "first delta starts at the old value");
+        for pair in deltas.windows(2) {
+            assert_eq!(pair[0].new, pair[1].old, "deltas chain contiguously");
+        }
+        assert_eq!(
+            deltas.last().unwrap().new,
+            e.reputation(PeerId(2)).unwrap(),
+            "last delta ends at the current value"
+        );
+        // Drained: a second drain is empty.
+        let mut again = Vec::new();
+        e.drain_deltas(&mut again);
+        assert!(again.is_empty());
+    }
+
+    #[test]
+    fn batched_reports_match_sequential() {
+        let batch: Vec<Feedback> = (0..40u64)
+            .map(|r| Feedback::new(PeerId(r % 5), PeerId(5 + r % 3), (r % 2) as f64))
+            .collect();
+
+        let mut seq = engine();
+        let mut bat = engine();
+        for e in [&mut seq, &mut bat] {
+            for p in 0..10u64 {
+                e.register_peer(PeerId(p), Reputation::ONE);
+            }
+        }
+        for f in &batch {
+            seq.report(f.reporter, f.subject, f.opinion);
+        }
+        bat.report_batch(&batch);
+        for p in 0..10u64 {
+            assert_eq!(
+                seq.reputation(PeerId(p)).unwrap().value().to_bits(),
+                bat.reputation(PeerId(p)).unwrap().value().to_bits(),
+                "peer {p}"
+            );
+        }
+        // The batch path coalesces deltas per subject: net change must
+        // agree with the sequential path's endpoints.
+        let (mut ds, mut db) = (Vec::new(), Vec::new());
+        seq.drain_deltas(&mut ds);
+        bat.drain_deltas(&mut db);
+        assert!(
+            db.len() <= ds.len(),
+            "batch emits at most one delta/subject"
+        );
+        for d in &db {
+            let first = ds.iter().find(|x| x.subject == d.subject).unwrap();
+            let last = ds.iter().rev().find(|x| x.subject == d.subject).unwrap();
+            assert_eq!(d.old, first.old);
+            assert_eq!(d.new, last.new);
+        }
+    }
+
+    #[test]
+    fn crash_recovery_emits_deltas_for_changed_subjects() {
+        let params = RocqParams {
+            crash_prob: 1.0,
+            ..Default::default()
+        };
+        // numSM = 1: every crash resets state to zero, so re-homed
+        // subjects visibly change and must surface as deltas.
+        let mut e = engine_with(params, 1);
+        for p in 0..30u64 {
+            e.register_peer(PeerId(p), Reputation::ONE);
+        }
+        let mut deltas = Vec::new();
+        e.drain_deltas(&mut deltas);
+        deltas.clear();
+        for p in 100..160u64 {
+            e.register_peer(PeerId(p), Reputation::HALF);
+        }
+        e.drain_deltas(&mut deltas);
+        assert!(!deltas.is_empty(), "crash-loss re-homings must emit deltas");
+        // The *last* delta per subject must end at the live value.
+        let mut last: HashMap<PeerId, Reputation> = HashMap::new();
+        for d in &deltas {
+            last.insert(d.subject, d.new);
+        }
+        for (subject, new) in last {
+            assert_eq!(
+                new,
+                e.reputation(subject).unwrap(),
+                "final delta endpoint must match the live aggregate"
+            );
+        }
     }
 }

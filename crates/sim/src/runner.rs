@@ -71,64 +71,21 @@ where
         .collect()
 }
 
-/// Like [`run_many`] but fans runs out over `std::thread` scoped
-/// threads. Outputs are returned in run order regardless of thread
-/// scheduling, so results are bit-identical to [`run_many`].
+/// Like [`run_many`] but fans runs out over the shared rayon pool
+/// (the workspace shim is a real `std::thread::scope` worker pool
+/// with a chunked work queue; the real crate is a drop-in swap).
+/// Outputs are returned in run order regardless of thread scheduling,
+/// so results are bit-identical to [`run_many`].
 pub fn run_many_parallel<T, F>(n_runs: usize, base_seed: u64, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(u64) -> T + Sync,
 {
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(n_runs.max(1));
-    if threads <= 1 || n_runs <= 1 {
-        return (0..n_runs as u64)
-            .map(|i| f(seed_for_run(base_seed, i)))
-            .collect();
-    }
-    let mut out: Vec<Option<T>> = (0..n_runs).map(|_| None).collect();
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let out_cells: Vec<parking_lot_free::Cell<T>> =
-        out.iter_mut().map(parking_lot_free::Cell::new).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= n_runs {
-                    break;
-                }
-                let value = f(seed_for_run(base_seed, i as u64));
-                out_cells[i].set(value);
-            });
-        }
-    });
-    out.into_iter()
-        .map(|v| v.expect("every run index was executed"))
+    use rayon::prelude::*;
+    (0..n_runs as u64)
+        .into_par_iter()
+        .map(|i| f(seed_for_run(base_seed, i)))
         .collect()
-}
-
-/// A tiny send-safe write-once cell over `&mut Option<T>`, avoiding a
-/// mutex per slot: each index is written by exactly one worker (the
-/// atomic counter hands out indices uniquely).
-mod parking_lot_free {
-    use std::sync::Mutex;
-
-    /// Write-once slot wrapper.
-    pub struct Cell<'a, T>(Mutex<&'a mut Option<T>>);
-
-    impl<'a, T> Cell<'a, T> {
-        /// Wraps a mutable slot.
-        pub fn new(slot: &'a mut Option<T>) -> Self {
-            Cell(Mutex::new(slot))
-        }
-
-        /// Stores the value (exactly once per slot by construction).
-        pub fn set(&self, value: T) {
-            **self.0.lock().expect("cell poisoned") = Some(value);
-        }
-    }
 }
 
 #[cfg(test)]

@@ -108,6 +108,16 @@ impl Histogram {
         }
     }
 
+    /// Adds `n` observations already attributed to `bucket` — the
+    /// injection path for callers that maintain bin counts
+    /// incrementally (e.g. `replend-core`'s peer table).
+    ///
+    /// # Panics
+    /// If `bucket` is out of range.
+    pub fn add_to_bucket(&mut self, bucket: usize, n: u64) {
+        self.buckets[bucket] += n;
+    }
+
     /// Total observations (including under/overflow).
     pub fn count(&self) -> u64 {
         self.buckets.iter().sum::<u64>() + self.underflow + self.overflow

@@ -289,8 +289,8 @@ mod tests {
             for i in 0..=naive.len() {
                 prop_assert_eq!(f.prefix_sum(i), naive[..i].iter().sum::<u64>());
             }
-            for i in 0..naive.len() {
-                prop_assert_eq!(f.weight(i), naive[i]);
+            for (i, &w) in naive.iter().enumerate() {
+                prop_assert_eq!(f.weight(i), w);
             }
         }
 

@@ -184,7 +184,7 @@ mod tests {
     fn sampling_is_uniform() {
         let (t, mut rng) = topo_of(10);
         let trials = 100_000;
-        let mut counts = vec![0usize; 10];
+        let mut counts = [0usize; 10];
         for _ in 0..trials {
             counts[t.sample(&mut rng, None).unwrap().index()] += 1;
         }
@@ -201,7 +201,7 @@ mod tests {
     fn sampling_with_exclusion_is_uniform_over_rest() {
         let (t, mut rng) = topo_of(5);
         let trials = 100_000;
-        let mut counts = vec![0usize; 5];
+        let mut counts = [0usize; 5];
         for _ in 0..trials {
             counts[t.sample(&mut rng, Some(PeerId(0))).unwrap().index()] += 1;
         }

@@ -23,6 +23,7 @@
 //! timestamp, and reputation arithmetic is *saturating* so the
 //! `[0, 1]` invariant can never be violated by protocol code.
 
+pub mod accounting;
 pub mod behavior;
 pub mod config;
 pub mod error;
@@ -31,6 +32,7 @@ pub mod id;
 pub mod reputation;
 pub mod time;
 
+pub use accounting::{Feedback, KahanSum, MeanAcc, ReputationDelta};
 pub use behavior::{Behavior, IntroducerPolicy, PeerProfile};
 pub use config::{LendingParams, SimParams, Table1, TopologyKind};
 pub use error::{ConfigError, ProtocolError};

@@ -67,8 +67,7 @@ fn main() {
     println!("\n== case file: last refused arrival ==");
     let last_refused = (0..community.peers_seen() as u64)
         .map(replend_types::PeerId)
-        .filter(|&p| matches!(community.peer(p).unwrap().status, PeerStatus::Refused(_)))
-        .next_back();
+        .rfind(|&p| matches!(community.peer(p).unwrap().status, PeerStatus::Refused(_)));
     if let Some(peer) = last_refused {
         for entry in community.history_of(peer) {
             match entry.event {

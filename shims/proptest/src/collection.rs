@@ -45,6 +45,11 @@ impl SizeRange {
     fn draw(&self, rng: &mut TestRng) -> usize {
         rng.gen_range(self.lo..=self.hi)
     }
+
+    /// The smallest admissible collection length.
+    fn min_len(&self) -> usize {
+        self.lo
+    }
 }
 
 /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
@@ -62,11 +67,39 @@ pub struct VecStrategy<S> {
     size: SizeRange,
 }
 
-impl<S: Strategy> Strategy for VecStrategy<S> {
+impl<S: Strategy> Strategy for VecStrategy<S>
+where
+    S::Value: Clone,
+{
     type Value = Vec<S::Value>;
     fn generate(&self, rng: &mut TestRng) -> Self::Value {
         let len = self.size.draw(rng);
         (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+    /// Length shrinking (halving toward the minimum size, then
+    /// dropping one element), plus element-wise shrinking of the
+    /// first element — enough to bisect "one bad element" failures.
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value>
+    where
+        Self::Value: Clone,
+    {
+        let mut out = Vec::new();
+        let lo = self.size.min_len();
+        if value.len() > lo {
+            let half = lo.max(value.len() / 2);
+            if half < value.len() {
+                out.push(value[..half].to_vec());
+            }
+            out.push(value[..value.len() - 1].to_vec());
+        }
+        if let Some(first) = value.first() {
+            for candidate in self.element.shrink(first) {
+                let mut next = value.clone();
+                next[0] = candidate;
+                out.push(next);
+            }
+        }
+        out
     }
 }
 

@@ -13,10 +13,15 @@
 //!   `collection::{vec, btree_set}`, and [`ProptestConfig`].
 //!
 //! Generation is seeded deterministically per test (FNV-1a of the
-//! test's module path and name), so runs are reproducible. There is
-//! **no shrinking**: a failing case panics with the case seed and the
-//! assertion message, which together are enough to replay it under a
-//! debugger by re-running the (deterministic) test binary.
+//! test's module path and name), so runs are reproducible. Failing
+//! cases are **shrunk** by greedy coordinate descent: every strategy
+//! proposes strictly-simpler candidates for its failing value
+//! (halving/bisection toward the domain minimum for integers and
+//! floats, length halving for `collection::vec`, component-wise for
+//! tuples — see [`strategy::Strategy::shrink`]), and any candidate
+//! that still fails replaces the case, until no candidate reproduces
+//! the failure or the shrink budget is exhausted. The panic then
+//! reports the original case seed *and* the minimal failing inputs.
 
 pub mod collection;
 pub mod strategy;
@@ -86,6 +91,19 @@ pub mod num {
                         use ::rand::Rng as _;
                         rng.gen::<$t>()
                     }
+                    fn shrink(&self, value: &$t) -> Vec<$t> {
+                        // Bisection toward zero (from either sign).
+                        let v = *value;
+                        let mut out = Vec::new();
+                        if v != 0 {
+                            out.push(0);
+                            let half = v / 2;
+                            if half != 0 && half != v {
+                                out.push(half);
+                            }
+                        }
+                        out
+                    }
                 }
             }
         )*};
@@ -105,6 +123,27 @@ pub mod num {
 
         impl crate::strategy::Strategy for Any {
             type Value = f64;
+            fn shrink(&self, value: &f64) -> Vec<f64> {
+                let v = *value;
+                if !v.is_finite() {
+                    // NaN / ±∞ simplify to the pathological-but-finite
+                    // candidates, then to zero.
+                    return vec![0.0, 1.0, -1.0];
+                }
+                let mut out = Vec::new();
+                if v != 0.0 {
+                    out.push(0.0);
+                    let half = v / 2.0;
+                    if half != 0.0 && half != v {
+                        out.push(half);
+                    }
+                    let trunc = v.trunc();
+                    if trunc != v && trunc != 0.0 {
+                        out.push(trunc);
+                    }
+                }
+                out
+            }
             fn generate(&self, rng: &mut crate::strategy::TestRng) -> f64 {
                 use ::rand::Rng as _;
                 match rng.gen_range(0u32..16) {
@@ -144,6 +183,13 @@ pub mod bool {
             use ::rand::Rng as _;
             rng.gen::<bool>()
         }
+        fn shrink(&self, value: &bool) -> Vec<bool> {
+            if *value {
+                vec![false]
+            } else {
+                Vec::new()
+            }
+        }
     }
 }
 
@@ -151,6 +197,7 @@ pub mod bool {
 #[macro_export]
 macro_rules! prop_assert {
     ($cond:expr) => {
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
         if !($cond) {
             return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
                 "assertion failed: {}",
@@ -159,6 +206,7 @@ macro_rules! prop_assert {
         }
     };
     ($cond:expr, $($fmt:tt)+) => {
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
         if !($cond) {
             return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
                 "assertion failed: {}: {}",
@@ -219,6 +267,7 @@ macro_rules! prop_assert_ne {
 #[macro_export]
 macro_rules! prop_assume {
     ($cond:expr $(, $($fmt:tt)+)?) => {
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
         if !($cond) {
             return ::std::result::Result::Err($crate::TestCaseError::Reject);
         }
@@ -261,6 +310,17 @@ macro_rules! __proptest_items {
             let config: $crate::ProptestConfig = $cfg;
             let base_seed =
                 $crate::__fnv1a(concat!(module_path!(), "::", stringify!($name)));
+            // The arg strategies as one composite tuple strategy, so
+            // the whole case can be regenerated and shrunk as a unit.
+            let __strategy = ($($strategy,)+);
+            let __runner = $crate::strategy::__constrain(
+                &__strategy,
+                |__case| -> ::std::result::Result<(), $crate::TestCaseError> {
+                    let ($($arg,)+) = ::std::clone::Clone::clone(__case);
+                    $body
+                    ::std::result::Result::Ok(())
+                },
+            );
             let mut accepted: u32 = 0;
             let mut rejected: u32 = 0;
             let mut attempt: u64 = 0;
@@ -270,12 +330,9 @@ macro_rules! __proptest_items {
                 );
                 attempt += 1;
                 let mut __rng = <$crate::strategy::TestRng as $crate::strategy::SeedableRng>::seed_from_u64(case_seed);
-                $(let $arg = $crate::strategy::Strategy::generate(&($strategy), &mut __rng);)+
-                let outcome = (|| -> ::std::result::Result<(), $crate::TestCaseError> {
-                    $body
-                    ::std::result::Result::Ok(())
-                })();
-                match outcome {
+                let __case =
+                    $crate::strategy::Strategy::generate(&__strategy, &mut __rng);
+                match __runner(&__case) {
                     ::std::result::Result::Ok(()) => accepted += 1,
                     ::std::result::Result::Err($crate::TestCaseError::Reject) => {
                         rejected += 1;
@@ -285,8 +342,11 @@ macro_rules! __proptest_items {
                         );
                     }
                     ::std::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                        let (__minimal, __msg, __steps) =
+                            $crate::__shrink(&__strategy, __case, msg, &__runner);
                         panic!(
-                            "proptest case {accepted} failed (case seed {case_seed:#x}): {msg}"
+                            "proptest case {accepted} failed (case seed {case_seed:#x}): {__msg}\n\
+                             minimal failing case after {__steps} shrink step(s): {__minimal:?}"
                         );
                     }
                 }
@@ -294,6 +354,46 @@ macro_rules! __proptest_items {
         }
         $crate::__proptest_items!(($cfg) $($rest)*);
     };
+}
+
+/// Greedy coordinate-descent shrinking: repeatedly replace the
+/// failing case with any strategy-proposed simpler candidate that
+/// still fails, until none does (or the budget runs out). Returns the
+/// minimal case, its failure message, and the number of accepted
+/// shrink steps.
+#[doc(hidden)]
+pub fn __shrink<S, F>(
+    strategy: &S,
+    mut case: S::Value,
+    mut msg: String,
+    runner: &F,
+) -> (S::Value, String, u32)
+where
+    S: strategy::Strategy,
+    S::Value: Clone + ::std::fmt::Debug,
+    F: Fn(&S::Value) -> ::std::result::Result<(), TestCaseError>,
+{
+    /// Upper bound on candidate evaluations (the test body may be
+    /// expensive; bisection converges long before this).
+    const SHRINK_BUDGET: u32 = 256;
+    let mut budget = SHRINK_BUDGET;
+    let mut steps = 0u32;
+    'descend: loop {
+        for candidate in strategy.shrink(&case) {
+            if budget == 0 {
+                break 'descend;
+            }
+            budget -= 1;
+            if let Err(TestCaseError::Fail(m)) = runner(&candidate) {
+                case = candidate;
+                msg = m;
+                steps += 1;
+                continue 'descend;
+            }
+        }
+        break;
+    }
+    (case, msg, steps)
 }
 
 #[cfg(test)]
@@ -333,7 +433,7 @@ mod tests {
         let strat = prop_oneof![
             (0u64..10).prop_map(|v| v as f64),
             Just(42.0f64),
-            (0.0f64..1.0),
+            0.0f64..1.0,
         ];
         let mut rng = crate::strategy::TestRng::seed_from_u64(1);
         let mut saw_just = false;
@@ -361,6 +461,83 @@ mod tests {
             let s = set.generate(&mut rng);
             assert!((3..32).contains(&s.len()));
         }
+    }
+
+    // Deliberately failing properties (no #[test] attribute — they
+    // are invoked under catch_unwind to inspect the shrink report).
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+        fn fails_at_or_above_57(x in 0u64..1000) {
+            prop_assert!(x < 57, "x = {x}");
+        }
+
+        fn fails_when_flag_with_big_value(flag in crate::bool::ANY, y in 0u64..512) {
+            prop_assert!(!(flag && y >= 128), "flag {flag}, y = {y}");
+        }
+
+        fn fails_on_large_floats(y in 0.0f64..=512.0) {
+            prop_assert!(y < 128.0, "y = {y}");
+        }
+
+        fn fails_on_wide_signed_range(x in -100i8..=100) {
+            prop_assert!(x < 50, "x = {x}");
+        }
+    }
+
+    fn failure_message(f: impl Fn() + std::panic::UnwindSafe) -> String {
+        let err = std::panic::catch_unwind(f).expect_err("property must fail");
+        err.downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+            .expect("panic payload should be a string")
+    }
+
+    #[test]
+    fn failing_integer_case_shrinks_to_the_boundary() {
+        let msg = failure_message(fails_at_or_above_57);
+        assert!(msg.contains("case seed"), "msg: {msg}");
+        assert!(
+            msg.contains("minimal failing case") && msg.contains("(57,)"),
+            "bisection should land exactly on the 57 boundary: {msg}"
+        );
+    }
+
+    #[test]
+    fn failing_tuple_case_shrinks_component_wise() {
+        let msg = failure_message(fails_when_flag_with_big_value);
+        // flag must stay true (false passes); y must bisect to 128.
+        assert!(
+            msg.contains("(true, 128)"),
+            "expected component-wise minimum (true, 128): {msg}"
+        );
+    }
+
+    #[test]
+    fn signed_range_wider_than_half_domain_shrinks_without_overflow() {
+        // Regression: `v - lo` overflows i8 when the range spans more
+        // than half the domain; the midpoint must widen first.
+        let msg = failure_message(fails_on_wide_signed_range);
+        assert!(
+            msg.contains("(50,)"),
+            "signed shrink should land on the 50 boundary: {msg}"
+        );
+    }
+
+    #[test]
+    fn failing_float_case_shrinks_toward_the_boundary() {
+        let msg = failure_message(fails_on_large_floats);
+        let shrunk: f64 = msg
+            .rsplit('(')
+            .next()
+            .and_then(|tail| tail.split(',').next())
+            .and_then(|num| num.trim().parse().ok())
+            .unwrap_or(f64::NAN);
+        // Geometric bisection cannot land exactly on the boundary,
+        // but it must get close from a start anywhere up to 512.
+        assert!(
+            (128.0..140.0).contains(&shrunk),
+            "float shrink should approach 128, got {shrunk} in: {msg}"
+        );
     }
 
     #[test]

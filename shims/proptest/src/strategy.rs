@@ -13,14 +13,29 @@ pub use rand::SeedableRng;
 
 /// A recipe for producing values of some type from an RNG.
 ///
-/// Unlike the real crate there is no value tree / shrinking: a
-/// strategy is just a deterministic function of the RNG stream.
+/// Unlike the real crate there is no full value tree; shrinking is a
+/// lightweight afterthought: [`Strategy::shrink`] proposes a few
+/// simpler candidates for a failing value (halving/bisection toward
+/// the domain minimum for numbers, length halving for collections,
+/// component-wise for tuples) and the `proptest!` runner keeps any
+/// candidate that still fails.
 pub trait Strategy {
     /// The type of generated values.
     type Value;
 
     /// Draws one value.
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Proposes strictly-simpler candidates for a failing `value`,
+    /// most aggressive first. Candidates must stay within the
+    /// strategy's domain. The default proposes nothing (combinators
+    /// like `prop_map` cannot invert their mapping).
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value>
+    where
+        Self::Value: Clone,
+    {
+        Vec::new()
+    }
 
     /// Maps generated values through `f`.
     fn prop_map<O, F>(self, f: F) -> Map<Self, F>
@@ -43,10 +58,28 @@ pub trait Strategy {
 /// A type-erased strategy.
 pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
 
+/// Pins a test-runner closure's argument type to `&S::Value` at the
+/// definition site (closure bodies are type-checked before later
+/// call sites could constrain an `&_` parameter).
+#[doc(hidden)]
+pub fn __constrain<S, F>(_strategy: &S, runner: F) -> F
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> ::std::result::Result<(), crate::TestCaseError>,
+{
+    runner
+}
+
 impl<S: Strategy + ?Sized> Strategy for Box<S> {
     type Value = S::Value;
     fn generate(&self, rng: &mut TestRng) -> Self::Value {
         (**self).generate(rng)
+    }
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value>
+    where
+        Self::Value: Clone,
+    {
+        (**self).shrink(value)
     }
 }
 
@@ -54,6 +87,12 @@ impl<S: Strategy + ?Sized> Strategy for &S {
     type Value = S::Value;
     fn generate(&self, rng: &mut TestRng) -> Self::Value {
         (**self).generate(rng)
+    }
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value>
+    where
+        Self::Value: Clone,
+    {
+        (**self).shrink(value)
     }
 }
 
@@ -107,12 +146,59 @@ impl<T> Strategy for Union<T> {
     }
 }
 
-macro_rules! impl_range_strategy {
+/// Bisection candidates toward `lo` for an integer: the minimum
+/// itself, the midpoint, and the predecessor — each strictly simpler
+/// than `v` and within `[lo, v)`.
+macro_rules! int_shrink_toward {
+    ($lo:expr, $v:expr) => {{
+        let (lo, v) = ($lo, $v);
+        let mut out = Vec::new();
+        if v > lo {
+            out.push(lo);
+            // Widen before subtracting: `v - lo` overflows signed
+            // types when the range spans more than half the domain.
+            let mid = ((lo as i128) + ((v as i128) - (lo as i128)) / 2) as _;
+            if mid != lo && mid != v {
+                out.push(mid);
+            }
+            if v - 1 != lo {
+                out.push(v - 1);
+            }
+        }
+        out
+    }};
+}
+
+/// Bisection candidates toward `lo` for a float: the minimum, then a
+/// ladder of geometric steps back toward `v` so greedy descent can
+/// close in on a failure boundary anywhere in `(lo, v)`.
+macro_rules! float_shrink_toward {
+    ($lo:expr, $v:expr) => {{
+        let (lo, v) = ($lo, $v);
+        let mut out = Vec::new();
+        if v.is_finite() && v > lo {
+            out.push(lo);
+            let d = v - lo;
+            for frac in [0.25, 0.5, 0.75, 0.875, 0.937_5, 0.968_75, 0.984_375] {
+                let c = lo + d * frac;
+                if c > lo && c < v {
+                    out.push(c);
+                }
+            }
+        }
+        out
+    }};
+}
+
+macro_rules! impl_int_range_strategy {
     ($($t:ty),*) => {$(
         impl Strategy for Range<$t> {
             type Value = $t;
             fn generate(&self, rng: &mut TestRng) -> $t {
                 rng.gen_range(self.clone())
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                int_shrink_toward!(self.start, *value)
             }
         }
         impl Strategy for RangeInclusive<$t> {
@@ -120,30 +206,104 @@ macro_rules! impl_range_strategy {
             fn generate(&self, rng: &mut TestRng) -> $t {
                 rng.gen_range(self.clone())
             }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                int_shrink_toward!(*self.start(), *value)
+            }
         }
     )*};
 }
-impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                float_shrink_toward!(self.start, *value)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                float_shrink_toward!(*self.start(), *value)
+            }
+        }
+    )*};
+}
+impl_float_range_strategy!(f32, f64);
 
 macro_rules! impl_tuple_strategy {
-    ($($name:ident),+) => {
-        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+    ($(($name:ident, $idx:tt)),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+)
+        where
+            $($name::Value: Clone),+
+        {
             type Value = ($($name::Value,)+);
-            #[allow(non_snake_case)]
             fn generate(&self, rng: &mut TestRng) -> Self::Value {
-                let ($($name,)+) = self;
-                ($($name.generate(rng),)+)
+                ($(self.$idx.generate(rng),)+)
+            }
+            /// Component-wise shrinking: each candidate simplifies
+            /// one component and clones the rest.
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value>
+            where
+                Self::Value: Clone,
+            {
+                let mut out = Vec::new();
+                $(
+                    for candidate in self.$idx.shrink(&value.$idx) {
+                        let mut next = value.clone();
+                        next.$idx = candidate;
+                        out.push(next);
+                    }
+                )+
+                out
             }
         }
     };
 }
-impl_tuple_strategy!(A);
-impl_tuple_strategy!(A, B);
-impl_tuple_strategy!(A, B, C);
-impl_tuple_strategy!(A, B, C, D);
-impl_tuple_strategy!(A, B, C, D, E);
-impl_tuple_strategy!(A, B, C, D, E, F);
-impl_tuple_strategy!(A, B, C, D, E, F, G);
-impl_tuple_strategy!(A, B, C, D, E, F, G, H);
-impl_tuple_strategy!(A, B, C, D, E, F, G, H, I);
-impl_tuple_strategy!(A, B, C, D, E, F, G, H, I, J);
+impl_tuple_strategy!((A, 0));
+impl_tuple_strategy!((A, 0), (B, 1));
+impl_tuple_strategy!((A, 0), (B, 1), (C, 2));
+impl_tuple_strategy!((A, 0), (B, 1), (C, 2), (D, 3));
+impl_tuple_strategy!((A, 0), (B, 1), (C, 2), (D, 3), (E, 4));
+impl_tuple_strategy!((A, 0), (B, 1), (C, 2), (D, 3), (E, 4), (F, 5));
+impl_tuple_strategy!((A, 0), (B, 1), (C, 2), (D, 3), (E, 4), (F, 5), (G, 6));
+impl_tuple_strategy!(
+    (A, 0),
+    (B, 1),
+    (C, 2),
+    (D, 3),
+    (E, 4),
+    (F, 5),
+    (G, 6),
+    (H, 7)
+);
+impl_tuple_strategy!(
+    (A, 0),
+    (B, 1),
+    (C, 2),
+    (D, 3),
+    (E, 4),
+    (F, 5),
+    (G, 6),
+    (H, 7),
+    (I, 8)
+);
+impl_tuple_strategy!(
+    (A, 0),
+    (B, 1),
+    (C, 2),
+    (D, 3),
+    (E, 4),
+    (F, 5),
+    (G, 6),
+    (H, 7),
+    (I, 8),
+    (J, 9)
+);
