@@ -1,9 +1,14 @@
 //! Shared experiment machinery: run a configuration `n` times with
 //! derived seeds, average the metrics each figure reads out.
+//!
+//! Repeated runs execute as a
+//! [`CommunityCluster`](replend_core::cluster::CommunityCluster) — K
+//! independent communities stepped in parallel on the rayon pool,
+//! with the same `seed_for_run` schedule the serial path uses, so
+//! results are bit-identical to running them one after another.
 
-use replend_core::community::CommunityBuilder;
-use replend_core::{BootstrapPolicy, EngineKind};
-use replend_sim::runner::run_many_parallel;
+use replend_core::community::{Community, CommunityBuilder};
+use replend_core::{BootstrapPolicy, CommunityCluster, EngineKind};
 use replend_types::Table1;
 use serde::{Deserialize, Serialize};
 
@@ -90,20 +95,8 @@ pub struct ExperimentPoint {
     pub metrics: RunMetrics,
 }
 
-/// Executes one run of `ticks` ticks and extracts the metrics.
-pub fn run_once(
-    config: Table1,
-    policy: BootstrapPolicy,
-    engine: EngineKind,
-    seed: u64,
-    ticks: u64,
-) -> RunMetrics {
-    let mut community = CommunityBuilder::new(config)
-        .policy(policy)
-        .engine(engine)
-        .seed(seed)
-        .build();
-    community.run(ticks);
+/// Reads the metrics out of a finished community.
+pub fn metrics_of(community: &Community) -> RunMetrics {
     let stats = *community.stats();
     let pop = community.population();
     RunMetrics {
@@ -124,7 +117,26 @@ pub fn run_once(
     }
 }
 
-/// Averages `n_runs` seeded runs (executed in parallel).
+/// Executes one run of `ticks` ticks and extracts the metrics.
+pub fn run_once(
+    config: Table1,
+    policy: BootstrapPolicy,
+    engine: EngineKind,
+    seed: u64,
+    ticks: u64,
+) -> RunMetrics {
+    let mut community = CommunityBuilder::new(config)
+        .policy(policy)
+        .engine(engine)
+        .seed(seed)
+        .build();
+    community.run(ticks);
+    metrics_of(&community)
+}
+
+/// Averages `n_runs` seeded runs, executed as a parallel
+/// [`CommunityCluster`]. Seed schedule and results are identical to
+/// calling [`run_once`] per derived seed.
 pub fn run_average(
     config: Table1,
     policy: BootstrapPolicy,
@@ -133,9 +145,10 @@ pub fn run_average(
     n_runs: usize,
     ticks: u64,
 ) -> RunMetrics {
-    let runs = run_many_parallel(n_runs, base_seed, |seed| {
-        run_once(config, policy, engine, seed, ticks)
-    });
+    let builder = CommunityBuilder::new(config).policy(policy).engine(engine);
+    let mut cluster = CommunityCluster::build(builder, n_runs, base_seed);
+    cluster.run(ticks);
+    let runs: Vec<RunMetrics> = cluster.communities().iter().map(metrics_of).collect();
     RunMetrics::average(&runs)
 }
 

@@ -8,17 +8,22 @@
 //!             [--policy lending|open|fixed-credit|positive-only|complaints-only]
 //!             [--intro-amt F] [--reward F] [--wait N] [--audit-trans N]
 //!             [--departure-rate F] [--seed N] [--runs N] [--sample N]
-//!             [--histogram N]
+//!             [--histogram N] [--shards N] [--communities K]
 //! replend table1
 //! replend help
 //! ```
+//!
+//! `--shards` partitions the reputation engine's subject store
+//! (byte-identical results for any shard count); `--communities`
+//! runs K independent communities in parallel as one in-process
+//! cluster and prints merged aggregates plus a per-community table.
 //!
 //! Argument parsing is hand-rolled (the workspace's dependency policy
 //! has no CLI crate) and fully unit-tested; `main.rs` is a thin shell
 //! around [`run_cli`].
 
 use replend_core::community::CommunityBuilder;
-use replend_core::{BootstrapPolicy, EngineKind};
+use replend_core::{BootstrapPolicy, CommunityCluster, EngineKind};
 use replend_sim::runner::{run_many_parallel, Summary};
 use replend_types::{Table1, TopologyKind};
 use std::fmt::Write as _;
@@ -51,6 +56,9 @@ pub struct RunArgs {
     pub histogram: usize,
     /// Departure churn rate (extension; 0 = paper model).
     pub departure_rate: f64,
+    /// Independent communities stepped in parallel as one cluster
+    /// (1 = the classic single-community run).
+    pub communities: usize,
 }
 
 impl Default for RunArgs {
@@ -63,6 +71,7 @@ impl Default for RunArgs {
             sample: 0,
             histogram: 0,
             departure_rate: 0.0,
+            communities: 1,
         }
     }
 }
@@ -194,6 +203,14 @@ pub fn parse_args(args: &[&str]) -> Result<Command, UsageError> {
                         out.histogram = parse_value(flag, value)?;
                         i += 2;
                     }
+                    "--shards" => {
+                        out.config.sim.num_shards = parse_value(flag, value)?;
+                        i += 2;
+                    }
+                    "--communities" => {
+                        out.communities = parse_value(flag, value)?;
+                        i += 2;
+                    }
                     other => return Err(UsageError(format!("unknown flag {other:?}"))),
                 }
             }
@@ -202,6 +219,16 @@ pub fn parse_args(args: &[&str]) -> Result<Command, UsageError> {
                 .map_err(|e| UsageError(format!("invalid configuration: {e}")))?;
             if out.runs == 0 {
                 return Err(UsageError("--runs must be at least 1".into()));
+            }
+            if out.communities == 0 {
+                return Err(UsageError("--communities must be at least 1".into()));
+            }
+            if out.communities > 1 && out.runs > 1 {
+                return Err(UsageError(
+                    "--communities and --runs cannot both exceed 1 \
+                     (a cluster already averages over its communities)"
+                        .into(),
+                ));
             }
             Ok(Command::Run(out))
         }
@@ -239,7 +266,12 @@ pub fn usage() -> String {
      \x20 --seed N            RNG seed (default 0)\n\
      \x20 --runs N            averaged runs (default 1)\n\
      \x20 --sample N          also print a reputation series every N ticks\n\
-     \x20 --histogram N       print an N-bucket member reputation histogram\n"
+     \x20 --histogram N       print an N-bucket member reputation histogram\n\
+     \x20 --shards N          reputation-engine shards (default 1; results are\n\
+     \x20                     byte-identical for any shard count)\n\
+     \x20 --communities K     run K independent communities in parallel as one\n\
+     \x20                     in-process cluster; prints merged aggregates and\n\
+     \x20                     a per-community table (default 1)\n"
         .to_string()
 }
 
@@ -289,7 +321,143 @@ struct RunOutput {
     hist: Vec<u64>,
 }
 
+/// Renders a member-reputation histogram bucket table (shared by the
+/// single-community and cluster output paths).
+fn render_histogram(out: &mut String, title: &str, buckets: &[u64]) {
+    let n = buckets.len();
+    let total: u64 = buckets.iter().sum();
+    let _ = writeln!(out, "{title}");
+    for (i, &b) in buckets.iter().enumerate() {
+        let lo = i as f64 / n as f64;
+        let hi = (i + 1) as f64 / n as f64;
+        let bar_len = (b * 50).checked_div(total).unwrap_or(0) as usize;
+        let _ = writeln!(
+            out,
+            "    [{lo:.2}, {hi:.2})  {b:>7}  {}",
+            "#".repeat(bar_len)
+        );
+    }
+}
+
+/// Renders a fixed-interval reputation series averaged element-wise
+/// across sources (runs or communities).
+fn render_series(out: &mut String, interval: u64, series: &[Vec<f64>]) {
+    let Some(first) = series.first() else {
+        return;
+    };
+    let _ = writeln!(out, "  reputation series (every {interval} ticks):");
+    for i in 0..first.len() {
+        let mean: f64 = series.iter().map(|s| s[i]).sum::<f64>() / series.len() as f64;
+        let _ = writeln!(out, "    t={:>9}  {:.4}", (i as u64 + 1) * interval, mean);
+    }
+}
+
+/// Executes a `--communities K` run: K independent communities
+/// stepped in parallel, merged aggregates plus a per-community table.
+fn run_cluster(args: &RunArgs) -> String {
+    let ticks = args.config.sim.num_trans;
+    let builder = CommunityBuilder::new(args.config)
+        .policy(args.policy)
+        .engine(EngineKind::default())
+        .departure_rate(args.departure_rate);
+    let mut cluster = CommunityCluster::build(builder, args.communities, args.seed);
+    let series: Vec<Vec<f64>> = if args.sample > 0 {
+        cluster
+            .run_sampled(ticks, args.sample, |c| {
+                c.mean_cooperative_reputation().unwrap_or(0.0)
+            })
+            .into_iter()
+            .map(|s| s.values().to_vec())
+            .collect()
+    } else {
+        cluster.run(ticks);
+        Vec::new()
+    };
+
+    let pop = cluster.population();
+    let stats = cluster.stats();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "replend: {} ticks × {} communities (parallel cluster), policy {}, topology {}, \
+         {} engine shard(s), seed {}",
+        ticks,
+        cluster.len(),
+        args.policy.name(),
+        args.config.sim.topology,
+        args.config.sim.num_shards,
+        args.seed
+    );
+    let _ = writeln!(out, "  merged population:");
+    let _ = writeln!(out, "    cooperative members    {}", pop.cooperative);
+    let _ = writeln!(out, "    uncooperative members  {}", pop.uncooperative);
+    let _ = writeln!(out, "    waiting                {}", pop.waiting);
+    let _ = writeln!(out, "    refused                {}", pop.refused);
+    let _ = writeln!(
+        out,
+        "    success rate           {}",
+        stats
+            .success_rate()
+            .map(|r| format!("{r:.4}"))
+            .unwrap_or_else(|| "n/a".into())
+    );
+    let _ = writeln!(
+        out,
+        "    mean coop reputation   {}",
+        cluster
+            .mean_cooperative_reputation()
+            .map(|r| format!("{r:.4}"))
+            .unwrap_or_else(|| "n/a".into())
+    );
+    let _ = writeln!(
+        out,
+        "    mean uncoop reputation {}",
+        cluster
+            .mean_uncooperative_reputation()
+            .map(|r| format!("{r:.4}"))
+            .unwrap_or_else(|| "n/a".into())
+    );
+    let _ = writeln!(
+        out,
+        "  per community (seed schedule order):\n\
+         \x20   idx   members  coop  uncoop  waiting  coop rep  success"
+    );
+    for s in cluster.summaries() {
+        let _ = writeln!(
+            out,
+            "    {:>3}  {:>8}  {:>4}  {:>6}  {:>7}  {:>8}  {:>7}",
+            s.index,
+            s.population.members,
+            s.population.cooperative,
+            s.population.uncooperative,
+            s.population.waiting,
+            s.mean_coop_rep
+                .map(|r| format!("{r:.4}"))
+                .unwrap_or_else(|| "n/a".into()),
+            s.success_rate
+                .map(|r| format!("{r:.4}"))
+                .unwrap_or_else(|| "n/a".into()),
+        );
+    }
+    if args.histogram > 0 {
+        let hist = cluster.reputation_histogram(args.histogram);
+        render_histogram(
+            &mut out,
+            &format!(
+                "  merged member reputation histogram ({} buckets):",
+                args.histogram
+            ),
+            hist.buckets(),
+        );
+    }
+    render_series(&mut out, args.sample, &series);
+    out
+}
+
 fn run_simulation(args: &RunArgs) -> String {
+    if args.communities > 1 {
+        return run_cluster(args);
+    }
     let ticks = args.config.sim.num_trans;
     let outputs = run_many_parallel(args.runs, args.seed, |seed| {
         let mut community = CommunityBuilder::new(args.config)
@@ -362,41 +530,15 @@ fn run_simulation(args: &RunArgs) -> String {
                 merged[i] += b;
             }
         }
-        let total: u64 = merged.iter().sum();
-        let _ = writeln!(
-            out,
-            "  member reputation histogram ({buckets} buckets, all runs):"
+        render_histogram(
+            &mut out,
+            &format!("  member reputation histogram ({buckets} buckets, all runs):"),
+            &merged,
         );
-        for (i, &b) in merged.iter().enumerate() {
-            let lo = i as f64 / buckets as f64;
-            let hi = (i + 1) as f64 / buckets as f64;
-            let bar_len = if total > 0 {
-                (b * 50 / total.max(1)) as usize
-            } else {
-                0
-            };
-            let _ = writeln!(
-                out,
-                "    [{lo:.2}, {hi:.2})  {b:>7}  {}",
-                "#".repeat(bar_len)
-            );
-        }
     }
     if args.sample > 0 {
-        if let Some(first) = outputs.first() {
-            let n = first.series.len();
-            let _ = writeln!(out, "  reputation series (every {} ticks):", args.sample);
-            for i in 0..n {
-                let mean: f64 =
-                    outputs.iter().map(|r| r.series[i]).sum::<f64>() / outputs.len() as f64;
-                let _ = writeln!(
-                    out,
-                    "    t={:>9}  {:.4}",
-                    (i as u64 + 1) * args.sample,
-                    mean
-                );
-            }
-        }
+        let series: Vec<Vec<f64>> = outputs.iter().map(|r| r.series.clone()).collect();
+        render_series(&mut out, args.sample, &series);
     }
     out
 }
@@ -482,12 +624,15 @@ mod tests {
             "3",
             "--sample",
             "250",
+            "--shards",
+            "4",
         ])
         .unwrap() else {
             panic!("expected Run");
         };
         assert_eq!(args.config.sim.num_trans, 1000);
         assert_eq!(args.config.sim.num_sm, 4);
+        assert_eq!(args.config.sim.num_shards, 4);
         assert_eq!(args.config.sim.topology, TopologyKind::Zipf);
         assert_eq!(args.policy, BootstrapPolicy::OpenAdmission { initial: 0.5 });
         assert_eq!(args.config.lending.wait_period, 500);
@@ -504,6 +649,12 @@ mod tests {
         assert!(parse_args(&["run", "--runs", "0"]).is_err());
         assert!(parse_args(&["run", "--ticks"]).is_err(), "missing value");
         assert!(parse_args(&["run", "--ticks", "abc"]).is_err());
+        assert!(parse_args(&["run", "--shards", "0"]).is_err());
+        assert!(parse_args(&["run", "--communities", "0"]).is_err());
+        assert!(
+            parse_args(&["run", "--communities", "2", "--runs", "2"]).is_err(),
+            "cluster and multi-run averaging are mutually exclusive"
+        );
     }
 
     #[test]
@@ -580,8 +731,78 @@ mod tests {
             "--runs",
             "--sample",
             "--histogram",
+            "--shards",
+            "--communities",
         ] {
             assert!(u.contains(flag), "usage missing {flag}");
         }
+    }
+
+    #[test]
+    fn cluster_run_prints_merged_and_per_community_output() {
+        let cmd = parse_args(&[
+            "run",
+            "--ticks",
+            "1500",
+            "--num-init",
+            "40",
+            "--lambda",
+            "0.02",
+            "--seed",
+            "3",
+            "--communities",
+            "3",
+            "--shards",
+            "2",
+            "--histogram",
+            "4",
+            "--sample",
+            "500",
+        ])
+        .unwrap();
+        let text = execute(cmd);
+        assert!(text.contains("3 communities"), "{text}");
+        assert!(text.contains("2 engine shard(s)"), "{text}");
+        assert!(text.contains("merged population"), "{text}");
+        assert!(text.contains("per community"), "{text}");
+        assert!(text.contains("histogram"), "{text}");
+        // --sample works in cluster mode too: a cross-community
+        // averaged series is printed.
+        assert!(
+            text.contains("reputation series (every 500 ticks)"),
+            "{text}"
+        );
+        assert!(text.contains("t="), "{text}");
+        // Three per-community rows, indices 0..=2.
+        for idx in ["  0  ", "  1  ", "  2  "] {
+            assert!(text.contains(idx), "missing community row {idx}: {text}");
+        }
+    }
+
+    #[test]
+    fn sharded_run_output_matches_unsharded() {
+        // The CLI surface of the tentpole guarantee: same seed, same
+        // printed bytes, any shard count.
+        let run = |shards: &str| {
+            execute(
+                parse_args(&[
+                    "run",
+                    "--ticks",
+                    "2000",
+                    "--num-init",
+                    "50",
+                    "--lambda",
+                    "0.03",
+                    "--seed",
+                    "11",
+                    "--shards",
+                    shards,
+                    "--histogram",
+                    "5",
+                ])
+                .unwrap(),
+            )
+        };
+        assert_eq!(run("1"), run("4"));
     }
 }

@@ -1,0 +1,315 @@
+//! In-process multi-community parallelism.
+//!
+//! A [`CommunityCluster`] owns K independent [`Community`] instances
+//! — separate populations, separate engines, separate RNG streams
+//! with seeds derived via the workspace's standard
+//! `seed_for_run(base_seed, i)` schedule — and steps them on the
+//! rayon pool through the generic
+//! [`Cluster`](replend_sim::cluster::Cluster) substrate. This is the
+//! score-manager overlay's scale-out story *within* one process: the
+//! paper's repeated-run experiments, multi-tenant deployments (one
+//! community per application), and parameter sweeps all reduce to
+//! "run K communities that never talk to each other".
+//!
+//! Because the communities are independent, parallel stepping is
+//! bit-identical to stepping them one after another, and the merged
+//! aggregates below are plain reductions over the per-community O(1)
+//! reads.
+
+use crate::community::{Community, CommunityBuilder};
+use crate::stats::{CommunityStats, Population};
+use replend_sim::cluster::{Cluster, ClusterNode};
+use replend_sim::series::TimeSeries;
+use replend_sim::stats::Histogram;
+use replend_types::SimTime;
+
+impl ClusterNode for Community {
+    fn advance(&mut self, ticks: u64) {
+        self.run(ticks);
+    }
+}
+
+/// Everything a sweep or operator view needs from one member
+/// community of a cluster.
+#[derive(Clone, Copy, Debug)]
+pub struct CommunitySummary {
+    /// Index in the cluster (seed schedule position).
+    pub index: usize,
+    /// Final population snapshot.
+    pub population: Population,
+    /// Mean reputation of cooperative members, if any.
+    pub mean_coop_rep: Option<f64>,
+    /// Mean reputation of uncooperative members, if any.
+    pub mean_uncoop_rep: Option<f64>,
+    /// §4.1 decision success rate, if any decision was taken.
+    pub success_rate: Option<f64>,
+}
+
+/// K independent communities stepped in parallel.
+pub struct CommunityCluster {
+    inner: Cluster<Community>,
+}
+
+impl CommunityCluster {
+    /// Builds `communities` communities from one configured builder.
+    /// Community `i` gets the seed `seed_for_run(base_seed, i)` — the
+    /// exact schedule of
+    /// [`run_many_parallel`](replend_sim::runner::run_many_parallel),
+    /// so a K-community cluster reproduces K independent seeded runs.
+    pub fn build(builder: CommunityBuilder, communities: usize, base_seed: u64) -> Self {
+        CommunityCluster {
+            inner: Cluster::from_seeds(communities, base_seed, |seed| builder.seed(seed).build()),
+        }
+    }
+
+    /// Number of communities.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// True when the cluster holds no communities.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// The communities, in seed-schedule order.
+    pub fn communities(&self) -> &[Community] {
+        self.inner.nodes()
+    }
+
+    /// Mutable access to the communities (scenario scripting).
+    pub fn communities_mut(&mut self) -> &mut [Community] {
+        self.inner.nodes_mut()
+    }
+
+    /// Advances every community by `ticks`, in parallel.
+    pub fn run(&mut self, ticks: u64) {
+        self.inner.step_all(ticks);
+    }
+
+    /// Advances every community by `ticks` while sampling
+    /// `sampler(community)` every `interval` ticks, in parallel.
+    /// Returns one aligned series per community — feed them to
+    /// [`average_series`](replend_sim::series::average_series) for
+    /// the paper's cross-run averages.
+    pub fn run_sampled<F>(&mut self, ticks: u64, interval: u64, sampler: F) -> Vec<TimeSeries>
+    where
+        F: Fn(&Community) -> f64 + Sync,
+    {
+        self.inner.run_sampled(ticks, interval, sampler)
+    }
+
+    /// The latest common simulation time across the cluster (they
+    /// advance in lockstep under [`CommunityCluster::run`]).
+    pub fn time(&self) -> SimTime {
+        self.communities()
+            .iter()
+            .map(|c| c.time())
+            .min()
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// Merged population counters over all communities.
+    pub fn population(&self) -> Population {
+        let mut total = Population::default();
+        for c in self.communities() {
+            // Exhaustive destructuring (no `..`): adding a Population
+            // counter without merging it here is a compile error.
+            let Population {
+                members,
+                cooperative,
+                uncooperative,
+                waiting,
+                refused,
+                flagged,
+                departed,
+            } = c.population();
+            total.members += members;
+            total.cooperative += cooperative;
+            total.uncooperative += uncooperative;
+            total.waiting += waiting;
+            total.refused += refused;
+            total.flagged += flagged;
+            total.departed += departed;
+        }
+        total
+    }
+
+    /// Summed protocol counters over all communities.
+    pub fn stats(&self) -> CommunityStats {
+        let mut total = CommunityStats::default();
+        for c in self.communities() {
+            total.accumulate(c.stats());
+        }
+        total
+    }
+
+    /// Mean reputation over every cooperative member in the cluster
+    /// (each community's O(1) mean, weighted by its cooperative
+    /// population). `None` when there are none.
+    pub fn mean_cooperative_reputation(&self) -> Option<f64> {
+        Self::weighted_mean(
+            self.communities()
+                .iter()
+                .map(|c| (c.mean_cooperative_reputation(), c.population().cooperative)),
+        )
+    }
+
+    /// Mean reputation over every uncooperative member in the
+    /// cluster. `None` when there are none.
+    pub fn mean_uncooperative_reputation(&self) -> Option<f64> {
+        Self::weighted_mean(self.communities().iter().map(|c| {
+            (
+                c.mean_uncooperative_reputation(),
+                c.population().uncooperative,
+            )
+        }))
+    }
+
+    fn weighted_mean(parts: impl Iterator<Item = (Option<f64>, usize)>) -> Option<f64> {
+        let (mut sum, mut n) = (0.0, 0usize);
+        for (mean, count) in parts {
+            if let Some(m) = mean {
+                sum += m * count as f64;
+                n += count;
+            }
+        }
+        (n > 0).then(|| sum / n as f64)
+    }
+
+    /// Merged member-reputation histogram over `buckets` equal bins
+    /// of `[0, 1]` — bucket-wise sum of the per-community histograms.
+    pub fn reputation_histogram(&self, buckets: usize) -> Histogram {
+        let mut merged = Histogram::new(0.0, crate::peer_table::HIST_HI, buckets);
+        for c in self.communities() {
+            let h = c.reputation_histogram(buckets);
+            for (i, &count) in h.buckets().iter().enumerate() {
+                merged.add_to_bucket(i, count);
+            }
+        }
+        merged
+    }
+
+    /// Per-community summaries, in seed-schedule order.
+    pub fn summaries(&self) -> Vec<CommunitySummary> {
+        self.communities()
+            .iter()
+            .enumerate()
+            .map(|(index, c)| CommunitySummary {
+                index,
+                population: c.population(),
+                mean_coop_rep: c.mean_cooperative_reputation(),
+                mean_uncoop_rep: c.mean_uncooperative_reputation(),
+                success_rate: c.stats().success_rate(),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use replend_types::hash::seed_for_run;
+    use replend_types::Table1;
+
+    fn small_builder() -> CommunityBuilder {
+        CommunityBuilder::new(
+            Table1::paper_defaults()
+                .with_num_init(40)
+                .with_arrival_rate(0.05)
+                .with_num_trans(5_000),
+        )
+    }
+
+    #[test]
+    fn cluster_reproduces_independent_runs_exactly() {
+        let mut cluster = CommunityCluster::build(small_builder(), 4, 77);
+        cluster.run(2_000);
+        for (i, c) in cluster.communities().iter().enumerate() {
+            let mut solo = small_builder().seed(seed_for_run(77, i as u64)).build();
+            solo.run(2_000);
+            assert_eq!(c.stats(), solo.stats(), "community {i}");
+            assert_eq!(c.population(), solo.population());
+            assert_eq!(
+                c.mean_cooperative_reputation().map(f64::to_bits),
+                solo.mean_cooperative_reputation().map(f64::to_bits),
+                "community {i} mean must be bit-identical to its solo run"
+            );
+        }
+        assert_eq!(cluster.time(), SimTime(2_000));
+    }
+
+    #[test]
+    fn merged_aggregates_are_reductions_of_members() {
+        let mut cluster = CommunityCluster::build(small_builder(), 3, 5);
+        cluster.run(3_000);
+        let merged = cluster.population();
+        let by_hand: usize = cluster
+            .communities()
+            .iter()
+            .map(|c| c.population().members)
+            .sum();
+        assert_eq!(merged.members, by_hand);
+        assert_eq!(
+            merged.members,
+            merged.cooperative + merged.uncooperative,
+            "behaviour split covers the membership"
+        );
+
+        // Weighted mean equals the flat mean over all members.
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for c in cluster.communities() {
+            if let Some(m) = c.mean_cooperative_reputation() {
+                sum += m * c.population().cooperative as f64;
+                n += c.population().cooperative;
+            }
+        }
+        let expect = sum / n as f64;
+        let got = cluster.mean_cooperative_reputation().unwrap();
+        assert!((got - expect).abs() < 1e-12, "{got} vs {expect}");
+
+        // Histogram conserves the merged member count.
+        let hist = cluster.reputation_histogram(10);
+        assert_eq!(hist.count() as usize, merged.members);
+
+        // Summed stats cover every community's ticks.
+        assert_eq!(cluster.stats().ticks, 3 * 3_000);
+    }
+
+    #[test]
+    fn summaries_line_up_with_members() {
+        let mut cluster = CommunityCluster::build(small_builder(), 3, 9);
+        cluster.run(1_500);
+        let summaries = cluster.summaries();
+        assert_eq!(summaries.len(), 3);
+        for (s, c) in summaries.iter().zip(cluster.communities()) {
+            assert_eq!(s.population, c.population());
+            assert_eq!(s.success_rate, c.stats().success_rate());
+        }
+        assert_eq!(summaries[2].index, 2);
+    }
+
+    #[test]
+    fn sampled_cluster_run_matches_solo_sampled_run() {
+        let mut cluster = CommunityCluster::build(small_builder(), 2, 31);
+        let series = cluster.run_sampled(2_000, 500, |c| {
+            c.mean_cooperative_reputation().unwrap_or(0.0)
+        });
+        assert_eq!(series.len(), 2);
+        let mut solo = small_builder().seed(seed_for_run(31, 0)).build();
+        let solo_series = solo.run_sampled(2_000, 500, |c| {
+            c.mean_cooperative_reputation().unwrap_or(0.0)
+        });
+        assert_eq!(series[0], solo_series);
+    }
+
+    #[test]
+    fn empty_cluster_aggregates_are_neutral() {
+        let cluster = CommunityCluster::build(small_builder(), 0, 1);
+        assert!(cluster.is_empty());
+        assert_eq!(cluster.population(), Population::default());
+        assert_eq!(cluster.mean_cooperative_reputation(), None);
+        assert_eq!(cluster.reputation_histogram(5).count(), 0);
+    }
+}

@@ -157,9 +157,11 @@ impl CommunityBuilder {
             .validate()
             .expect("invalid Table-1 configuration");
         let mut rng = StdRng::seed_from_u64(self.seed);
-        let engine = self
-            .engine
-            .build(self.config.sim.num_sm, splitmix64(self.seed));
+        let engine = self.engine.build(
+            self.config.sim.num_sm,
+            self.config.sim.num_shards,
+            splitmix64(self.seed),
+        );
         let expected = self.config.sim.num_init
             + (self.config.sim.arrival_rate * self.config.sim.num_trans as f64) as usize
             + 16;
@@ -193,8 +195,8 @@ impl CommunityBuilder {
 pub struct Community {
     config: Table1,
     policy: BootstrapPolicy,
-    engine: Box<dyn ReputationEngine>,
-    topology: Box<dyn Topology>,
+    engine: Box<dyn ReputationEngine + Send>,
+    topology: Box<dyn Topology + Send>,
     table: PeerTable,
     book: IntroductionBook,
     bus: MessageBus,

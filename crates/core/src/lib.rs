@@ -35,6 +35,9 @@
 //! * [`community`] — the façade wiring ROCQ + DHT + topology +
 //!   Poisson arrivals into the paper's one-transaction-per-tick
 //!   simulator;
+//! * [`cluster`] — K independent communities stepped in parallel on
+//!   the rayon pool, with merged population / reputation aggregates
+//!   (in-process multi-community parallelism);
 //! * [`stats`] — the admission ledger, population counts, and the
 //!   §4.1 decision success-rate metric.
 //!
@@ -56,6 +59,7 @@
 //! ```
 
 pub mod audit;
+pub mod cluster;
 pub mod community;
 pub mod introduction;
 pub mod lending;
@@ -66,5 +70,6 @@ pub mod peer_table;
 pub mod policy;
 pub mod stats;
 
+pub use cluster::{CommunityCluster, CommunitySummary};
 pub use community::{Community, CommunityBuilder};
 pub use policy::{BootstrapPolicy, EngineKind};

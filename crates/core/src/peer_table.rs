@@ -47,8 +47,10 @@ pub const HIST_RESOLUTION: usize = 120;
 
 /// Upper edge of the histogram range — matches the seed's
 /// `Histogram::new(0.0, 1.0 + 1e-9, ..)` so reputation 1.0 lands in
-/// the top bin instead of overflow.
-const HIST_HI: f64 = 1.0 + 1e-9;
+/// the top bin instead of overflow. Public so every reputation
+/// histogram in the workspace (e.g. the cluster's merged one) uses
+/// the same bounds.
+pub const HIST_HI: f64 = 1.0 + 1e-9;
 
 /// The fine bin of a reputation value (same arithmetic as
 /// [`Histogram::record`] over `[0, HIST_HI)`).

@@ -83,11 +83,19 @@ pub enum EngineKind {
 }
 
 impl EngineKind {
-    /// Instantiates the engine. `num_sm` and `seed` only affect the
-    /// replicated ROCQ engine.
-    pub fn build(self, num_sm: usize, seed: u64) -> Box<dyn ReputationEngine> {
+    /// Instantiates the engine. `num_sm`, `num_shards` and `seed`
+    /// only affect the replicated ROCQ engine (the baselines are
+    /// centralised single structures).
+    pub fn build(
+        self,
+        num_sm: usize,
+        num_shards: usize,
+        seed: u64,
+    ) -> Box<dyn ReputationEngine + Send> {
         match self {
-            EngineKind::Rocq(params) => Box::new(RocqEngine::new(params, num_sm, seed)),
+            EngineKind::Rocq(params) => {
+                Box::new(RocqEngine::sharded(params, num_sm, num_shards, seed))
+            }
             EngineKind::SimpleAverage => Box::new(SimpleAverageEngine::new()),
             EngineKind::Ewma { alpha } => Box::new(EwmaEngine::new(alpha)),
             EngineKind::Beta => Box::new(BetaEngine::new()),
@@ -142,12 +150,16 @@ mod tests {
 
     #[test]
     fn engines_build() {
-        assert_eq!(EngineKind::default().build(6, 1).name(), "rocq");
+        assert_eq!(EngineKind::default().build(6, 1, 1).name(), "rocq");
+        assert_eq!(EngineKind::default().build(6, 4, 1).name(), "rocq");
         assert_eq!(
-            EngineKind::SimpleAverage.build(1, 1).name(),
+            EngineKind::SimpleAverage.build(1, 1, 1).name(),
             "simple-average"
         );
-        assert_eq!(EngineKind::Ewma { alpha: 0.2 }.build(1, 1).name(), "ewma");
-        assert_eq!(EngineKind::Beta.build(1, 1).name(), "beta");
+        assert_eq!(
+            EngineKind::Ewma { alpha: 0.2 }.build(1, 1, 1).name(),
+            "ewma"
+        );
+        assert_eq!(EngineKind::Beta.build(1, 1, 1).name(), "beta");
     }
 }

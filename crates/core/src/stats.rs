@@ -68,6 +68,49 @@ impl CommunityStats {
         Some(correct as f64 / total as f64)
     }
 
+    /// Adds every counter of `other` into `self` — used by the
+    /// multi-community cluster to expose fleet-wide totals.
+    pub fn accumulate(&mut self, other: &CommunityStats) {
+        // Exhaustive destructuring (no `..`): adding a counter to the
+        // struct without folding it in here is a compile error.
+        let CommunityStats {
+            arrived_cooperative,
+            arrived_uncooperative,
+            admitted_cooperative,
+            admitted_uncooperative,
+            refused_introducer_reputation,
+            refused_selective,
+            refused_no_introducer,
+            flagged_malicious,
+            audits_passed,
+            audits_failed,
+            accepted_cooperative,
+            denied_cooperative,
+            accepted_uncooperative,
+            denied_uncooperative,
+            departures,
+            ticks,
+            served_transactions,
+        } = *other;
+        self.arrived_cooperative += arrived_cooperative;
+        self.arrived_uncooperative += arrived_uncooperative;
+        self.admitted_cooperative += admitted_cooperative;
+        self.admitted_uncooperative += admitted_uncooperative;
+        self.refused_introducer_reputation += refused_introducer_reputation;
+        self.refused_selective += refused_selective;
+        self.refused_no_introducer += refused_no_introducer;
+        self.flagged_malicious += flagged_malicious;
+        self.audits_passed += audits_passed;
+        self.audits_failed += audits_failed;
+        self.accepted_cooperative += accepted_cooperative;
+        self.denied_cooperative += denied_cooperative;
+        self.accepted_uncooperative += accepted_uncooperative;
+        self.denied_uncooperative += denied_uncooperative;
+        self.departures += departures;
+        self.ticks += ticks;
+        self.served_transactions += served_transactions;
+    }
+
     /// Total arrivals.
     pub fn arrived_total(&self) -> u64 {
         self.arrived_cooperative + self.arrived_uncooperative

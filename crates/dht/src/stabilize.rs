@@ -62,7 +62,10 @@ impl Maintainer {
         // joins become visible to maintenance — and purge router
         // state of nodes that departed since the last snapshot.
         if self.cursor >= self.queue.len() {
-            self.queue = ring.to_vec();
+            // Refill in place: reuses the queue's allocation instead
+            // of building a fresh `Ring::to_vec` every cycle.
+            self.queue.clear();
+            self.queue.extend(ring.iter());
             self.cursor = 0;
             router.retain_live(ring);
         }

@@ -1,4 +1,5 @@
-//! The [`ReputationEngine`] trait and the replicated [`RocqEngine`].
+//! The [`ReputationEngine`] trait and the sharded, replicated
+//! [`RocqEngine`].
 //!
 //! The lending layer (crate `replend-core`) talks to reputation purely
 //! through this trait: register/remove peers, deliver post-transaction
@@ -7,21 +8,45 @@
 //! score-manager replication over the Chord ring; the simpler engines
 //! in [`baselines`](crate::baselines) implement it centrally for
 //! ablation comparisons.
+//!
+//! ## Sharding
+//!
+//! The engine partitions its subject store into [`EngineShard`]s by a
+//! deterministic `PeerId → shard` hash. Each shard owns the subject
+//! records, the replica-key index, the pairwise interaction counts and
+//! the delta buffer for *its* subjects, so the three bulk operations —
+//! [`ReputationEngine::report_batch`], churn handoffs, and the
+//! per-shard delta accounting behind them — touch disjoint state and
+//! can run on the rayon pool. Shard-count independence is structural:
+//!
+//! * a subject's entire state (replicas, credibilities, interaction
+//!   counts) lives in exactly one shard, and every operation on it is
+//!   applied in the same order for any shard count;
+//! * crash-loss decisions are a deterministic hash of
+//!   `(engine seed, subject, replica slot, per-replica re-homing
+//!   count)` rather than draws from a shared RNG stream, so they do
+//!   not depend on the order in which shards process a handoff;
+//! * [`ReputationEngine::drain_deltas`] merges the shard buffers in a
+//!   canonical order (stable sort by subject id — within a subject,
+//!   mutation order), which is identical for 1 and N shards.
+//!
+//! The determinism suite pins this down: a community run on a
+//! 4-shard engine is byte-identical to the same run on 1 shard.
 
 use crate::credibility::CredibilityTable;
 use crate::params::RocqParams;
 use crate::quality::{quality_from_count, InteractionLog};
 use crate::score::ScoreState;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use replend_dht::managers::replica_key;
 use replend_dht::ring::{HandoffEvent, Ring};
+use replend_types::hash::{salted, splitmix64};
 use replend_types::{Feedback, NodeId, PeerId, Reputation, ReputationDelta};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// Abstract reputation backend.
 ///
-/// Object-safe so the community can hold `Box<dyn ReputationEngine>`.
+/// Object-safe so the community can hold
+/// `Box<dyn ReputationEngine + Send>`.
 pub trait ReputationEngine {
     /// Introduces a new subject with the given starting reputation
     /// (0 for un-introduced entrants, `introAmt` once credited, …).
@@ -54,15 +79,19 @@ pub trait ReputationEngine {
     /// Delivers a tick's worth of opinions in one call, applied in
     /// order with semantics identical to calling
     /// [`ReputationEngine::report`] per element. Engines may override
-    /// this to amortise per-subject bookkeeping across the batch.
+    /// this to amortise per-subject bookkeeping across the batch or
+    /// to fan independent partitions out over threads.
     fn report_batch(&mut self, batch: &[Feedback]) {
         for f in batch {
             self.report(f.reporter, f.subject, f.opinion);
         }
     }
 
-    /// Appends to `out` every aggregate change since the last drain,
-    /// in mutation order, and clears the internal buffer.
+    /// Appends to `out` every aggregate change since the last drain
+    /// and clears the internal buffer. Within one subject, deltas
+    /// chain in mutation order; across subjects the order is
+    /// canonical (engine-defined but independent of how the engine
+    /// partitions its work internally).
     ///
     /// This is how the community keeps its incrementally-maintained
     /// mean-reputation accumulators in sync without polling every
@@ -85,6 +114,10 @@ struct Replica {
     state: ScoreState,
     /// Per-reporter credibility, local to this replica.
     creds: CredibilityTable,
+    /// Times this replica has been re-homed by churn — the counter
+    /// that (with the engine seed, subject and slot) determines the
+    /// deterministic crash-loss roll of the *next* re-homing.
+    rehomes: u64,
 }
 
 /// All replicas of one subject, plus the cached aggregate.
@@ -120,112 +153,60 @@ impl SubjectRecord {
     }
 }
 
-/// The replicated ROCQ engine.
-///
-/// Every registered peer is simultaneously an overlay node (in the
-/// paper, peers *are* the DHT nodes that act as score managers), so
-/// registration causes a ring join, removal a ring leave, and both
-/// trigger replica re-homing with optional crash loss.
-pub struct RocqEngine {
-    params: RocqParams,
-    num_sm: usize,
-    ring: Ring,
-    subjects: HashMap<PeerId, SubjectRecord>,
-    interactions: InteractionLog,
-    /// Replica-key index: key → (subject, replica slot), for O(moved)
-    /// churn handling instead of O(subjects).
-    key_index: BTreeMap<NodeId, Vec<(PeerId, usize)>>,
-    /// RNG used exclusively for crash-loss decisions.
-    rng: StdRng,
-    /// Number of replica re-homings that lost state (crash model).
-    crash_losses: u64,
-    /// Number of replica re-homings total.
-    rehomings: u64,
-    /// Aggregate changes since the last [`ReputationEngine::drain_deltas`].
-    deltas: Vec<ReputationDelta>,
-    /// Monotonic id of the current `report_batch` call.
-    batch_seq: u64,
+/// The deterministic crash-loss roll: a uniform `[0, 1)` value hashed
+/// from the engine seed and the replica's identity and re-homing
+/// count. Independent of shard layout and of the order in which
+/// re-homings are processed.
+#[inline]
+fn crash_roll(seed: u64, subject: PeerId, slot: usize, rehomes: u64) -> f64 {
+    // slot < numSM (single digits) and rehomes grow slowly; packing
+    // them into one salt keeps the tuple collision-free in practice.
+    let salt = ((slot as u64) << 48) ^ rehomes;
+    let bits = splitmix64(seed ^ salted(subject.raw(), salt));
+    // 53 high bits → the same [0, 1) grid rand uses for f64.
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
 }
 
-impl RocqEngine {
-    /// A new engine with `num_sm` score managers per subject.
-    ///
-    /// # Panics
-    /// If `params` fail validation or `num_sm` is zero.
-    pub fn new(params: RocqParams, num_sm: usize, seed: u64) -> Self {
-        params.validate().expect("invalid ROCQ parameters");
-        assert!(num_sm > 0, "need at least one score manager");
-        RocqEngine {
-            params,
-            num_sm,
-            ring: Ring::new(),
-            subjects: HashMap::new(),
-            interactions: InteractionLog::new(),
-            key_index: BTreeMap::new(),
-            rng: StdRng::seed_from_u64(seed),
-            crash_losses: 0,
-            rehomings: 0,
-            deltas: Vec::new(),
-            batch_seq: 0,
-        }
-    }
+/// Batches below this size are processed serially even on a
+/// multi-shard engine: the per-tick two-opinion batch must not pay a
+/// thread-pool round trip.
+const PARALLEL_BATCH_MIN: usize = 256;
 
-    /// The engine parameters.
-    pub fn params(&self) -> &RocqParams {
-        &self.params
-    }
+/// The shard index owning `peer`'s subject state in an engine with
+/// `num_shards` shards — the single definition of the engine's
+/// partition function (splitmix64 scatters the dense simulation ids
+/// uniformly, so shard loads stay balanced without coordination).
+/// Public so benches and diagnostics can reproduce the routing.
+#[inline]
+pub fn shard_of(peer: PeerId, num_shards: usize) -> usize {
+    (splitmix64(peer.raw()) % num_shards as u64) as usize
+}
 
-    /// The configured replication factor.
-    pub fn num_sm(&self) -> usize {
-        self.num_sm
-    }
-
-    /// Live overlay size.
-    pub fn overlay_len(&self) -> usize {
-        self.ring.len()
-    }
-
-    /// Total replica re-homings caused by churn so far.
-    pub fn rehomings(&self) -> u64 {
-        self.rehomings
-    }
-
+/// One partition of the engine state: the subjects whose
+/// `PeerId → shard` hash lands here, with every per-subject structure
+/// (replicas, key index, interaction counts, delta buffer) local to
+/// the shard.
+#[derive(Clone, Debug, Default)]
+struct EngineShard {
+    subjects: HashMap<PeerId, SubjectRecord>,
+    /// Replica-key index: key → (subject, replica slot), for O(moved)
+    /// churn handling instead of O(subjects). Holds only this shard's
+    /// subjects' keys.
+    key_index: BTreeMap<NodeId, Vec<(PeerId, usize)>>,
+    /// Pairwise (reporter, subject) interaction counts for subjects
+    /// of this shard.
+    interactions: InteractionLog,
+    /// Aggregate changes since the last drain, in mutation order.
+    deltas: Vec<ReputationDelta>,
+    /// Replica re-homings processed by this shard.
+    rehomings: u64,
     /// Re-homings that lost state under the crash model.
-    pub fn crash_losses(&self) -> u64 {
-        self.crash_losses
-    }
+    crash_losses: u64,
+}
 
-    /// Per-replica views of `subject` for the inspection API.
-    pub(crate) fn replica_views(
-        &self,
-        subject: PeerId,
-    ) -> Option<Vec<crate::inspect::ReplicaSnapshot>> {
-        let record = self.subjects.get(&subject)?;
-        Some(
-            record
-                .replicas
-                .iter()
-                .enumerate()
-                .map(|(slot, r)| crate::inspect::ReplicaSnapshot {
-                    slot,
-                    host: r.host,
-                    reputation: r.state.reputation(),
-                    evidence: r.state.weight(),
-                    known_reporters: r.creds.len(),
-                })
-                .collect(),
-        )
-    }
-
-    /// Replica 0's credibility for `reporter` (inspection API).
-    pub(crate) fn reporter_credibility(&self, subject: PeerId, reporter: PeerId) -> Option<f64> {
-        self.subjects
-            .get(&subject)
-            .and_then(|r| r.replicas.first())
-            .map(|r| r.creds.get(reporter))
-    }
-
-    /// Replica keys lying in the clockwise interval `(start, end]`.
+impl EngineShard {
+    /// Replica keys of this shard lying in the clockwise interval
+    /// `(start, end]`.
     fn keys_in_arc(&self, start: NodeId, end: NodeId) -> Vec<NodeId> {
         if start == end {
             // Whole ring (first join).
@@ -249,22 +230,25 @@ impl RocqEngine {
         }
     }
 
-    /// Applies a churn handoff: every replica whose key lies in the
-    /// moved arc is re-homed to `event.to`; with probability
-    /// `crash_prob` its state is lost and recovered from a surviving
-    /// sibling replica (or reset when none exists).
-    fn apply_handoff(&mut self, event: HandoffEvent) {
+    /// Applies a churn handoff to this shard: every replica whose key
+    /// lies in the moved arc is re-homed to `event.to`; with
+    /// probability `crash_prob` (decided by the deterministic
+    /// [`crash_roll`]) its state is lost and recovered from a
+    /// surviving sibling replica (or reset when none exists).
+    fn apply_handoff(&mut self, event: HandoffEvent, params: &RocqParams, seed: u64) {
         let moved = self.keys_in_arc(event.range_start, event.range_end);
         for key in moved {
             let assignments = self.key_index.get(&key).cloned().unwrap_or_default();
             for (subject, slot) in assignments {
                 self.rehomings += 1;
-                let crash =
-                    self.params.crash_prob > 0.0 && self.rng.gen::<f64>() < self.params.crash_prob;
                 let record = self
                     .subjects
                     .get_mut(&subject)
                     .expect("key index refers to live subject");
+                let rehomes = record.replicas[slot].rehomes;
+                record.replicas[slot].rehomes += 1;
+                let crash = params.crash_prob > 0.0
+                    && crash_roll(seed, subject, slot, rehomes) < params.crash_prob;
                 if crash {
                     self.crash_losses += 1;
                     // Recover from the first sibling replica hosted
@@ -283,10 +267,8 @@ impl RocqEngine {
                         }
                         None => {
                             replica.state = ScoreState::new(Reputation::ZERO, 0.0);
-                            replica.creds = CredibilityTable::new(
-                                self.params.initial_credibility,
-                                self.params.gamma,
-                            );
+                            replica.creds =
+                                CredibilityTable::new(params.initial_credibility, params.gamma);
                         }
                     }
                     // Recovery rewrote replica state: refresh the
@@ -306,25 +288,34 @@ impl RocqEngine {
     /// Applies one opinion to `subject`'s replicas *without*
     /// refreshing the cached aggregate (shared by [`report`] and
     /// [`report_batch`], which refresh at different granularities).
+    /// `members` is the engine-wide registry — the reporter may live
+    /// in another shard.
     ///
     /// Returns `false` when reporter or subject is unknown.
     ///
     /// [`report`]: ReputationEngine::report
     /// [`report_batch`]: ReputationEngine::report_batch
-    fn apply_report(&mut self, reporter: PeerId, subject: PeerId, opinion: f64) -> bool {
-        if !self.subjects.contains_key(&reporter) {
+    fn apply_report(
+        &mut self,
+        params: &RocqParams,
+        members: &HashSet<PeerId>,
+        reporter: PeerId,
+        subject: PeerId,
+        opinion: f64,
+    ) -> bool {
+        if !members.contains(&reporter) {
             return false;
         }
         let Some(record) = self.subjects.get_mut(&subject) else {
             return false;
         };
         let n = self.interactions.record(reporter, subject);
-        let q = quality_from_count(n, self.params.eta, self.params.min_quality);
+        let q = quality_from_count(n, params.eta, params.min_quality);
         for replica in &mut record.replicas {
             let c = replica.creds.get(reporter);
             let prev = replica.state.reputation().value();
-            let agreed = (opinion - prev).abs() <= self.params.agreement_threshold;
-            replica.state.report(opinion, c * q, self.params.weight_cap);
+            let agreed = (opinion - prev).abs() <= params.agreement_threshold;
+            replica.state.report(opinion, c * q, params.weight_cap);
             replica.creds.update(reporter, agreed);
         }
         true
@@ -343,11 +334,192 @@ impl RocqEngine {
             self.deltas.push(delta);
         }
     }
+
+    /// Applies this shard's slice of a report batch: every opinion in
+    /// order, then one cache refresh per touched subject (deduped via
+    /// the batch sequence number).
+    fn apply_batch(
+        &mut self,
+        params: &RocqParams,
+        members: &HashSet<PeerId>,
+        seq: u64,
+        batch: &[Feedback],
+    ) {
+        let mut touched: Vec<PeerId> = Vec::new();
+        for f in batch {
+            if let Some(subject) = self.apply_batch_item(params, members, seq, f) {
+                touched.push(subject);
+            }
+        }
+        for subject in touched {
+            self.refresh_cache(subject);
+        }
+    }
+
+    /// Applies one batch feedback, returning the subject when this is
+    /// its first touch in batch `seq` — the caller owes it one
+    /// [`EngineShard::refresh_cache`] after the whole batch. The
+    /// single dedup implementation shared by the parallel
+    /// ([`EngineShard::apply_batch`]) and serial
+    /// ([`RocqEngine::report_batch`]) paths.
+    fn apply_batch_item(
+        &mut self,
+        params: &RocqParams,
+        members: &HashSet<PeerId>,
+        seq: u64,
+        f: &Feedback,
+    ) -> Option<PeerId> {
+        if !self.apply_report(params, members, f.reporter, f.subject, f.opinion) {
+            return None;
+        }
+        let record = self
+            .subjects
+            .get_mut(&f.subject)
+            .expect("apply_report verified the subject");
+        (record.touched_seq != seq).then(|| {
+            record.touched_seq = seq;
+            f.subject
+        })
+    }
+}
+
+/// The sharded, replicated ROCQ engine.
+///
+/// Every registered peer is simultaneously an overlay node (in the
+/// paper, peers *are* the DHT nodes that act as score managers), so
+/// registration causes a ring join, removal a ring leave, and both
+/// trigger replica re-homing with optional crash loss. The ring is
+/// engine-global; the subject store is partitioned into shards (see
+/// the module docs).
+pub struct RocqEngine {
+    params: RocqParams,
+    num_sm: usize,
+    /// Engine seed — the source of the deterministic crash rolls.
+    seed: u64,
+    ring: Ring,
+    shards: Vec<EngineShard>,
+    /// Engine-wide subject registry: membership checks must see peers
+    /// in *other* shards (any member may report on any subject).
+    members: HashSet<PeerId>,
+    /// Monotonic id of the current `report_batch` call.
+    batch_seq: u64,
+}
+
+impl RocqEngine {
+    /// A single-shard engine with `num_sm` score managers per subject
+    /// (the Table-1 configuration).
+    ///
+    /// # Panics
+    /// If `params` fail validation or `num_sm` is zero.
+    pub fn new(params: RocqParams, num_sm: usize, seed: u64) -> Self {
+        Self::sharded(params, num_sm, 1, seed)
+    }
+
+    /// An engine whose subject store is partitioned into `num_shards`
+    /// shards. Results are byte-identical for every shard count;
+    /// shards > 1 lets large [`ReputationEngine::report_batch`] calls
+    /// fan out over the rayon pool.
+    ///
+    /// # Panics
+    /// If `params` fail validation or `num_sm` / `num_shards` is zero.
+    pub fn sharded(params: RocqParams, num_sm: usize, num_shards: usize, seed: u64) -> Self {
+        params.validate().expect("invalid ROCQ parameters");
+        assert!(num_sm > 0, "need at least one score manager");
+        assert!(num_shards > 0, "need at least one engine shard");
+        RocqEngine {
+            params,
+            num_sm,
+            seed,
+            ring: Ring::new(),
+            shards: vec![EngineShard::default(); num_shards],
+            members: HashSet::new(),
+            batch_seq: 0,
+        }
+    }
+
+    /// The shard index owning `peer`'s subject state.
+    #[inline]
+    fn shard_of(&self, peer: PeerId) -> usize {
+        shard_of(peer, self.shards.len())
+    }
+
+    /// The engine parameters.
+    pub fn params(&self) -> &RocqParams {
+        &self.params
+    }
+
+    /// The configured replication factor.
+    pub fn num_sm(&self) -> usize {
+        self.num_sm
+    }
+
+    /// The configured shard count.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Live overlay size.
+    pub fn overlay_len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Total replica re-homings caused by churn so far.
+    pub fn rehomings(&self) -> u64 {
+        self.shards.iter().map(|s| s.rehomings).sum()
+    }
+
+    /// Re-homings that lost state under the crash model.
+    pub fn crash_losses(&self) -> u64 {
+        self.shards.iter().map(|s| s.crash_losses).sum()
+    }
+
+    /// Per-replica views of `subject` for the inspection API.
+    pub(crate) fn replica_views(
+        &self,
+        subject: PeerId,
+    ) -> Option<Vec<crate::inspect::ReplicaSnapshot>> {
+        let record = self.shards[self.shard_of(subject)].subjects.get(&subject)?;
+        Some(
+            record
+                .replicas
+                .iter()
+                .enumerate()
+                .map(|(slot, r)| crate::inspect::ReplicaSnapshot {
+                    slot,
+                    host: r.host,
+                    reputation: r.state.reputation(),
+                    evidence: r.state.weight(),
+                    known_reporters: r.creds.len(),
+                })
+                .collect(),
+        )
+    }
+
+    /// Replica 0's credibility for `reporter` (inspection API).
+    pub(crate) fn reporter_credibility(&self, subject: PeerId, reporter: PeerId) -> Option<f64> {
+        self.shards[self.shard_of(subject)]
+            .subjects
+            .get(&subject)
+            .and_then(|r| r.replicas.first())
+            .map(|r| r.creds.get(reporter))
+    }
+
+    /// Applies a churn handoff to every shard. Each shard re-homes
+    /// (and possibly crash-recovers) only its own subjects' replicas;
+    /// the crash rolls are order-independent, so a serial sweep and a
+    /// parallel one are interchangeable — churn handoffs move few
+    /// keys per event on realistic rings, so the sweep stays serial.
+    fn apply_handoff(&mut self, event: HandoffEvent) {
+        let (params, seed) = (self.params, self.seed);
+        for shard in &mut self.shards {
+            shard.apply_handoff(event, &params, seed);
+        }
+    }
 }
 
 impl ReputationEngine for RocqEngine {
     fn register_peer(&mut self, peer: PeerId, initial: Reputation) {
-        if self.subjects.contains_key(&peer) {
+        if self.members.contains(&peer) {
             return;
         }
         // The peer becomes an overlay node first (it may end up
@@ -356,6 +528,7 @@ impl ReputationEngine for RocqEngine {
             self.apply_handoff(event);
         }
         let mut replicas = Vec::with_capacity(self.num_sm);
+        let home = self.shard_of(peer);
         for i in 0..self.num_sm {
             let key = replica_key(peer, i);
             let host = self.ring.successor(key).expect("ring non-empty after join");
@@ -364,8 +537,13 @@ impl ReputationEngine for RocqEngine {
                 host,
                 state: ScoreState::new(initial, self.params.prior_weight),
                 creds: CredibilityTable::new(self.params.initial_credibility, self.params.gamma),
+                rehomes: 0,
             });
-            self.key_index.entry(key).or_default().push((peer, i));
+            self.shards[home]
+                .key_index
+                .entry(key)
+                .or_default()
+                .push((peer, i));
         }
         let mut record = SubjectRecord {
             replicas,
@@ -373,59 +551,78 @@ impl ReputationEngine for RocqEngine {
             touched_seq: 0,
         };
         record.recompute();
-        self.subjects.insert(peer, record);
+        self.shards[home].subjects.insert(peer, record);
+        self.members.insert(peer);
     }
 
     fn remove_peer(&mut self, peer: PeerId) {
-        let Some(record) = self.subjects.remove(&peer) else {
+        if !self.members.remove(&peer) {
             return;
-        };
+        }
+        let home = self.shard_of(peer);
+        let record = self.shards[home]
+            .subjects
+            .remove(&peer)
+            .expect("registry and shard agree");
         for (i, replica) in record.replicas.iter().enumerate() {
-            if let Some(v) = self.key_index.get_mut(&replica.key) {
+            if let Some(v) = self.shards[home].key_index.get_mut(&replica.key) {
                 v.retain(|&(p, s)| !(p == peer && s == i));
                 if v.is_empty() {
-                    self.key_index.remove(&replica.key);
+                    self.shards[home].key_index.remove(&replica.key);
                 }
             }
         }
-        self.interactions.forget(peer);
+        // The departed peer's opinions-as-reporter are spread over
+        // every shard's interaction log.
+        for shard in &mut self.shards {
+            shard.interactions.forget(peer);
+        }
         if let Some(event) = self.ring.leave(peer.node_id()) {
             self.apply_handoff(event);
         }
     }
 
     fn contains(&self, peer: PeerId) -> bool {
-        self.subjects.contains_key(&peer)
+        self.members.contains(&peer)
     }
 
     fn report(&mut self, reporter: PeerId, subject: PeerId, opinion: f64) {
-        if self.apply_report(reporter, subject, opinion) {
-            self.refresh_cache(subject);
+        let (params, home) = (self.params, self.shard_of(subject));
+        let shard = &mut self.shards[home];
+        if shard.apply_report(&params, &self.members, reporter, subject, opinion) {
+            shard.refresh_cache(subject);
         }
     }
 
     fn reputation(&self, subject: PeerId) -> Option<Reputation> {
-        self.subjects.get(&subject).map(|r| r.cached)
+        self.shards[self.shard_of(subject)]
+            .subjects
+            .get(&subject)
+            .map(|r| r.cached)
     }
 
     fn credit(&mut self, subject: PeerId, amount: f64) {
-        let Some(record) = self.subjects.get_mut(&subject) else {
+        let home = self.shard_of(subject);
+        let shard = &mut self.shards[home];
+        let Some(record) = shard.subjects.get_mut(&subject) else {
             return;
         };
         for replica in &mut record.replicas {
             replica.state.adjust(amount.abs());
         }
-        self.refresh_cache(subject);
+        shard.refresh_cache(subject);
     }
 
     fn debit(&mut self, subject: PeerId, amount: f64) {
-        let Some(record) = self.subjects.get_mut(&subject) else {
+        let home = self.shard_of(subject);
+        let shard = &mut self.shards[home];
+        let Some(record) = shard.subjects.get_mut(&subject) else {
             return;
         };
         for replica in &mut record.replicas {
             replica.state.adjust(-amount.abs());
         }
-        self.refresh_cache(subject);
+        shard.refresh_cache(subject);
     }
 
     fn report_batch(&mut self, batch: &[Feedback]) {
@@ -435,27 +632,51 @@ impl ReputationEngine for RocqEngine {
         // the dedup O(1) regardless of batch size.
         self.batch_seq += 1;
         let seq = self.batch_seq;
-        let mut touched: Vec<PeerId> = Vec::new();
-        for f in batch {
-            if !self.apply_report(f.reporter, f.subject, f.opinion) {
-                continue;
+        let (params, members) = (self.params, &self.members);
+        let n_shards = self.shards.len();
+        if n_shards > 1 && batch.len() >= PARALLEL_BATCH_MIN {
+            // Partition by subject shard — a subject's feedbacks stay
+            // in batch order within its partition, which is all the
+            // per-subject semantics depend on — then fan the disjoint
+            // shard slices out over the rayon pool.
+            let mut parts: Vec<Vec<Feedback>> = vec![Vec::new(); n_shards];
+            for f in batch {
+                parts[shard_of(f.subject, n_shards)].push(*f);
             }
-            let record = self
-                .subjects
-                .get_mut(&f.subject)
-                .expect("apply_report verified the subject");
-            if record.touched_seq != seq {
-                record.touched_seq = seq;
-                touched.push(f.subject);
+            use rayon::prelude::*;
+            self.shards
+                .par_iter_mut()
+                .zip(parts)
+                .for_each(|(shard, part)| shard.apply_batch(&params, members, seq, &part));
+            return;
+        }
+        // Serial path (single shard, or batches too small to pay a
+        // thread-pool round trip — e.g. the community's two opinions
+        // per tick): route each feedback to its subject's shard
+        // directly, no partition buffers.
+        let mut touched: Vec<(usize, PeerId)> = Vec::new();
+        for f in batch {
+            let home = shard_of(f.subject, n_shards);
+            if let Some(subject) = self.shards[home].apply_batch_item(&params, members, seq, f) {
+                touched.push((home, subject));
             }
         }
-        for subject in touched {
-            self.refresh_cache(subject);
+        for (home, subject) in touched {
+            self.shards[home].refresh_cache(subject);
         }
     }
 
     fn drain_deltas(&mut self, out: &mut Vec<ReputationDelta>) {
-        out.append(&mut self.deltas);
+        let start = out.len();
+        for shard in &mut self.shards {
+            out.append(&mut shard.deltas);
+        }
+        // Canonical cross-shard order: stable sort by subject — also
+        // applied to the single-shard engine, so the merged stream is
+        // identical for every shard count (within a subject the
+        // per-shard buffers already hold mutation order, and a
+        // subject never spans shards).
+        out[start..].sort_by_key(|d| d.subject);
     }
 
     fn name(&self) -> &'static str {
@@ -479,6 +700,12 @@ mod tests {
     #[should_panic(expected = "at least one score manager")]
     fn zero_sm_rejected() {
         RocqEngine::new(RocqParams::default(), 0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one engine shard")]
+    fn zero_shards_rejected() {
+        RocqEngine::sharded(RocqParams::default(), 6, 0, 0);
     }
 
     #[test]
@@ -693,6 +920,18 @@ mod tests {
     }
 
     #[test]
+    fn crash_roll_is_uniform_enough() {
+        // The deterministic roll replaces an RNG stream; it must
+        // still look uniform over [0, 1) across replica identities.
+        let n = 10_000u64;
+        let mean: f64 = (0..n)
+            .map(|i| crash_roll(42, PeerId(i % 500), (i % 6) as usize, i / 500))
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
     fn cached_aggregate_matches_replica_mean() {
         let mut e = engine();
         for p in 0..10u64 {
@@ -813,6 +1052,86 @@ mod tests {
                 e.reputation(subject).unwrap(),
                 "final delta endpoint must match the live aggregate"
             );
+        }
+    }
+
+    /// Drives one engine through a registration + report + batch +
+    /// credit/debit + churn workload and returns the full observable
+    /// state: drained delta streams, final reputations, counters.
+    fn exercise(mut e: RocqEngine) -> (Vec<Vec<ReputationDelta>>, Vec<Option<u64>>, u64, u64) {
+        let mut streams = Vec::new();
+        let drain = |e: &mut RocqEngine| {
+            let mut v = Vec::new();
+            e.drain_deltas(&mut v);
+            v
+        };
+        for p in 0..120u64 {
+            e.register_peer(PeerId(p), Reputation::ONE);
+        }
+        streams.push(drain(&mut e));
+        // Large batch (crosses the parallel threshold on multi-shard
+        // engines) plus singleton reports.
+        let batch: Vec<Feedback> = (0..600u64)
+            .map(|r| Feedback::new(PeerId(r % 40), PeerId(40 + r % 60), ((r / 3) % 2) as f64))
+            .collect();
+        e.report_batch(&batch);
+        streams.push(drain(&mut e));
+        for r in 0..50u64 {
+            e.report(PeerId(r % 20), PeerId(100 + r % 20), 1.0);
+            e.credit(PeerId(r % 30), 0.01);
+            e.debit(PeerId(30 + r % 30), 0.01);
+        }
+        streams.push(drain(&mut e));
+        // Churn with crash losses (crash_prob set by the caller).
+        for p in 200..260u64 {
+            e.register_peer(PeerId(p), Reputation::HALF);
+        }
+        for p in 0..25u64 {
+            e.remove_peer(PeerId(p));
+        }
+        streams.push(drain(&mut e));
+        let reps: Vec<Option<u64>> = (0..260u64)
+            .map(|p| e.reputation(PeerId(p)).map(|r| r.value().to_bits()))
+            .collect();
+        (streams, reps, e.rehomings(), e.crash_losses())
+    }
+
+    #[test]
+    fn shard_count_does_not_change_results() {
+        // The tentpole guarantee at engine level: the full observable
+        // behaviour — delta streams, reputations (bitwise), churn
+        // counters — is identical for 1, 2, 4 and 7 shards, with the
+        // crash model active.
+        let params = RocqParams {
+            crash_prob: 0.4,
+            ..Default::default()
+        };
+        let baseline = exercise(RocqEngine::sharded(params, 4, 1, 7));
+        for shards in [2usize, 4, 7] {
+            let sharded = exercise(RocqEngine::sharded(params, 4, shards, 7));
+            assert_eq!(baseline.1, sharded.1, "{shards}-shard reputations diverged");
+            assert_eq!(
+                baseline.0, sharded.0,
+                "{shards}-shard delta streams diverged"
+            );
+            assert_eq!(baseline.2, sharded.2, "{shards}-shard rehomings diverged");
+            assert_eq!(
+                baseline.3, sharded.3,
+                "{shards}-shard crash losses diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_engine_spreads_subjects() {
+        let mut e = RocqEngine::sharded(RocqParams::default(), 6, 4, 1);
+        for p in 0..400u64 {
+            e.register_peer(PeerId(p), Reputation::ONE);
+        }
+        let loads: Vec<usize> = e.shards.iter().map(|s| s.subjects.len()).collect();
+        assert_eq!(loads.iter().sum::<usize>(), 400);
+        for (i, &l) in loads.iter().enumerate() {
+            assert!((50..=150).contains(&l), "shard {i} holds {l} of 400");
         }
     }
 }

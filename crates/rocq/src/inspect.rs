@@ -43,8 +43,13 @@ impl SubjectSnapshot {
     /// [`ReputationEngine::reputation`]:
     ///     crate::engine::ReputationEngine::reputation
     pub fn combined(&self) -> Option<Reputation> {
-        let values: Vec<Reputation> = self.replicas.iter().map(|r| r.reputation).collect();
-        Reputation::mean(&values)
+        // Same sum-then-divide arithmetic as [`Reputation::mean`],
+        // without materialising the values into a Vec first.
+        if self.replicas.is_empty() {
+            return None;
+        }
+        let sum: f64 = self.replicas.iter().map(|r| r.reputation.value()).sum();
+        Some(Reputation::new(sum / self.replicas.len() as f64))
     }
 
     /// Largest pairwise disagreement between replicas — 0 in a

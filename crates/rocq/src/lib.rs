@@ -52,5 +52,5 @@ pub mod params;
 pub mod quality;
 pub mod score;
 
-pub use engine::{ReputationEngine, RocqEngine};
+pub use engine::{shard_of, ReputationEngine, RocqEngine};
 pub use params::RocqParams;

@@ -80,7 +80,11 @@ pub trait Topology {
 /// `expected_capacity` is a sizing hint; `m` is the Barabási–Albert
 /// attachment count (edges per newcomer), ignored for
 /// [`TopologyKind::Random`].
-pub fn build_topology(kind: TopologyKind, expected_capacity: usize, m: usize) -> Box<dyn Topology> {
+pub fn build_topology(
+    kind: TopologyKind,
+    expected_capacity: usize,
+    m: usize,
+) -> Box<dyn Topology + Send> {
     match kind {
         TopologyKind::Random => Box::new(RandomTopology::with_capacity(expected_capacity)),
         TopologyKind::Powerlaw => Box::new(ScaleFreeTopology::with_capacity(expected_capacity, m)),

@@ -9,11 +9,14 @@
 //! bit-identical to sequential execution regardless of scheduling.
 //!
 //! Surface implemented: [`join`], and the `prelude` traits
-//! `IntoParallelIterator` / `IntoParallelRefIterator` whose iterators
-//! support `map`, `for_each` and `collect` — the subset the workspace
-//! uses (`replend_sim::runner::run_many_parallel`, sweep binaries).
-//! Call sites compile unchanged against the real crate; swap the
-//! workspace dependency when a networked build is available.
+//! `IntoParallelIterator` / `IntoParallelRefIterator` /
+//! `IntoParallelRefMutIterator` whose iterators support `map`, `zip`,
+//! `for_each` and `collect` — the subset the workspace uses
+//! (`replend_sim::runner::run_many_parallel`, the sweep binaries, the
+//! sharded ROCQ engine's `report_batch` fan-out, and the
+//! multi-community cluster). Call sites compile unchanged against the
+//! real crate; swap the workspace dependency when a networked build
+//! is available.
 //!
 //! Thread count: `RAYON_NUM_THREADS` when set (0 or unset ⇒ all
 //! available cores), capped by the number of items.
@@ -116,6 +119,22 @@ impl<T: Send> IntoParIter<T> {
         ParMap {
             items: self.items,
             f,
+        }
+    }
+
+    /// Pairs this iterator with another parallel source, element by
+    /// element (the real crate's `IndexedParallelIterator::zip`;
+    /// truncates to the shorter side, like `Iterator::zip`).
+    pub fn zip<B>(self, other: B) -> IntoParIter<(T, B::Item)>
+    where
+        B: prelude::IntoParallelIterator,
+    {
+        IntoParIter {
+            items: self
+                .items
+                .into_iter()
+                .zip(other.into_par_iter().items)
+                .collect(),
         }
     }
 
@@ -226,6 +245,29 @@ pub mod prelude {
             }
         }
     }
+
+    /// `par_iter_mut()` on unique references — materialises the
+    /// `&mut` list, then fans out on the pool (disjoint borrows, so
+    /// workers mutate in parallel safely).
+    pub trait IntoParallelRefMutIterator<'data> {
+        /// Item type (a unique reference).
+        type Item: Send + 'data;
+        /// Starts a parallel pipeline over `&mut self`.
+        fn par_iter_mut(&'data mut self) -> IntoParIter<Self::Item>;
+    }
+
+    impl<'data, C: 'data + ?Sized> IntoParallelRefMutIterator<'data> for C
+    where
+        &'data mut C: IntoIterator,
+        <&'data mut C as IntoIterator>::Item: Send,
+    {
+        type Item = <&'data mut C as IntoIterator>::Item;
+        fn par_iter_mut(&'data mut self) -> IntoParIter<Self::Item> {
+            IntoParIter {
+                items: self.into_iter().collect(),
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -296,6 +338,25 @@ mod tests {
             ids.lock().unwrap().len() > 1,
             "work stayed on one thread: pool did not fan out"
         );
+    }
+
+    #[test]
+    fn par_iter_mut_mutates_in_place() {
+        let mut data = vec![1u64, 2, 3, 4, 5];
+        data.par_iter_mut().for_each(|x| *x *= 10);
+        assert_eq!(data, vec![10, 20, 30, 40, 50]);
+    }
+
+    #[test]
+    fn zip_pairs_in_order() {
+        let mut sums = vec![0u64; 100];
+        let addends: Vec<u64> = (0..100u64).collect();
+        sums.par_iter_mut()
+            .zip(addends)
+            .for_each(|(slot, add)| *slot += add + 1);
+        for (i, v) in sums.iter().enumerate() {
+            assert_eq!(*v, i as u64 + 1);
+        }
     }
 
     #[test]
