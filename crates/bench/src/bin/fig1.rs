@@ -26,15 +26,23 @@ use replend_types::{Table1, TopologyKind};
 /// Sampling interval of the growth curve.
 const SAMPLE_EVERY: u64 = 1_000;
 
+/// The effective sampling interval: 1 000 at paper scale, scaled down
+/// to ticks/5 for `REPLEND_TICKS` smoke runs so the CSV (and the
+/// golden-CSV regression diff in CI) still carries a series.
+fn sample_every(ticks: u64) -> u64 {
+    SAMPLE_EVERY.min((ticks / 5).max(1))
+}
+
 fn growth_curves(topology: TopologyKind, runs: usize, ticks: u64) -> (TimeSeries, TimeSeries) {
     let config = Table1::paper_defaults()
         .with_arrival_rate(GROWTH_LAMBDA)
         .with_num_trans(ticks)
         .with_topology(topology);
-    let pairs = run_many_parallel(runs, 0xF161, |seed| {
+    let interval = sample_every(ticks);
+    let pairs = run_many_parallel(runs, 0xF161, move |seed| {
         let mut community = CommunityBuilder::new(config).seed(seed).build();
-        let mut coop = TimeSeries::new(SAMPLE_EVERY);
-        let mut uncoop = TimeSeries::new(SAMPLE_EVERY);
+        let mut coop = TimeSeries::new(interval);
+        let mut uncoop = TimeSeries::new(interval);
         for _ in 0..ticks {
             community.step();
             if coop.is_sample_tick(community.time()) {

@@ -41,13 +41,13 @@ fn reputation_series(lambda: f64, runs: usize, ticks: u64) -> (TimeSeries, f64) 
     // cluster (same seed schedule as the former per-run fan-out, so
     // the CSV output is unchanged).
     let mut cluster = CommunityCluster::build(CommunityBuilder::new(config), runs, 0xF162);
-    let series = cluster.run_sampled(ticks, sample_every(ticks), |c| {
-        c.mean_cooperative_reputation().unwrap_or(0.0)
-    });
+    let series = cluster
+        .run_sampled(ticks, sample_every(ticks))
+        .expect("in-process cluster cannot fail");
     let uncoop = cluster
-        .communities()
+        .reports()
         .iter()
-        .map(|c| c.mean_uncooperative_reputation().unwrap_or(0.0))
+        .map(|r| r.mean_uncoop_rep.unwrap_or(0.0))
         .sum::<f64>()
         / cluster.len().max(1) as f64;
     (average_series(&series).expect("aligned runs"), uncoop)

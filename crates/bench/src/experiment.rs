@@ -8,7 +8,8 @@
 //! results are bit-identical to running them one after another.
 
 use replend_core::community::{Community, CommunityBuilder};
-use replend_core::{BootstrapPolicy, CommunityCluster, EngineKind};
+use replend_core::stats::{CommunityStats, Population};
+use replend_core::{BootstrapPolicy, CommunityCluster, CommunityReport, EngineKind};
 use replend_types::Table1;
 use serde::{Deserialize, Serialize};
 
@@ -97,8 +98,32 @@ pub struct ExperimentPoint {
 
 /// Reads the metrics out of a finished community.
 pub fn metrics_of(community: &Community) -> RunMetrics {
-    let stats = *community.stats();
-    let pop = community.population();
+    metrics_from_parts(
+        &community.population(),
+        community.stats(),
+        community.mean_cooperative_reputation(),
+        community.mean_uncooperative_reputation(),
+    )
+}
+
+/// Reads the metrics out of a decoded worker report — the same
+/// arithmetic as [`metrics_of`], so cluster transports cannot change
+/// figure output.
+pub fn metrics_of_report(report: &CommunityReport) -> RunMetrics {
+    metrics_from_parts(
+        &report.population,
+        &report.stats,
+        report.mean_coop_rep,
+        report.mean_uncoop_rep,
+    )
+}
+
+fn metrics_from_parts(
+    pop: &Population,
+    stats: &CommunityStats,
+    mean_coop_rep: Option<f64>,
+    mean_uncoop_rep: Option<f64>,
+) -> RunMetrics {
     RunMetrics {
         coop_members: pop.cooperative as f64,
         uncoop_members: pop.uncooperative as f64,
@@ -112,8 +137,8 @@ pub fn metrics_of(community: &Community) -> RunMetrics {
         success_rate: stats.success_rate().unwrap_or(0.0),
         audits_passed: stats.audits_passed as f64,
         audits_failed: stats.audits_failed as f64,
-        mean_coop_rep: community.mean_cooperative_reputation().unwrap_or(0.0),
-        mean_uncoop_rep: community.mean_uncooperative_reputation().unwrap_or(0.0),
+        mean_coop_rep: mean_coop_rep.unwrap_or(0.0),
+        mean_uncoop_rep: mean_uncoop_rep.unwrap_or(0.0),
     }
 }
 
@@ -147,8 +172,8 @@ pub fn run_average(
 ) -> RunMetrics {
     let builder = CommunityBuilder::new(config).policy(policy).engine(engine);
     let mut cluster = CommunityCluster::build(builder, n_runs, base_seed);
-    cluster.run(ticks);
-    let runs: Vec<RunMetrics> = cluster.communities().iter().map(metrics_of).collect();
+    cluster.run(ticks).expect("in-process cluster cannot fail");
+    let runs: Vec<RunMetrics> = cluster.reports().iter().map(metrics_of_report).collect();
     RunMetrics::average(&runs)
 }
 

@@ -23,7 +23,8 @@
 //! around [`run_cli`].
 
 use replend_core::community::CommunityBuilder;
-use replend_core::{BootstrapPolicy, CommunityCluster, EngineKind};
+use replend_core::worker::Worker;
+use replend_core::{BootstrapPolicy, CommunityCluster, EngineKind, SubprocessWorker};
 use replend_sim::runner::{run_many_parallel, Summary};
 use replend_types::{Table1, TopologyKind};
 use std::fmt::Write as _;
@@ -31,10 +32,14 @@ use std::fmt::Write as _;
 /// Parsed command line.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Command {
-    /// Run a simulation and print the summary.
-    Run(RunArgs),
+    /// Run a simulation and print the summary (boxed: the full
+    /// Table-1 configuration dwarfs the other variants).
+    Run(Box<RunArgs>),
     /// Print the Table-1 defaults.
     Table1,
+    /// Serve cluster jobs over stdin/stdout (spawned by `run
+    /// --workers N`; speaks the `replend-wire` framed protocol).
+    Worker,
     /// Print usage.
     Help,
 }
@@ -59,6 +64,10 @@ pub struct RunArgs {
     /// Independent communities stepped in parallel as one cluster
     /// (1 = the classic single-community run).
     pub communities: usize,
+    /// Shared-nothing worker processes executing the cluster
+    /// (1 = in-process; N > 1 spawns `replend worker` children;
+    /// output is byte-identical either way).
+    pub workers: usize,
 }
 
 impl Default for RunArgs {
@@ -72,6 +81,7 @@ impl Default for RunArgs {
             histogram: 0,
             departure_rate: 0.0,
             communities: 1,
+            workers: 1,
         }
     }
 }
@@ -87,10 +97,49 @@ impl std::fmt::Display for UsageError {
 }
 impl std::error::Error for UsageError {}
 
+/// Any CLI failure, split so the shell sees the right behaviour:
+/// usage problems reprint the usage text, runtime failures (a worker
+/// process dying mid-cluster) just report — but **both** must exit
+/// non-zero, so neither may travel back through the `Ok` output
+/// channel as rendered text.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CliError {
+    /// The command line could not be parsed/validated.
+    Usage(UsageError),
+    /// A valid command failed while executing.
+    Run(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(e) => write!(f, "{e}"),
+            CliError::Run(m) => write!(f, "{m}"),
+        }
+    }
+}
+impl std::error::Error for CliError {}
+
+impl From<UsageError> for CliError {
+    fn from(e: UsageError) -> Self {
+        CliError::Usage(e)
+    }
+}
+
 fn parse_value<T: std::str::FromStr>(flag: &str, value: Option<&str>) -> Result<T, UsageError> {
     let raw = value.ok_or_else(|| UsageError(format!("{flag} requires a value")))?;
     raw.parse()
         .map_err(|_| UsageError(format!("invalid value {raw:?} for {flag}")))
+}
+
+/// Parses a count that must be at least 1, with a flag-named message
+/// (zero would otherwise travel on to panic deep inside the engine).
+fn parse_positive(flag: &str, value: Option<&str>) -> Result<usize, UsageError> {
+    let n: usize = parse_value(flag, value)?;
+    if n == 0 {
+        return Err(UsageError(format!("{flag} must be at least 1")));
+    }
+    Ok(n)
 }
 
 fn parse_policy(raw: &str) -> Result<BootstrapPolicy, UsageError> {
@@ -118,6 +167,7 @@ pub fn parse_args(args: &[&str]) -> Result<Command, UsageError> {
     match args.first().copied() {
         None | Some("help") | Some("--help") | Some("-h") => Ok(Command::Help),
         Some("table1") => Ok(Command::Table1),
+        Some("worker") => Ok(Command::Worker),
         Some("run") => {
             let mut out = RunArgs::default();
             let mut i = 1;
@@ -204,11 +254,22 @@ pub fn parse_args(args: &[&str]) -> Result<Command, UsageError> {
                         i += 2;
                     }
                     "--shards" => {
-                        out.config.sim.num_shards = parse_value(flag, value)?;
+                        // Caught here, not at the engine's assert!:
+                        // a zero must surface as a friendly usage
+                        // error, never a panic.
+                        out.config.sim.num_shards = parse_positive(flag, value)?;
+                        i += 2;
+                    }
+                    "--batch-min" => {
+                        out.config.sim.parallel_batch_min = parse_positive(flag, value)?;
                         i += 2;
                     }
                     "--communities" => {
-                        out.communities = parse_value(flag, value)?;
+                        out.communities = parse_positive(flag, value)?;
+                        i += 2;
+                    }
+                    "--workers" => {
+                        out.workers = parse_positive(flag, value)?;
                         i += 2;
                     }
                     other => return Err(UsageError(format!("unknown flag {other:?}"))),
@@ -220,8 +281,12 @@ pub fn parse_args(args: &[&str]) -> Result<Command, UsageError> {
             if out.runs == 0 {
                 return Err(UsageError("--runs must be at least 1".into()));
             }
-            if out.communities == 0 {
-                return Err(UsageError("--communities must be at least 1".into()));
+            if out.workers > 1 && out.communities < 2 {
+                return Err(UsageError(
+                    "--workers N > 1 needs --communities K >= 2 \
+                     (workers split the communities of one cluster)"
+                        .into(),
+                ));
             }
             if out.communities > 1 && out.runs > 1 {
                 return Err(UsageError(
@@ -230,7 +295,7 @@ pub fn parse_args(args: &[&str]) -> Result<Command, UsageError> {
                         .into(),
                 ));
             }
-            Ok(Command::Run(out))
+            Ok(Command::Run(Box::new(out)))
         }
         Some(other) => Err(UsageError(format!(
             "unknown command {other:?}; try `replend help`"
@@ -245,6 +310,8 @@ pub fn usage() -> String {
      USAGE:\n\
      \x20 replend run [OPTIONS]   run a simulation and print the summary\n\
      \x20 replend table1          print the paper's Table-1 defaults\n\
+     \x20 replend worker          serve cluster jobs over stdin/stdout (wire\n\
+     \x20                         protocol; spawned by `run --workers N`)\n\
      \x20 replend help            this text\n\
      \n\
      RUN OPTIONS (defaults = Table 1, 50 000 ticks):\n\
@@ -269,19 +336,33 @@ pub fn usage() -> String {
      \x20 --histogram N       print an N-bucket member reputation histogram\n\
      \x20 --shards N          reputation-engine shards (default 1; results are\n\
      \x20                     byte-identical for any shard count)\n\
+     \x20 --batch-min N       smallest engine report batch fanned out over the\n\
+     \x20                     thread pool (default 256; byte-identical results)\n\
      \x20 --communities K     run K independent communities in parallel as one\n\
-     \x20                     in-process cluster; prints merged aggregates and\n\
-     \x20                     a per-community table (default 1)\n"
+     \x20                     cluster; prints merged aggregates and a\n\
+     \x20                     per-community table (default 1)\n\
+     \x20 --workers N         execute the cluster on N shared-nothing worker\n\
+     \x20                     processes (`replend worker` children speaking the\n\
+     \x20                     wire protocol; default 1 = in-process; output is\n\
+     \x20                     byte-identical to the in-process run; needs\n\
+     \x20                     --communities >= 2, capped at K)\n"
         .to_string()
 }
 
-/// Executes a parsed command, returning the text to print.
-pub fn execute(command: Command) -> String {
+/// Executes a parsed command, returning the text to print. Fails
+/// (with [`CliError::Run`]) only on runtime errors — a worker process
+/// dying mid-cluster — so the shell sees a non-zero exit instead of
+/// an "error: ..." line on stdout with exit 0.
+///
+/// `Command::Worker` is intentionally not runnable here — it owns the
+/// process's stdin/stdout for the binary wire protocol and is driven
+/// by [`run_cli`]; asking for its "output text" yields the usage.
+pub fn execute(command: Command) -> Result<String, CliError> {
     match command {
-        Command::Help => usage(),
+        Command::Help | Command::Worker => Ok(usage()),
         Command::Table1 => {
             let c = Table1::paper_defaults();
-            format!(
+            Ok(format!(
                 "Table-1 defaults:\n{}",
                 format_args!(
                     "  numInit={} numTrans={} numSM={} lambda={} f_uncoop={} f_naive={} \
@@ -300,7 +381,7 @@ pub fn execute(command: Command) -> String {
                     c.lending.reward,
                     c.lending.min_intro(),
                 )
-            )
+            ))
         }
         Command::Run(args) => run_simulation(&args),
     }
@@ -352,25 +433,59 @@ fn render_series(out: &mut String, interval: u64, series: &[Vec<f64>]) {
     }
 }
 
-/// Executes a `--communities K` run: K independent communities
-/// stepped in parallel, merged aggregates plus a per-community table.
-fn run_cluster(args: &RunArgs) -> String {
-    let ticks = args.config.sim.num_trans;
+/// Executes a `--communities K` run: K independent communities run in
+/// parallel — in-process, or across `--workers N` subprocess workers —
+/// then merged aggregates plus a per-community table. The rendering is
+/// transport-blind on purpose: `--workers N` output is byte-identical
+/// to the in-process run (pinned by the integration tests and the CI
+/// smoke step).
+fn run_cluster(args: &RunArgs) -> Result<String, CliError> {
     let builder = CommunityBuilder::new(args.config)
         .policy(args.policy)
         .engine(EngineKind::default())
         .departure_rate(args.departure_rate);
-    let mut cluster = CommunityCluster::build(builder, args.communities, args.seed);
+    if args.workers > 1 {
+        let program = std::env::current_exe().map_err(|e| {
+            CliError::Run(format!(
+                "cannot locate the replend binary for --workers: {e}"
+            ))
+        })?;
+        let workers: Vec<SubprocessWorker> = (0..args.workers.min(args.communities))
+            .map(|_| SubprocessWorker::new(&program))
+            .collect();
+        render_cluster(
+            args,
+            CommunityCluster::with_workers(builder, args.communities, args.seed, workers),
+        )
+    } else {
+        render_cluster(
+            args,
+            CommunityCluster::build(builder, args.communities, args.seed),
+        )
+    }
+}
+
+/// Runs a configured cluster and renders the merged report — shared
+/// verbatim by every transport so the printed bytes cannot depend on
+/// how the communities were executed.
+fn render_cluster<W: Worker>(
+    args: &RunArgs,
+    mut cluster: CommunityCluster<W>,
+) -> Result<String, CliError> {
+    let ticks = args.config.sim.num_trans;
+    if args.histogram > 0 {
+        cluster.set_histogram_buckets(args.histogram);
+    }
+    let run_failed = |e: replend_core::WorkerError| CliError::Run(e.to_string());
     let series: Vec<Vec<f64>> = if args.sample > 0 {
         cluster
-            .run_sampled(ticks, args.sample, |c| {
-                c.mean_cooperative_reputation().unwrap_or(0.0)
-            })
+            .run_sampled(ticks, args.sample)
+            .map_err(run_failed)?
             .into_iter()
             .map(|s| s.values().to_vec())
             .collect()
     } else {
-        cluster.run(ticks);
+        cluster.run(ticks).map_err(run_failed)?;
         Vec::new()
     };
 
@@ -440,7 +555,9 @@ fn run_cluster(args: &RunArgs) -> String {
         );
     }
     if args.histogram > 0 {
-        let hist = cluster.reputation_histogram(args.histogram);
+        let hist = cluster
+            .reputation_histogram()
+            .expect("histogram buckets were requested before the run");
         render_histogram(
             &mut out,
             &format!(
@@ -451,10 +568,10 @@ fn run_cluster(args: &RunArgs) -> String {
         );
     }
     render_series(&mut out, args.sample, &series);
-    out
+    Ok(out)
 }
 
-fn run_simulation(args: &RunArgs) -> String {
+fn run_simulation(args: &RunArgs) -> Result<String, CliError> {
     if args.communities > 1 {
         return run_cluster(args);
     }
@@ -540,13 +657,25 @@ fn run_simulation(args: &RunArgs) -> String {
         let series: Vec<Vec<f64>> = outputs.iter().map(|r| r.series.clone()).collect();
         render_series(&mut out, args.sample, &series);
     }
-    out
+    Ok(out)
 }
 
 /// Parses and executes in one step — the `main` entry point.
-pub fn run_cli(args: &[String]) -> Result<String, UsageError> {
+///
+/// `replend worker` takes over this process's stdin/stdout for the
+/// framed wire protocol (jobs in, summaries out) and prints nothing.
+pub fn run_cli(args: &[String]) -> Result<String, CliError> {
     let refs: Vec<&str> = args.iter().map(String::as_str).collect();
-    Ok(execute(parse_args(&refs)?))
+    match parse_args(&refs)? {
+        Command::Worker => {
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            replend_core::worker::serve(&mut stdin.lock(), &mut stdout.lock())
+                .map_err(|e| CliError::Run(format!("worker session failed: {e}")))?;
+            Ok(String::new())
+        }
+        command => execute(command),
+    }
 }
 
 #[cfg(test)]
@@ -563,7 +692,7 @@ mod tests {
     #[test]
     fn table1_command() {
         assert_eq!(parse_args(&["table1"]), Ok(Command::Table1));
-        let text = execute(Command::Table1);
+        let text = execute(Command::Table1).unwrap();
         assert!(text.contains("introAmt=0.1"));
         assert!(text.contains("numSM=6"));
     }
@@ -649,12 +778,53 @@ mod tests {
         assert!(parse_args(&["run", "--runs", "0"]).is_err());
         assert!(parse_args(&["run", "--ticks"]).is_err(), "missing value");
         assert!(parse_args(&["run", "--ticks", "abc"]).is_err());
-        assert!(parse_args(&["run", "--shards", "0"]).is_err());
-        assert!(parse_args(&["run", "--communities", "0"]).is_err());
         assert!(
             parse_args(&["run", "--communities", "2", "--runs", "2"]).is_err(),
             "cluster and multi-run averaging are mutually exclusive"
         );
+    }
+
+    #[test]
+    fn zero_counts_are_friendly_usage_errors_not_panics() {
+        // Each of these would otherwise travel on to an `assert!`
+        // deep inside the engine/cluster; they must die at parse time
+        // with a message naming the flag.
+        for flag in ["--shards", "--communities", "--workers", "--batch-min"] {
+            let err = parse_args(&["run", flag, "0"]).unwrap_err();
+            assert!(
+                err.to_string().contains(flag) && err.to_string().contains("at least 1"),
+                "{flag}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn workers_flag_parses_and_is_validated() {
+        let Command::Run(args) =
+            parse_args(&["run", "--communities", "3", "--workers", "2"]).unwrap()
+        else {
+            panic!("expected Run");
+        };
+        assert_eq!(args.workers, 2);
+        assert_eq!(args.communities, 3);
+        // Multiple workers need a cluster to split.
+        let err = parse_args(&["run", "--workers", "2"]).unwrap_err();
+        assert!(err.to_string().contains("--communities"), "{err}");
+    }
+
+    #[test]
+    fn worker_subcommand_parses() {
+        assert_eq!(parse_args(&["worker"]), Ok(Command::Worker));
+        // execute() must not hijack stdin; it points at the usage.
+        assert!(execute(Command::Worker).unwrap().contains("USAGE"));
+    }
+
+    #[test]
+    fn batch_min_flag_reaches_the_config() {
+        let Command::Run(args) = parse_args(&["run", "--batch-min", "64"]).unwrap() else {
+            panic!("expected Run");
+        };
+        assert_eq!(args.config.sim.parallel_batch_min, 64);
     }
 
     #[test]
@@ -692,7 +862,7 @@ mod tests {
             "5",
         ])
         .unwrap();
-        let text = execute(cmd);
+        let text = execute(cmd).unwrap();
         assert!(text.contains("cooperative members"), "{text}");
         assert!(text.contains("reputation series"), "{text}");
         assert!(text.contains("t="), "{text}");
@@ -732,10 +902,16 @@ mod tests {
             "--sample",
             "--histogram",
             "--shards",
+            "--batch-min",
             "--communities",
+            "--workers",
         ] {
             assert!(u.contains(flag), "usage missing {flag}");
         }
+        assert!(
+            u.contains("replend worker"),
+            "usage missing the worker subcommand"
+        );
     }
 
     #[test]
@@ -760,7 +936,7 @@ mod tests {
             "500",
         ])
         .unwrap();
-        let text = execute(cmd);
+        let text = execute(cmd).unwrap();
         assert!(text.contains("3 communities"), "{text}");
         assert!(text.contains("2 engine shard(s)"), "{text}");
         assert!(text.contains("merged population"), "{text}");

@@ -1,0 +1,87 @@
+//! Cross-process cluster integration: the real `replend` binary,
+//! real `worker` children, real pipes — pinning the tentpole
+//! guarantee that `run --workers N` output is **byte-identical** to
+//! the in-process `--communities K` run.
+
+use std::process::{Command, Output, Stdio};
+
+fn replend(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_replend"))
+        .args(args)
+        .output()
+        .expect("failed to run the replend binary")
+}
+
+const SMOKE: &[&str] = &[
+    "run",
+    "--ticks",
+    "1500",
+    "--num-init",
+    "40",
+    "--lambda",
+    "0.02",
+    "--seed",
+    "3",
+    "--communities",
+    "3",
+    "--histogram",
+    "4",
+    "--sample",
+    "500",
+];
+
+#[test]
+fn workers_output_is_byte_identical_to_in_process() {
+    let in_process = replend(SMOKE);
+    assert!(in_process.status.success(), "{in_process:?}");
+    assert!(!in_process.stdout.is_empty());
+
+    for workers in ["2", "3"] {
+        let mut args = SMOKE.to_vec();
+        args.extend(["--workers", workers]);
+        let subprocess = replend(&args);
+        assert!(subprocess.status.success(), "{subprocess:?}");
+        assert_eq!(
+            String::from_utf8_lossy(&subprocess.stdout),
+            String::from_utf8_lossy(&in_process.stdout),
+            "--workers {workers} diverged from the in-process run"
+        );
+        assert_eq!(subprocess.stdout, in_process.stdout, "byte-level diff");
+    }
+}
+
+#[test]
+fn worker_subcommand_with_empty_stdin_is_a_clean_noop() {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_replend"))
+        .arg("worker")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn replend worker");
+    drop(child.stdin.take()); // immediate EOF: no jobs
+    let out = child.wait_with_output().expect("wait for worker");
+    assert!(out.status.success(), "{out:?}");
+    assert!(out.stdout.is_empty(), "no jobs, no summaries");
+}
+
+#[test]
+fn worker_subcommand_rejects_garbage_frames() {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_replend"))
+        .arg("worker")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn replend worker");
+    {
+        use std::io::Write as _;
+        let mut stdin = child.stdin.take().expect("stdin piped");
+        // A framed payload that is not a valid envelope.
+        let garbage = [4u8, 0, 0, 0, 0xde, 0xad, 0xbe, 0xef];
+        stdin.write_all(&garbage).expect("write garbage");
+    }
+    let out = child.wait_with_output().expect("wait for worker");
+    assert!(!out.status.success(), "garbage must fail the session");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("worker session failed"), "{stderr}");
+}

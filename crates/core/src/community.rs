@@ -54,16 +54,19 @@ enum CommunityEvent {
 }
 
 /// Builder for [`Community`].
+///
+/// Fields are crate-visible so [`crate::worker::WorkerJob`] can
+/// capture the full spec for cross-process execution.
 #[derive(Clone, Copy, Debug)]
 pub struct CommunityBuilder {
-    config: Table1,
-    policy: BootstrapPolicy,
-    engine: EngineKind,
-    seed: u64,
-    ba_m: usize,
-    sm_crash_prob: f64,
-    departure_rate: f64,
-    log_capacity: usize,
+    pub(crate) config: Table1,
+    pub(crate) policy: BootstrapPolicy,
+    pub(crate) engine: EngineKind,
+    pub(crate) seed: u64,
+    pub(crate) ba_m: usize,
+    pub(crate) sm_crash_prob: f64,
+    pub(crate) departure_rate: f64,
+    pub(crate) log_capacity: usize,
 }
 
 impl CommunityBuilder {
@@ -157,11 +160,7 @@ impl CommunityBuilder {
             .validate()
             .expect("invalid Table-1 configuration");
         let mut rng = StdRng::seed_from_u64(self.seed);
-        let engine = self.engine.build(
-            self.config.sim.num_sm,
-            self.config.sim.num_shards,
-            splitmix64(self.seed),
-        );
+        let engine = self.engine.build(&self.config.sim, splitmix64(self.seed));
         let expected = self.config.sim.num_init
             + (self.config.sim.arrival_rate * self.config.sim.num_trans as f64) as usize
             + 16;

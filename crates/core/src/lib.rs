@@ -35,9 +35,12 @@
 //! * [`community`] — the façade wiring ROCQ + DHT + topology +
 //!   Poisson arrivals into the paper's one-transaction-per-tick
 //!   simulator;
-//! * [`cluster`] — K independent communities stepped in parallel on
-//!   the rayon pool, with merged population / reputation aggregates
-//!   (in-process multi-community parallelism);
+//! * [`cluster`] — K independent communities executed by pluggable
+//!   [`worker`] transports and merged from their decoded reports
+//!   (byte-identical whichever transport ran them);
+//! * [`worker`] — the cluster's job/report protocol: in-process
+//!   execution on the rayon pool, or shared-nothing subprocess
+//!   workers speaking the `replend-wire` format over stdio;
 //! * [`stats`] — the admission ledger, population counts, and the
 //!   §4.1 decision success-rate metric.
 //!
@@ -69,7 +72,11 @@ pub mod peer;
 pub mod peer_table;
 pub mod policy;
 pub mod stats;
+pub mod worker;
 
 pub use cluster::{CommunityCluster, CommunitySummary};
 pub use community::{Community, CommunityBuilder};
 pub use policy::{BootstrapPolicy, EngineKind};
+pub use worker::{
+    CommunityReport, InProcessWorker, SubprocessWorker, Worker, WorkerError, WorkerJob,
+};

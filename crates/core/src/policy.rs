@@ -9,6 +9,7 @@
 
 use replend_rocq::baselines::{BetaEngine, EwmaEngine, SimpleAverageEngine};
 use replend_rocq::{ReputationEngine, RocqEngine, RocqParams};
+use replend_types::SimParams;
 use serde::{Deserialize, Serialize};
 
 /// How new arrivals are admitted.
@@ -66,8 +67,9 @@ impl BootstrapPolicy {
     }
 }
 
-/// Which reputation engine backs the community.
-#[derive(Clone, Copy, PartialEq, Debug)]
+/// Which reputation engine backs the community. Serializable so a
+/// cluster job can carry the full engine spec to a worker process.
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
 pub enum EngineKind {
     /// The replicated ROCQ engine (the paper's).
     Rocq(RocqParams),
@@ -83,19 +85,16 @@ pub enum EngineKind {
 }
 
 impl EngineKind {
-    /// Instantiates the engine. `num_sm`, `num_shards` and `seed`
-    /// only affect the replicated ROCQ engine (the baselines are
-    /// centralised single structures).
-    pub fn build(
-        self,
-        num_sm: usize,
-        num_shards: usize,
-        seed: u64,
-    ) -> Box<dyn ReputationEngine + Send> {
+    /// Instantiates the engine for a simulation configuration. The
+    /// infrastructure knobs (`num_sm`, `num_shards`,
+    /// `parallel_batch_min`) and `seed` only affect the replicated
+    /// ROCQ engine (the baselines are centralised single structures).
+    pub fn build(self, sim: &SimParams, seed: u64) -> Box<dyn ReputationEngine + Send> {
         match self {
-            EngineKind::Rocq(params) => {
-                Box::new(RocqEngine::sharded(params, num_sm, num_shards, seed))
-            }
+            EngineKind::Rocq(params) => Box::new(
+                RocqEngine::sharded(params, sim.num_sm, sim.num_shards, seed)
+                    .with_parallel_batch_min(sim.parallel_batch_min),
+            ),
             EngineKind::SimpleAverage => Box::new(SimpleAverageEngine::new()),
             EngineKind::Ewma { alpha } => Box::new(EwmaEngine::new(alpha)),
             EngineKind::Beta => Box::new(BetaEngine::new()),
@@ -150,16 +149,22 @@ mod tests {
 
     #[test]
     fn engines_build() {
-        assert_eq!(EngineKind::default().build(6, 1, 1).name(), "rocq");
-        assert_eq!(EngineKind::default().build(6, 4, 1).name(), "rocq");
+        let sim = SimParams::default();
+        let sharded = SimParams {
+            num_shards: 4,
+            parallel_batch_min: 64,
+            ..SimParams::default()
+        };
+        assert_eq!(EngineKind::default().build(&sim, 1).name(), "rocq");
+        assert_eq!(EngineKind::default().build(&sharded, 1).name(), "rocq");
         assert_eq!(
-            EngineKind::SimpleAverage.build(1, 1, 1).name(),
+            EngineKind::SimpleAverage.build(&sim, 1).name(),
             "simple-average"
         );
         assert_eq!(
-            EngineKind::Ewma { alpha: 0.2 }.build(1, 1, 1).name(),
+            EngineKind::Ewma { alpha: 0.2 }.build(&sim, 1).name(),
             "ewma"
         );
-        assert_eq!(EngineKind::Beta.build(1, 1, 1).name(), "beta");
+        assert_eq!(EngineKind::Beta.build(&sim, 1).name(), "beta");
     }
 }

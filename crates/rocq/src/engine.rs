@@ -167,10 +167,47 @@ fn crash_roll(seed: u64, subject: PeerId, slot: usize, rehomes: u64) -> f64 {
     (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
 }
 
-/// Batches below this size are processed serially even on a
-/// multi-shard engine: the per-tick two-opinion batch must not pay a
-/// thread-pool round trip.
-const PARALLEL_BATCH_MIN: usize = 256;
+/// Default for the smallest batch a multi-shard engine fans out over
+/// the thread pool: the per-tick two-opinion batch must not pay a
+/// thread-pool round trip. Tunable per engine via
+/// [`RocqEngine::with_parallel_batch_min`] (surfaced as
+/// `SimParams::parallel_batch_min`).
+pub const PARALLEL_BATCH_MIN: usize = 256;
+
+/// Worker threads the rayon pool will actually run, sampled once per
+/// engine: the same rule as the pool itself (`RAYON_NUM_THREADS`
+/// when set and positive, otherwise `available_parallelism`), so the
+/// bypass decision below cannot disagree with the pool it is
+/// bypassing.
+fn pool_threads() -> usize {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    match std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        Some(n) if n > 0 => n,
+        _ => cores,
+    }
+}
+
+/// The parallel fan-out decision, factored out so it is unit-testable
+/// without a pool: fan out only when the work is actually partitioned
+/// (`num_shards > 1`), the batch clears the configured threshold, and
+/// the pool runs more than one worker (on a single-core host — or
+/// under `RAYON_NUM_THREADS=1` — it degrades to sequential execution,
+/// so partition buffers would be pure overhead). Results are
+/// byte-identical either way.
+#[inline]
+fn use_parallel_fanout(
+    num_shards: usize,
+    batch_len: usize,
+    parallel_batch_min: usize,
+    pool_threads: usize,
+) -> bool {
+    num_shards > 1 && batch_len >= parallel_batch_min && pool_threads > 1
+}
 
 /// The shard index owning `peer`'s subject state in an engine with
 /// `num_shards` shards — the single definition of the engine's
@@ -403,6 +440,12 @@ pub struct RocqEngine {
     members: HashSet<PeerId>,
     /// Monotonic id of the current `report_batch` call.
     batch_seq: u64,
+    /// Smallest batch fanned out over the pool (see
+    /// [`PARALLEL_BATCH_MIN`]).
+    parallel_batch_min: usize,
+    /// Worker threads the host can actually run, sampled once at
+    /// construction (`available_parallelism`); 1 bypasses the pool.
+    pool_threads: usize,
 }
 
 impl RocqEngine {
@@ -434,7 +477,23 @@ impl RocqEngine {
             shards: vec![EngineShard::default(); num_shards],
             members: HashSet::new(),
             batch_seq: 0,
+            parallel_batch_min: PARALLEL_BATCH_MIN,
+            pool_threads: pool_threads(),
         }
+    }
+
+    /// Overrides the smallest [`ReputationEngine::report_batch`] size
+    /// fanned out over the thread pool (the `SimParams::
+    /// parallel_batch_min` knob). Results are byte-identical for any
+    /// threshold.
+    ///
+    /// # Panics
+    /// If `min` is zero.
+    #[must_use]
+    pub fn with_parallel_batch_min(mut self, min: usize) -> Self {
+        assert!(min > 0, "parallel_batch_min must be at least 1");
+        self.parallel_batch_min = min;
+        self
     }
 
     /// The shard index owning `peer`'s subject state.
@@ -634,7 +693,12 @@ impl ReputationEngine for RocqEngine {
         let seq = self.batch_seq;
         let (params, members) = (self.params, &self.members);
         let n_shards = self.shards.len();
-        if n_shards > 1 && batch.len() >= PARALLEL_BATCH_MIN {
+        if use_parallel_fanout(
+            n_shards,
+            batch.len(),
+            self.parallel_batch_min,
+            self.pool_threads,
+        ) {
             // Partition by subject shard — a subject's feedbacks stay
             // in batch order within its partition, which is all the
             // per-subject semantics depend on — then fan the disjoint
@@ -1120,6 +1184,45 @@ mod tests {
                 "{shards}-shard crash losses diverged"
             );
         }
+    }
+
+    #[test]
+    fn parallel_fanout_decision() {
+        // Multi-shard, big batch, multi-core: fan out.
+        assert!(use_parallel_fanout(4, 256, 256, 8));
+        // Below the threshold: stay serial.
+        assert!(!use_parallel_fanout(4, 255, 256, 8));
+        // Single shard: nothing to partition.
+        assert!(!use_parallel_fanout(1, 10_000, 256, 8));
+        // Single-core host: the pool degrades to sequential, so the
+        // partition buffers would be pure overhead (ROADMAP "adaptive
+        // parallel threshold", first half).
+        assert!(!use_parallel_fanout(4, 10_000, 256, 1));
+        // A lowered knob admits small batches.
+        assert!(use_parallel_fanout(2, 4, 4, 2));
+    }
+
+    #[test]
+    fn parallel_batch_min_knob_does_not_change_results() {
+        // Same workload, thresholds on both sides of the batch size
+        // (and a shard count > 1 so the parallel path is reachable):
+        // byte-identical observable state.
+        let params = RocqParams {
+            crash_prob: 0.4,
+            ..Default::default()
+        };
+        let eager = exercise(RocqEngine::sharded(params, 4, 4, 7).with_parallel_batch_min(1));
+        let lazy =
+            exercise(RocqEngine::sharded(params, 4, 4, 7).with_parallel_batch_min(usize::MAX));
+        assert_eq!(eager.0, lazy.0, "delta streams diverged");
+        assert_eq!(eager.1, lazy.1, "reputations diverged");
+        assert_eq!((eager.2, eager.3), (lazy.2, lazy.3), "counters diverged");
+    }
+
+    #[test]
+    #[should_panic(expected = "parallel_batch_min must be at least 1")]
+    fn zero_parallel_batch_min_rejected() {
+        let _ = RocqEngine::new(RocqParams::default(), 6, 0).with_parallel_batch_min(0);
     }
 
     #[test]

@@ -1,0 +1,901 @@
+//! # replend-wire
+//!
+//! The workspace's deterministic binary wire format, built on the
+//! serde data model: the serialization surface that lets the
+//! multi-community cluster run as **shared-nothing worker processes**
+//! exchanging encoded summaries instead of sharing memory.
+//!
+//! ## Encoding
+//!
+//! Non-self-describing, positional, byte-oriented (`bincode`-style):
+//!
+//! * fixed-width integers are little-endian (`usize` travels as
+//!   `u64`, `isize` as `i64`);
+//! * floats are the IEEE-754 bit pattern, little-endian — **bit
+//!   exact**, so a reputation mean decodes to the same `f64` bits it
+//!   was encoded from (the cluster's byte-identity guarantee depends
+//!   on this);
+//! * `bool` is one byte (`0`/`1`; anything else is a decode error);
+//! * `Option` is a one-byte tag (`0` = `None`, `1` = `Some`) followed
+//!   by the value;
+//! * sequences and strings carry a `u64` element/byte count followed
+//!   by the elements;
+//! * structs, tuples and tuple structs encode their fields in
+//!   declaration order with no tags or names;
+//! * enum variants encode the `u32` variant index, then the content.
+//!
+//! There is exactly one encoding for a given value, no alignment, no
+//! padding and no platform dependence, so `encode(x)` is a stable
+//! fingerprint of `x`: equal values encode to equal bytes on every
+//! host, which is what the cross-process determinism tests pin.
+//!
+//! ## Versioning
+//!
+//! Everything that crosses a process boundary travels inside a
+//! [`SummaryEnvelope`] `{ version, seed, payload }`. The version is
+//! this crate's [`PROTOCOL_VERSION`]; [`SummaryEnvelope::open`]
+//! rejects a mismatch with the typed
+//! [`WireError::VersionMismatch`] *before* touching the payload.
+//! Policy: **any** change to the encoding of a type that crosses the
+//! boundary — field added/removed/reordered, width changed, variant
+//! added anywhere but the end — must bump [`PROTOCOL_VERSION`].
+//! There is no negotiation: workers are spawned by a coordinator of
+//! the same build in the intended deployment, so a mismatch means a
+//! stale binary and the right response is to fail loudly.
+//!
+//! ## Framing
+//!
+//! Stream transports (the worker's stdio pipes) delimit messages
+//! with [`write_frame`]/[`read_frame`]: a `u32` little-endian byte
+//! length followed by the encoded bytes. `read_frame` distinguishes
+//! a clean end-of-stream (`Ok(None)`) from a truncated frame (an
+//! error).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Version of the worker wire protocol. Bump on **any** encoding
+/// change of a boundary-crossing type (see the crate docs for the
+/// policy).
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Typed encode/decode failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// Input ended before the value was fully decoded.
+    Eof,
+    /// Decoding finished with this many input bytes left over.
+    TrailingBytes(usize),
+    /// A `bool` byte was neither 0 nor 1.
+    InvalidBool(u8),
+    /// An `Option` tag byte was neither 0 nor 1.
+    InvalidOptionTag(u8),
+    /// A string's bytes were not valid UTF-8.
+    InvalidUtf8,
+    /// A length prefix exceeded the platform's `usize`.
+    LengthOverflow(u64),
+    /// The envelope's protocol version does not match this build.
+    VersionMismatch {
+        /// The version this build speaks ([`PROTOCOL_VERSION`]).
+        expected: u32,
+        /// The version found in the envelope.
+        found: u32,
+    },
+    /// Any other serde-reported failure (unknown enum variant, …).
+    Message(String),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Eof => write!(f, "unexpected end of input"),
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after the value"),
+            WireError::InvalidBool(b) => write!(f, "invalid bool byte {b:#04x}"),
+            WireError::InvalidOptionTag(b) => write!(f, "invalid option tag {b:#04x}"),
+            WireError::InvalidUtf8 => write!(f, "string bytes are not valid UTF-8"),
+            WireError::LengthOverflow(n) => write!(f, "length prefix {n} exceeds usize"),
+            WireError::VersionMismatch { expected, found } => write!(
+                f,
+                "wire protocol version mismatch: this build speaks v{expected}, peer sent v{found}"
+            ),
+            WireError::Message(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl serde::ser::Error for WireError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        WireError::Message(msg.to_string())
+    }
+}
+
+impl serde::de::Error for WireError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        WireError::Message(msg.to_string())
+    }
+}
+
+/// Encodes a value to its canonical byte string.
+pub fn to_bytes<T: ?Sized + Serialize>(value: &T) -> Result<Vec<u8>, WireError> {
+    let mut encoder = Encoder { out: Vec::new() };
+    value.serialize(&mut encoder)?;
+    Ok(encoder.out)
+}
+
+/// Decodes a value from `bytes`, requiring every byte to be consumed.
+pub fn from_bytes<'de, T: Deserialize<'de>>(bytes: &'de [u8]) -> Result<T, WireError> {
+    let mut decoder = Decoder {
+        input: bytes,
+        pos: 0,
+    };
+    let value = T::deserialize(&mut decoder)?;
+    let rest = bytes.len() - decoder.pos;
+    if rest != 0 {
+        return Err(WireError::TrailingBytes(rest));
+    }
+    Ok(value)
+}
+
+// ---------------------------------------------------------------------------
+// Encoder
+// ---------------------------------------------------------------------------
+
+/// The streaming encoder behind [`to_bytes`].
+struct Encoder {
+    out: Vec<u8>,
+}
+
+impl Encoder {
+    #[inline]
+    fn put(&mut self, bytes: &[u8]) {
+        self.out.extend_from_slice(bytes);
+    }
+}
+
+macro_rules! encode_le {
+    ($($method:ident: $ty:ty),* $(,)?) => {$(
+        fn $method(self, v: $ty) -> Result<(), WireError> {
+            self.put(&v.to_le_bytes());
+            Ok(())
+        }
+    )*};
+}
+
+impl serde::Serializer for &mut Encoder {
+    type Ok = ();
+    type Error = WireError;
+    type SerializeSeq = Self;
+    type SerializeTuple = Self;
+    type SerializeTupleStruct = Self;
+    type SerializeTupleVariant = Self;
+    type SerializeStruct = Self;
+    type SerializeStructVariant = Self;
+
+    encode_le! {
+        serialize_i8: i8, serialize_i16: i16, serialize_i32: i32, serialize_i64: i64,
+        serialize_u8: u8, serialize_u16: u16, serialize_u32: u32, serialize_u64: u64,
+    }
+
+    fn serialize_bool(self, v: bool) -> Result<(), WireError> {
+        self.put(&[v as u8]);
+        Ok(())
+    }
+
+    fn serialize_f32(self, v: f32) -> Result<(), WireError> {
+        self.put(&v.to_bits().to_le_bytes());
+        Ok(())
+    }
+
+    fn serialize_f64(self, v: f64) -> Result<(), WireError> {
+        self.put(&v.to_bits().to_le_bytes());
+        Ok(())
+    }
+
+    fn serialize_str(self, v: &str) -> Result<(), WireError> {
+        self.put(&(v.len() as u64).to_le_bytes());
+        self.put(v.as_bytes());
+        Ok(())
+    }
+
+    fn serialize_none(self) -> Result<(), WireError> {
+        self.put(&[0]);
+        Ok(())
+    }
+
+    fn serialize_some<T: ?Sized + Serialize>(self, value: &T) -> Result<(), WireError> {
+        self.put(&[1]);
+        value.serialize(self)
+    }
+
+    fn serialize_unit(self) -> Result<(), WireError> {
+        Ok(())
+    }
+
+    fn serialize_unit_struct(self, _name: &'static str) -> Result<(), WireError> {
+        Ok(())
+    }
+
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+    ) -> Result<(), WireError> {
+        self.put(&variant_index.to_le_bytes());
+        Ok(())
+    }
+
+    fn serialize_newtype_struct<T: ?Sized + Serialize>(
+        self,
+        _name: &'static str,
+        value: &T,
+    ) -> Result<(), WireError> {
+        value.serialize(self)
+    }
+
+    fn serialize_newtype_variant<T: ?Sized + Serialize>(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        value: &T,
+    ) -> Result<(), WireError> {
+        self.put(&variant_index.to_le_bytes());
+        value.serialize(self)
+    }
+
+    fn serialize_seq(self, len: Option<usize>) -> Result<Self, WireError> {
+        let len = len.ok_or_else(|| {
+            <WireError as serde::ser::Error>::custom("sequences must know their length")
+        })?;
+        self.put(&(len as u64).to_le_bytes());
+        Ok(self)
+    }
+
+    fn serialize_tuple(self, _len: usize) -> Result<Self, WireError> {
+        Ok(self)
+    }
+
+    fn serialize_tuple_struct(self, _name: &'static str, _len: usize) -> Result<Self, WireError> {
+        Ok(self)
+    }
+
+    fn serialize_tuple_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        _len: usize,
+    ) -> Result<Self, WireError> {
+        self.put(&variant_index.to_le_bytes());
+        Ok(self)
+    }
+
+    fn serialize_struct(self, _name: &'static str, _len: usize) -> Result<Self, WireError> {
+        Ok(self)
+    }
+
+    fn serialize_struct_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        _len: usize,
+    ) -> Result<Self, WireError> {
+        self.put(&variant_index.to_le_bytes());
+        Ok(self)
+    }
+}
+
+impl serde::ser::SerializeSeq for &mut Encoder {
+    type Ok = ();
+    type Error = WireError;
+    fn serialize_element<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), WireError> {
+        value.serialize(&mut **self)
+    }
+    fn end(self) -> Result<(), WireError> {
+        Ok(())
+    }
+}
+
+impl serde::ser::SerializeTuple for &mut Encoder {
+    type Ok = ();
+    type Error = WireError;
+    fn serialize_element<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), WireError> {
+        value.serialize(&mut **self)
+    }
+    fn end(self) -> Result<(), WireError> {
+        Ok(())
+    }
+}
+
+impl serde::ser::SerializeTupleStruct for &mut Encoder {
+    type Ok = ();
+    type Error = WireError;
+    fn serialize_field<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), WireError> {
+        value.serialize(&mut **self)
+    }
+    fn end(self) -> Result<(), WireError> {
+        Ok(())
+    }
+}
+
+impl serde::ser::SerializeTupleVariant for &mut Encoder {
+    type Ok = ();
+    type Error = WireError;
+    fn serialize_field<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), WireError> {
+        value.serialize(&mut **self)
+    }
+    fn end(self) -> Result<(), WireError> {
+        Ok(())
+    }
+}
+
+impl serde::ser::SerializeStruct for &mut Encoder {
+    type Ok = ();
+    type Error = WireError;
+    fn serialize_field<T: ?Sized + Serialize>(
+        &mut self,
+        _key: &'static str,
+        value: &T,
+    ) -> Result<(), WireError> {
+        value.serialize(&mut **self)
+    }
+    fn end(self) -> Result<(), WireError> {
+        Ok(())
+    }
+}
+
+impl serde::ser::SerializeStructVariant for &mut Encoder {
+    type Ok = ();
+    type Error = WireError;
+    fn serialize_field<T: ?Sized + Serialize>(
+        &mut self,
+        _key: &'static str,
+        value: &T,
+    ) -> Result<(), WireError> {
+        value.serialize(&mut **self)
+    }
+    fn end(self) -> Result<(), WireError> {
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Decoder
+// ---------------------------------------------------------------------------
+
+/// The streaming decoder behind [`from_bytes`].
+struct Decoder<'de> {
+    input: &'de [u8],
+    pos: usize,
+}
+
+impl<'de> Decoder<'de> {
+    #[inline]
+    fn take(&mut self, n: usize) -> Result<&'de [u8], WireError> {
+        let end = self.pos.checked_add(n).ok_or(WireError::Eof)?;
+        if end > self.input.len() {
+            return Err(WireError::Eof);
+        }
+        let bytes = &self.input[self.pos..end];
+        self.pos = end;
+        Ok(bytes)
+    }
+
+    #[inline]
+    fn take_array<const N: usize>(&mut self) -> Result<[u8; N], WireError> {
+        Ok(self.take(N)?.try_into().expect("take returned N bytes"))
+    }
+
+    fn take_len(&mut self) -> Result<usize, WireError> {
+        let raw = u64::from_le_bytes(self.take_array::<8>()?);
+        usize::try_from(raw).map_err(|_| WireError::LengthOverflow(raw))
+    }
+}
+
+macro_rules! decode_le {
+    ($($method:ident: $ty:ty => $visit:ident / $n:literal),* $(,)?) => {$(
+        fn $method<V: serde::de::Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
+            let v = <$ty>::from_le_bytes(self.take_array::<$n>()?);
+            visitor.$visit(v)
+        }
+    )*};
+}
+
+impl<'de> serde::Deserializer<'de> for &mut Decoder<'de> {
+    type Error = WireError;
+
+    decode_le! {
+        deserialize_i8: i8 => visit_i8 / 1,
+        deserialize_i16: i16 => visit_i16 / 2,
+        deserialize_i32: i32 => visit_i32 / 4,
+        deserialize_i64: i64 => visit_i64 / 8,
+        deserialize_u8: u8 => visit_u8 / 1,
+        deserialize_u16: u16 => visit_u16 / 2,
+        deserialize_u32: u32 => visit_u32 / 4,
+        deserialize_u64: u64 => visit_u64 / 8,
+    }
+
+    fn deserialize_bool<V: serde::de::Visitor<'de>>(
+        self,
+        visitor: V,
+    ) -> Result<V::Value, WireError> {
+        match self.take_array::<1>()?[0] {
+            0 => visitor.visit_bool(false),
+            1 => visitor.visit_bool(true),
+            other => Err(WireError::InvalidBool(other)),
+        }
+    }
+
+    fn deserialize_f32<V: serde::de::Visitor<'de>>(
+        self,
+        visitor: V,
+    ) -> Result<V::Value, WireError> {
+        let bits = u32::from_le_bytes(self.take_array::<4>()?);
+        visitor.visit_f32(f32::from_bits(bits))
+    }
+
+    fn deserialize_f64<V: serde::de::Visitor<'de>>(
+        self,
+        visitor: V,
+    ) -> Result<V::Value, WireError> {
+        let bits = u64::from_le_bytes(self.take_array::<8>()?);
+        visitor.visit_f64(f64::from_bits(bits))
+    }
+
+    fn deserialize_str<V: serde::de::Visitor<'de>>(
+        self,
+        visitor: V,
+    ) -> Result<V::Value, WireError> {
+        let len = self.take_len()?;
+        let bytes = self.take(len)?;
+        let s = std::str::from_utf8(bytes).map_err(|_| WireError::InvalidUtf8)?;
+        visitor.visit_str(s)
+    }
+
+    fn deserialize_string<V: serde::de::Visitor<'de>>(
+        self,
+        visitor: V,
+    ) -> Result<V::Value, WireError> {
+        self.deserialize_str(visitor)
+    }
+
+    fn deserialize_option<V: serde::de::Visitor<'de>>(
+        self,
+        visitor: V,
+    ) -> Result<V::Value, WireError> {
+        match self.take_array::<1>()?[0] {
+            0 => visitor.visit_none(),
+            1 => visitor.visit_some(self),
+            other => Err(WireError::InvalidOptionTag(other)),
+        }
+    }
+
+    fn deserialize_unit<V: serde::de::Visitor<'de>>(
+        self,
+        visitor: V,
+    ) -> Result<V::Value, WireError> {
+        visitor.visit_unit()
+    }
+
+    fn deserialize_unit_struct<V: serde::de::Visitor<'de>>(
+        self,
+        _name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, WireError> {
+        visitor.visit_unit()
+    }
+
+    fn deserialize_newtype_struct<V: serde::de::Visitor<'de>>(
+        self,
+        _name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, WireError> {
+        visitor.visit_newtype_struct(self)
+    }
+
+    fn deserialize_seq<V: serde::de::Visitor<'de>>(
+        self,
+        visitor: V,
+    ) -> Result<V::Value, WireError> {
+        let len = self.take_len()?;
+        visitor.visit_seq(CountedAccess {
+            decoder: self,
+            left: len,
+        })
+    }
+
+    fn deserialize_tuple<V: serde::de::Visitor<'de>>(
+        self,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, WireError> {
+        visitor.visit_seq(CountedAccess {
+            decoder: self,
+            left: len,
+        })
+    }
+
+    fn deserialize_tuple_struct<V: serde::de::Visitor<'de>>(
+        self,
+        _name: &'static str,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, WireError> {
+        visitor.visit_seq(CountedAccess {
+            decoder: self,
+            left: len,
+        })
+    }
+
+    fn deserialize_struct<V: serde::de::Visitor<'de>>(
+        self,
+        _name: &'static str,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, WireError> {
+        visitor.visit_seq(CountedAccess {
+            decoder: self,
+            left: fields.len(),
+        })
+    }
+
+    fn deserialize_enum<V: serde::de::Visitor<'de>>(
+        self,
+        _name: &'static str,
+        _variants: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, WireError> {
+        visitor.visit_enum(VariantDecoder { decoder: self })
+    }
+}
+
+/// Sequence access bounded by an element count (explicit for `Vec`s,
+/// structural for structs and tuples).
+struct CountedAccess<'a, 'de> {
+    decoder: &'a mut Decoder<'de>,
+    left: usize,
+}
+
+impl<'de> serde::de::SeqAccess<'de> for CountedAccess<'_, 'de> {
+    type Error = WireError;
+    fn next_element_seed<T: serde::de::DeserializeSeed<'de>>(
+        &mut self,
+        seed: T,
+    ) -> Result<Option<T::Value>, WireError> {
+        if self.left == 0 {
+            return Ok(None);
+        }
+        self.left -= 1;
+        seed.deserialize(&mut *self.decoder).map(Some)
+    }
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.left)
+    }
+}
+
+/// Enum access: the `u32` variant index, then the content.
+struct VariantDecoder<'a, 'de> {
+    decoder: &'a mut Decoder<'de>,
+}
+
+impl<'de> serde::de::EnumAccess<'de> for VariantDecoder<'_, 'de> {
+    type Error = WireError;
+    type Variant = Self;
+    fn variant_seed<V: serde::de::DeserializeSeed<'de>>(
+        self,
+        seed: V,
+    ) -> Result<(V::Value, Self), WireError> {
+        let index = seed.deserialize(&mut *self.decoder)?;
+        Ok((index, self))
+    }
+}
+
+impl<'de> serde::de::VariantAccess<'de> for VariantDecoder<'_, 'de> {
+    type Error = WireError;
+    fn unit_variant(self) -> Result<(), WireError> {
+        Ok(())
+    }
+    fn newtype_variant_seed<T: serde::de::DeserializeSeed<'de>>(
+        self,
+        seed: T,
+    ) -> Result<T::Value, WireError> {
+        seed.deserialize(self.decoder)
+    }
+    fn tuple_variant<V: serde::de::Visitor<'de>>(
+        self,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, WireError> {
+        visitor.visit_seq(CountedAccess {
+            decoder: self.decoder,
+            left: len,
+        })
+    }
+    fn struct_variant<V: serde::de::Visitor<'de>>(
+        self,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, WireError> {
+        visitor.visit_seq(CountedAccess {
+            decoder: self.decoder,
+            left: fields.len(),
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Versioned envelope
+// ---------------------------------------------------------------------------
+
+/// The versioned wrapper every cross-process message travels in.
+///
+/// `seed` identifies the run the payload belongs to (the cluster's
+/// base seed), letting a coordinator reject summaries from a stale
+/// or misrouted worker; `version` gates decoding entirely — see the
+/// crate docs for the bump policy.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SummaryEnvelope {
+    /// Protocol version of the sender ([`PROTOCOL_VERSION`]).
+    pub version: u32,
+    /// Base seed of the run this payload belongs to.
+    pub seed: u64,
+    /// The encoded message ([`to_bytes`] of the payload type).
+    pub payload: Vec<u8>,
+}
+
+impl SummaryEnvelope {
+    /// Wraps an encodable payload under the current
+    /// [`PROTOCOL_VERSION`].
+    pub fn wrap<T: ?Sized + Serialize>(seed: u64, payload: &T) -> Result<Self, WireError> {
+        Ok(SummaryEnvelope {
+            version: PROTOCOL_VERSION,
+            seed,
+            payload: to_bytes(payload)?,
+        })
+    }
+
+    /// Decodes an envelope from bytes and checks its version against
+    /// this build, **before** any payload bytes are interpreted.
+    pub fn decode(bytes: &[u8]) -> Result<Self, WireError> {
+        let envelope: SummaryEnvelope = from_bytes(bytes)?;
+        if envelope.version != PROTOCOL_VERSION {
+            return Err(WireError::VersionMismatch {
+                expected: PROTOCOL_VERSION,
+                found: envelope.version,
+            });
+        }
+        Ok(envelope)
+    }
+
+    /// Encodes the envelope itself to bytes.
+    pub fn encode(&self) -> Result<Vec<u8>, WireError> {
+        to_bytes(self)
+    }
+
+    /// Decodes the payload (the version was already checked by
+    /// [`SummaryEnvelope::decode`]; `open` re-checks for envelopes
+    /// built by hand).
+    pub fn open<T: serde::de::DeserializeOwned>(&self) -> Result<T, WireError> {
+        if self.version != PROTOCOL_VERSION {
+            return Err(WireError::VersionMismatch {
+                expected: PROTOCOL_VERSION,
+                found: self.version,
+            });
+        }
+        from_bytes(&self.payload)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Stream framing
+// ---------------------------------------------------------------------------
+
+/// Writes one length-prefixed frame (`u32` LE byte count + bytes).
+pub fn write_frame<W: Write>(writer: &mut W, bytes: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(bytes.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame exceeds 4 GiB"))?;
+    writer.write_all(&len.to_le_bytes())?;
+    writer.write_all(bytes)?;
+    writer.flush()
+}
+
+/// Reads one length-prefixed frame. Returns `Ok(None)` on a clean
+/// end-of-stream (EOF exactly at a frame boundary); a mid-frame EOF
+/// is an `UnexpectedEof` error.
+pub fn read_frame<R: Read>(reader: &mut R) -> io::Result<Option<Vec<u8>>> {
+    let mut len_bytes = [0u8; 4];
+    let mut filled = 0;
+    while filled < len_bytes.len() {
+        match reader.read(&mut len_bytes[filled..])? {
+            0 if filled == 0 => return Ok(None),
+            0 => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "stream ended inside a frame header",
+                ))
+            }
+            n => filled += n,
+        }
+    }
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    let mut payload = vec![0u8; len];
+    reader.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::de::DeserializeOwned;
+
+    fn round_trip<T>(value: &T) -> T
+    where
+        T: Serialize + DeserializeOwned,
+    {
+        from_bytes(&to_bytes(value).expect("encode")).expect("decode")
+    }
+
+    #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+    struct Record {
+        id: u64,
+        score: f64,
+        tags: Vec<u32>,
+        label: Option<String>,
+        flag: bool,
+    }
+
+    #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+    enum Shape {
+        Unit,
+        New(u64),
+        Pair(u32, f64),
+        Named { x: f64, y: Option<u64> },
+    }
+
+    #[test]
+    fn primitives_round_trip_bit_exact() {
+        assert!(round_trip(&true));
+        assert_eq!(round_trip(&0xAB_u8), 0xAB);
+        assert_eq!(round_trip(&-12345_i64), -12345);
+        assert_eq!(round_trip(&u64::MAX), u64::MAX);
+        assert_eq!(round_trip(&usize::MAX), usize::MAX);
+        for f in [0.0, -0.0, 1.5, f64::INFINITY, f64::NEG_INFINITY, f64::NAN] {
+            assert_eq!(round_trip(&f).to_bits(), f.to_bits(), "{f}");
+        }
+        assert_eq!(round_trip(&"héllo".to_string()), "héllo");
+    }
+
+    #[test]
+    fn known_byte_layout() {
+        // u64 is 8 bytes little-endian.
+        assert_eq!(to_bytes(&1u64).unwrap(), vec![1, 0, 0, 0, 0, 0, 0, 0]);
+        // Vec carries a u64 length prefix.
+        assert_eq!(
+            to_bytes(&vec![1u8, 2]).unwrap(),
+            vec![2, 0, 0, 0, 0, 0, 0, 0, 1, 2]
+        );
+        // Option is a single tag byte.
+        assert_eq!(to_bytes(&Option::<u8>::None).unwrap(), vec![0]);
+        assert_eq!(to_bytes(&Some(7u8)).unwrap(), vec![1, 7]);
+        // Unit enum variants are their u32 index.
+        assert_eq!(to_bytes(&Shape::Unit).unwrap(), vec![0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn structs_and_enums_round_trip() {
+        let r = Record {
+            id: 42,
+            score: -0.125,
+            tags: vec![1, 2, 3],
+            label: Some("x".into()),
+            flag: false,
+        };
+        assert_eq!(round_trip(&r), r);
+        for s in [
+            Shape::Unit,
+            Shape::New(9),
+            Shape::Pair(3, 0.5),
+            Shape::Named { x: 1.0, y: None },
+            Shape::Named {
+                x: -1.0,
+                y: Some(8),
+            },
+        ] {
+            assert_eq!(round_trip(&s), s);
+        }
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        let r = Record {
+            id: 7,
+            score: 0.75,
+            tags: vec![9, 9, 9],
+            label: None,
+            flag: true,
+        };
+        assert_eq!(to_bytes(&r).unwrap(), to_bytes(&r.clone()).unwrap());
+    }
+
+    #[test]
+    fn decode_errors_are_typed() {
+        assert_eq!(from_bytes::<u64>(&[1, 2, 3]), Err(WireError::Eof));
+        assert_eq!(from_bytes::<u8>(&[1, 2]), Err(WireError::TrailingBytes(1)));
+        assert_eq!(from_bytes::<bool>(&[2]), Err(WireError::InvalidBool(2)));
+        assert_eq!(
+            from_bytes::<Option<u8>>(&[9, 0]),
+            Err(WireError::InvalidOptionTag(9))
+        );
+        // Variant index beyond the enum's variants.
+        let err = from_bytes::<Shape>(&99u32.to_le_bytes()).unwrap_err();
+        assert!(matches!(err, WireError::Message(_)), "{err:?}");
+    }
+
+    #[test]
+    fn envelope_round_trips_and_rejects_bumped_version() {
+        let payload = Record {
+            id: 1,
+            score: 0.5,
+            tags: vec![],
+            label: None,
+            flag: true,
+        };
+        let envelope = SummaryEnvelope::wrap(77, &payload).unwrap();
+        assert_eq!(envelope.version, PROTOCOL_VERSION);
+        let bytes = envelope.encode().unwrap();
+        let decoded = SummaryEnvelope::decode(&bytes).unwrap();
+        assert_eq!(decoded.seed, 77);
+        assert_eq!(decoded.open::<Record>().unwrap(), payload);
+
+        // A peer speaking a newer protocol is rejected before its
+        // payload is interpreted.
+        let mut stale = envelope.clone();
+        stale.version = PROTOCOL_VERSION + 1;
+        let bytes = stale.encode().unwrap();
+        assert_eq!(
+            SummaryEnvelope::decode(&bytes),
+            Err(WireError::VersionMismatch {
+                expected: PROTOCOL_VERSION,
+                found: PROTOCOL_VERSION + 1,
+            })
+        );
+        assert!(matches!(
+            stale.open::<Record>(),
+            Err(WireError::VersionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn framing_round_trips_and_detects_truncation() {
+        let mut stream = Vec::new();
+        write_frame(&mut stream, b"alpha").unwrap();
+        write_frame(&mut stream, b"").unwrap();
+        write_frame(&mut stream, b"omega").unwrap();
+
+        let mut reader = stream.as_slice();
+        assert_eq!(
+            read_frame(&mut reader).unwrap().as_deref(),
+            Some(&b"alpha"[..])
+        );
+        assert_eq!(read_frame(&mut reader).unwrap().as_deref(), Some(&b""[..]));
+        assert_eq!(
+            read_frame(&mut reader).unwrap().as_deref(),
+            Some(&b"omega"[..])
+        );
+        assert_eq!(read_frame(&mut reader).unwrap(), None, "clean EOF");
+
+        // Truncated payload.
+        let mut truncated = &stream[..6];
+        let err = read_frame(&mut truncated).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+        // Truncated header.
+        let mut truncated = &stream[..2];
+        let err = read_frame(&mut truncated).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+}

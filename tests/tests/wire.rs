@@ -1,0 +1,419 @@
+//! Wire-format round-trip property suite: **every type that crosses
+//! the worker boundary must encode→decode bit-identically**, and a
+//! version-bumped envelope must fail decode with the typed error.
+//!
+//! Bit-identity is asserted at the byte level — `encode(decode(
+//! encode(x))) == encode(x)` — which is exactly "the decoded value is
+//! indistinguishable on the wire from the original" and stays
+//! meaningful for `f64` fields even when the generator produces NaN
+//! (the encoding carries the IEEE bit pattern, so even NaN payloads
+//! must survive).
+
+use proptest::prelude::*;
+use proptest::strategy::Strategy;
+use replend_core::stats::{CommunityStats, Population};
+use replend_core::{BootstrapPolicy, CommunityReport, CommunitySummary, EngineKind, WorkerJob};
+use replend_rocq::RocqParams;
+use replend_sim::stats::Histogram;
+use replend_types::{
+    Feedback, LendingParams, PeerId, Reputation, ReputationDelta, SimParams, SimTime, Table1,
+    TopologyKind,
+};
+use replend_wire::{from_bytes, to_bytes, SummaryEnvelope, WireError, PROTOCOL_VERSION};
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+
+/// The suite's single oracle: one encode→decode→re-encode cycle must
+/// reproduce the exact byte string (and decoding must consume every
+/// byte — `from_bytes` rejects trailing input).
+fn assert_bit_identical_round_trip<T>(value: &T)
+where
+    T: Serialize + DeserializeOwned + std::fmt::Debug,
+{
+    let bytes = to_bytes(value).expect("encode");
+    let decoded: T = from_bytes(&bytes).expect("decode");
+    let re_encoded = to_bytes(&decoded).expect("re-encode");
+    assert_eq!(bytes, re_encoded, "round trip changed the wire bytes");
+}
+
+// ---------------------------------------------------------------------------
+// Strategies for every boundary-crossing type
+// ---------------------------------------------------------------------------
+
+fn any_opt_f64() -> impl Strategy<Value = Option<f64>> {
+    (proptest::bool::ANY, proptest::num::f64::ANY).prop_map(|(some, v)| some.then_some(v))
+}
+
+fn any_population() -> impl Strategy<Value = Population> {
+    (
+        proptest::num::usize::ANY,
+        proptest::num::usize::ANY,
+        proptest::num::usize::ANY,
+        proptest::num::usize::ANY,
+        proptest::num::usize::ANY,
+        proptest::num::usize::ANY,
+        proptest::num::usize::ANY,
+    )
+        .prop_map(
+            |(members, cooperative, uncooperative, waiting, refused, flagged, departed)| {
+                Population {
+                    members,
+                    cooperative,
+                    uncooperative,
+                    waiting,
+                    refused,
+                    flagged,
+                    departed,
+                }
+            },
+        )
+}
+
+fn any_stats() -> impl Strategy<Value = CommunityStats> {
+    let u = || proptest::num::u64::ANY;
+    (
+        (u(), u(), u(), u(), u(), u(), u(), u(), u()),
+        (u(), u(), u(), u(), u(), u(), u(), u()),
+    )
+        .prop_map(
+            |((a, b, c, d, e, f, g, h, i), (j, k, l, m, n, o, p, q))| CommunityStats {
+                arrived_cooperative: a,
+                arrived_uncooperative: b,
+                admitted_cooperative: c,
+                admitted_uncooperative: d,
+                refused_introducer_reputation: e,
+                refused_selective: f,
+                refused_no_introducer: g,
+                flagged_malicious: h,
+                audits_passed: i,
+                audits_failed: j,
+                accepted_cooperative: k,
+                denied_cooperative: l,
+                accepted_uncooperative: m,
+                denied_uncooperative: n,
+                departures: o,
+                ticks: p,
+                served_transactions: q,
+            },
+        )
+}
+
+fn any_topology() -> impl Strategy<Value = TopologyKind> {
+    (0u32..3).prop_map(|i| match i {
+        0 => TopologyKind::Random,
+        1 => TopologyKind::Powerlaw,
+        _ => TopologyKind::Zipf,
+    })
+}
+
+fn any_sim_params() -> impl Strategy<Value = SimParams> {
+    (
+        proptest::num::usize::ANY,
+        proptest::num::u64::ANY,
+        proptest::num::usize::ANY,
+        proptest::num::usize::ANY,
+        proptest::num::usize::ANY,
+        proptest::num::f64::ANY,
+        proptest::num::f64::ANY,
+        proptest::num::f64::ANY,
+        proptest::num::f64::ANY,
+        any_topology(),
+    )
+        .prop_map(
+            |(
+                num_init,
+                num_trans,
+                num_sm,
+                num_shards,
+                parallel_batch_min,
+                arrival_rate,
+                f_uncoop,
+                f_naive,
+                err_sel,
+                topology,
+            )| SimParams {
+                num_init,
+                num_trans,
+                num_sm,
+                num_shards,
+                parallel_batch_min,
+                arrival_rate,
+                f_uncoop,
+                f_naive,
+                err_sel,
+                topology,
+            },
+        )
+}
+
+fn any_lending_params() -> impl Strategy<Value = LendingParams> {
+    (
+        proptest::num::f64::ANY,
+        proptest::num::f64::ANY,
+        proptest::num::u64::ANY,
+        proptest::num::u32::ANY,
+        proptest::num::f64::ANY,
+        any_opt_f64(),
+    )
+        .prop_map(
+            |(intro_amt, reward, wait_period, audit_trans, audit_threshold, min_intro_override)| {
+                LendingParams {
+                    intro_amt,
+                    reward,
+                    wait_period,
+                    audit_trans,
+                    audit_threshold,
+                    min_intro_override,
+                }
+            },
+        )
+}
+
+fn any_table1() -> impl Strategy<Value = Table1> {
+    (any_sim_params(), any_lending_params()).prop_map(|(sim, lending)| Table1 { sim, lending })
+}
+
+fn any_policy() -> impl Strategy<Value = BootstrapPolicy> {
+    ((0u32..5), proptest::num::f64::ANY).prop_map(|(i, v)| match i {
+        0 => BootstrapPolicy::ReputationLending,
+        1 => BootstrapPolicy::OpenAdmission { initial: v },
+        2 => BootstrapPolicy::FixedCredit { credit: v },
+        3 => BootstrapPolicy::PositiveOnly,
+        _ => BootstrapPolicy::ComplaintsOnly,
+    })
+}
+
+fn any_engine() -> impl Strategy<Value = EngineKind> {
+    ((0u32..4), proptest::num::f64::ANY).prop_map(|(i, v)| match i {
+        0 => EngineKind::Rocq(RocqParams {
+            crash_prob: v,
+            ..RocqParams::default()
+        }),
+        1 => EngineKind::SimpleAverage,
+        2 => EngineKind::Ewma { alpha: v },
+        _ => EngineKind::Beta,
+    })
+}
+
+fn any_job() -> impl Strategy<Value = WorkerJob> {
+    (
+        any_table1(),
+        any_policy(),
+        any_engine(),
+        (
+            proptest::num::u64::ANY,
+            proptest::num::f64::ANY,
+            proptest::num::f64::ANY,
+            proptest::num::u64::ANY,
+            proptest::num::u64::ANY,
+        ),
+        proptest::collection::vec(proptest::num::u64::ANY, 0..16),
+        (
+            proptest::num::u64::ANY,
+            proptest::num::u64::ANY,
+            proptest::num::u64::ANY,
+        ),
+    )
+        .prop_map(
+            |(
+                config,
+                policy,
+                engine,
+                (ba_attachment, sm_crash_prob, departure_rate, log_capacity, base_seed),
+                indices,
+                (ticks, sample_interval, histogram_buckets),
+            )| WorkerJob {
+                config,
+                policy,
+                engine,
+                ba_attachment,
+                sm_crash_prob,
+                departure_rate,
+                log_capacity,
+                base_seed,
+                indices,
+                ticks,
+                sample_interval,
+                histogram_buckets,
+            },
+        )
+}
+
+fn any_report() -> impl Strategy<Value = CommunityReport> {
+    (
+        proptest::num::u64::ANY,
+        any_population(),
+        any_stats(),
+        any_opt_f64(),
+        any_opt_f64(),
+        proptest::collection::vec(proptest::num::u64::ANY, 0..24),
+        proptest::collection::vec(proptest::num::f64::ANY, 0..24),
+    )
+        .prop_map(
+            |(index, population, stats, mean_coop_rep, mean_uncoop_rep, histogram, series)| {
+                CommunityReport {
+                    index,
+                    population,
+                    stats,
+                    mean_coop_rep,
+                    mean_uncoop_rep,
+                    histogram,
+                    series,
+                }
+            },
+        )
+}
+
+fn any_summary() -> impl Strategy<Value = CommunitySummary> {
+    (
+        proptest::num::usize::ANY,
+        any_population(),
+        any_opt_f64(),
+        any_opt_f64(),
+        any_opt_f64(),
+    )
+        .prop_map(
+            |(index, population, mean_coop_rep, mean_uncoop_rep, success_rate)| CommunitySummary {
+                index,
+                population,
+                mean_coop_rep,
+                mean_uncoop_rep,
+                success_rate,
+            },
+        )
+}
+
+fn any_histogram() -> impl Strategy<Value = Histogram> {
+    (
+        (1usize..40),
+        proptest::collection::vec(-0.5f64..1.5, 0..100),
+    )
+        .prop_map(|(buckets, samples)| {
+            let mut h = Histogram::new(0.0, 1.0, buckets);
+            for s in samples {
+                h.record(s);
+            }
+            h
+        })
+}
+
+// ---------------------------------------------------------------------------
+// The round-trip properties
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn identifiers_and_scalars_round_trip(
+        peer in proptest::num::u64::ANY,
+        rep in proptest::num::f64::ANY,
+        time in proptest::num::u64::ANY,
+    ) {
+        assert_bit_identical_round_trip(&PeerId(peer));
+        assert_bit_identical_round_trip(&Reputation::new(rep));
+        assert_bit_identical_round_trip(&SimTime(time));
+    }
+
+    #[test]
+    fn feedback_round_trips(
+        reporter in proptest::num::u64::ANY,
+        subject in proptest::num::u64::ANY,
+        opinion in proptest::num::f64::ANY,
+    ) {
+        assert_bit_identical_round_trip(&Feedback::new(
+            PeerId(reporter),
+            PeerId(subject),
+            opinion,
+        ));
+    }
+
+    #[test]
+    fn reputation_delta_round_trips(
+        subject in proptest::num::u64::ANY,
+        old in proptest::num::f64::ANY,
+        new in proptest::num::f64::ANY,
+    ) {
+        assert_bit_identical_round_trip(&ReputationDelta {
+            subject: PeerId(subject),
+            old: Reputation::new(old),
+            new: Reputation::new(new),
+        });
+    }
+
+    #[test]
+    fn population_round_trips(population in any_population()) {
+        assert_bit_identical_round_trip(&population);
+    }
+
+    #[test]
+    fn community_stats_round_trip(stats in any_stats()) {
+        assert_bit_identical_round_trip(&stats);
+    }
+
+    #[test]
+    fn configs_round_trip(config in any_table1()) {
+        assert_bit_identical_round_trip(&config.sim);
+        assert_bit_identical_round_trip(&config.lending);
+        assert_bit_identical_round_trip(&config);
+    }
+
+    #[test]
+    fn policies_and_engines_round_trip(
+        policy in any_policy(),
+        engine in any_engine(),
+    ) {
+        assert_bit_identical_round_trip(&policy);
+        assert_bit_identical_round_trip(&engine);
+    }
+
+    #[test]
+    fn histograms_round_trip(histogram in any_histogram()) {
+        assert_bit_identical_round_trip(&histogram);
+        // The decoded histogram is also structurally equal (no NaN
+        // fields, so PartialEq is meaningful here).
+        let decoded: Histogram =
+            from_bytes(&to_bytes(&histogram).unwrap()).unwrap();
+        prop_assert_eq!(&decoded, &histogram);
+    }
+
+    #[test]
+    fn worker_jobs_round_trip(job in any_job()) {
+        assert_bit_identical_round_trip(&job);
+    }
+
+    #[test]
+    fn community_reports_round_trip(report in any_report()) {
+        assert_bit_identical_round_trip(&report);
+    }
+
+    #[test]
+    fn community_summaries_round_trip(summary in any_summary()) {
+        assert_bit_identical_round_trip(&summary);
+    }
+
+    #[test]
+    fn envelopes_round_trip_but_bumped_versions_fail_typed(
+        report in any_report(),
+        bump in 1u32..1000,
+    ) {
+        let envelope = SummaryEnvelope::wrap(report.index, &report).unwrap();
+        let bytes = envelope.encode().unwrap();
+        let reopened = SummaryEnvelope::decode(&bytes).unwrap();
+        prop_assert_eq!(
+            to_bytes(&reopened.open::<CommunityReport>().unwrap()).unwrap(),
+            to_bytes(&report).unwrap()
+        );
+
+        // Any bumped version must fail decode with the typed error —
+        // before the payload is interpreted.
+        let mut stale = envelope;
+        stale.version = PROTOCOL_VERSION.wrapping_add(bump);
+        let err = SummaryEnvelope::decode(&stale.encode().unwrap()).unwrap_err();
+        prop_assert_eq!(
+            err,
+            WireError::VersionMismatch {
+                expected: PROTOCOL_VERSION,
+                found: PROTOCOL_VERSION.wrapping_add(bump),
+            }
+        );
+    }
+}
