@@ -1,0 +1,241 @@
+//! Criterion bench: the engine's per-feedback critical path, dense
+//! arena layout vs. the seed layout, at 10 k / 50 k subjects for
+//! 1 / 4 / 8 shards.
+//!
+//! Four groups, all emitted into the machine-readable perf trajectory
+//! (`REPLEND_BENCH_JSON`, see the criterion shim):
+//!
+//! * `hot_path/report_batch/…` — one full-population batch applied
+//!   end-to-end, plus the delta drain the community performs after
+//!   every batch. On a single-core host (such as the CI container:
+//!   `available_parallelism() == 1`, where the rayon pool degrades to
+//!   sequential execution) multi-shard numbers show only partition
+//!   overhead.
+//! * `hot_path_critical/one_shard_slice/…` — shard 0's slice of that
+//!   batch: the per-worker work that multi-core hosts run
+//!   concurrently, i.e. the quantity sharding divides and the number
+//!   the ISSUE-5 acceptance bar (≥ 25 % vs. the PR 3 numbers) is
+//!   measured on.
+//! * `hot_path_churn/join_leave/…` — one overlay join + leave,
+//!   re-homing the moved replica arcs (the path the borrowed-in-place
+//!   key index and inline assignment lists speed up).
+//! * `hot_path_reads/…` — steady-state snapshot reads: the O(1)
+//!   cached `reputation()` probe and the full replica snapshot.
+//!
+//! The `seed` layout is [`ReferenceEngine`] — the pre-arena
+//! `HashMap`-of-records engine preserved in `replend-rocq` — so the
+//! comparison runs in the same binary on the same host. Results are
+//! byte-identical between layouts and across shard counts (pinned by
+//! the churn oracle in `replend-tests`); this bench measures only the
+//! wall-clock difference.
+//!
+//! `REPLEND_BENCH_SUBJECTS` (comma-separated counts) scales the
+//! subject sizes down for CI smoke runs, like `REPLEND_TICKS` does
+//! for the figure binaries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use replend_rocq::{shard_of, ReferenceEngine, ReputationEngine, RocqEngine, RocqParams};
+use replend_types::{Feedback, PeerId, Reputation};
+use std::hint::black_box;
+
+/// Shard counts compared.
+const SHARDS: &[usize] = &[1, 4, 8];
+
+/// Score managers per subject — the Table-1 default.
+const NUM_SM: usize = 6;
+
+/// The two memory layouts under comparison.
+const LAYOUTS: &[&str] = &["arena", "seed"];
+
+/// Subject-store sizes exercised (10 k is well past the paper's
+/// Table-1 scale, 50 k is the ROADMAP scale target), overridable via
+/// `REPLEND_BENCH_SUBJECTS` for smoke runs.
+fn sizes() -> Vec<usize> {
+    match std::env::var("REPLEND_BENCH_SUBJECTS") {
+        Ok(list) => list
+            .split(',')
+            .map(|s| {
+                s.trim()
+                    .parse()
+                    .expect("REPLEND_BENCH_SUBJECTS: comma-separated subject counts")
+            })
+            .collect(),
+        Err(_) => vec![10_000, 50_000],
+    }
+}
+
+/// An engine of the given layout with `n` registered subjects spread
+/// over `shards` shards. `serial_only` pins the arena engine to the
+/// serial batch path regardless of host core count (the reference
+/// layout is always serial).
+fn engine_of(
+    layout: &str,
+    n: usize,
+    shards: usize,
+    serial_only: bool,
+) -> Box<dyn ReputationEngine> {
+    let params = RocqParams::default();
+    let mut e: Box<dyn ReputationEngine> = match layout {
+        "arena" => {
+            let e = RocqEngine::sharded(params, NUM_SM, shards, 0xE5);
+            Box::new(if serial_only {
+                e.with_parallel_batch_min(usize::MAX)
+            } else {
+                e
+            })
+        }
+        "seed" => Box::new(ReferenceEngine::sharded(params, NUM_SM, shards, 0xE5)),
+        other => panic!("unknown layout {other}"),
+    };
+    for p in 0..n as u64 {
+        e.register_peer(PeerId(p), Reputation::ONE);
+    }
+    e
+}
+
+/// One tick's worth of opinions for every subject: `n` feedbacks,
+/// reporters striding over the population, opinions alternating.
+fn batch_of(n: usize) -> Vec<Feedback> {
+    (0..n as u64)
+        .map(|i| {
+            Feedback::new(
+                PeerId((i * 7 + 1) % n as u64),
+                PeerId(i % n as u64),
+                (i % 2) as f64,
+            )
+        })
+        .collect()
+}
+
+fn bench_report_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hot_path");
+    for &n in &sizes() {
+        let batch = batch_of(n);
+        for &layout in LAYOUTS {
+            for &shards in SHARDS {
+                let mut engine = engine_of(layout, n, shards, false);
+                let mut deltas = Vec::new();
+                group.bench_function(
+                    format!("report_batch/{layout}/{n}subj/{shards}shards"),
+                    |b| {
+                        b.iter(|| {
+                            engine.report_batch(black_box(&batch));
+                            // Drain like the community does, so the
+                            // buffers (and the canonical merge) are part
+                            // of the cost.
+                            deltas.clear();
+                            engine.drain_deltas(&mut deltas);
+                            black_box(deltas.len())
+                        })
+                    },
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+fn bench_critical_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hot_path_critical");
+    for &n in &sizes() {
+        let full = batch_of(n);
+        for &layout in LAYOUTS {
+            for &shards in SHARDS {
+                // Shard 0's slice of the batch (the engine's own
+                // routing function): on a multi-core host, a parallel
+                // report_batch finishes when the slowest such slice
+                // does.
+                let part: Vec<Feedback> = full
+                    .iter()
+                    .filter(|f| shard_of(f.subject, shards) == 0)
+                    .copied()
+                    .collect();
+                // Serial-only: the slice must measure one worker's
+                // share of the batch, not a pool round trip — on
+                // multi-core hosts the fan-out would otherwise fire
+                // for slices above the parallel threshold.
+                let mut engine = engine_of(layout, n, shards, true);
+                let mut deltas = Vec::new();
+                group.bench_function(
+                    format!("one_shard_slice/{layout}/{n}subj/{shards}shards"),
+                    |b| {
+                        b.iter(|| {
+                            engine.report_batch(black_box(&part));
+                            deltas.clear();
+                            engine.drain_deltas(&mut deltas);
+                            black_box(deltas.len())
+                        })
+                    },
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+fn bench_churn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hot_path_churn");
+    for &n in &sizes() {
+        for &layout in LAYOUTS {
+            for &shards in SHARDS {
+                let mut engine = engine_of(layout, n, shards, false);
+                let mut next = n as u64;
+                group.bench_function(format!("join_leave/{layout}/{n}subj/{shards}shards"), |b| {
+                    b.iter(|| {
+                        // One overlay join (register) and one
+                        // leave (remove), each re-homing the
+                        // moved replica arc.
+                        engine.register_peer(PeerId(next), Reputation::HALF);
+                        engine.remove_peer(PeerId(next));
+                        next += 1;
+                        black_box(engine.contains(PeerId(next)))
+                    })
+                });
+            }
+        }
+    }
+    group.finish();
+}
+
+fn bench_reads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hot_path_reads");
+    for &n in &sizes() {
+        // The cached-aggregate probe, both layouts (single shard —
+        // the read never fans out).
+        for &layout in LAYOUTS {
+            let engine = engine_of(layout, n, 1, false);
+            let mut p = 0u64;
+            group.bench_function(format!("reputation/{layout}/{n}subj"), |b| {
+                b.iter(|| {
+                    p = (p * 31 + 17) % n as u64;
+                    black_box(engine.reputation(PeerId(p)))
+                })
+            });
+        }
+        // The full replica snapshot (arena engine's inspection API).
+        let engine = {
+            let mut e = RocqEngine::sharded(RocqParams::default(), NUM_SM, 1, 0xE5);
+            for p in 0..n as u64 {
+                e.register_peer(PeerId(p), Reputation::ONE);
+            }
+            e
+        };
+        let mut p = 0u64;
+        group.bench_function(format!("snapshot/arena/{n}subj"), |b| {
+            b.iter(|| {
+                p = (p * 31 + 17) % n as u64;
+                black_box(engine.snapshot(PeerId(p)).map(|s| s.replicas.len()))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_report_batch,
+    bench_critical_path,
+    bench_churn,
+    bench_reads
+);
+criterion_main!(benches);

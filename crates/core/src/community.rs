@@ -244,12 +244,14 @@ impl Community {
 
     /// Drains the engine's pending reputation deltas into the peer
     /// table's accumulators. Called after every engine mutation so the
-    /// O(1) aggregates never lag observable state.
+    /// O(1) aggregates never lag observable state. The buffer is
+    /// community-owned scratch (cleared, never freed) — with the
+    /// engine's drain path equally allocation-free at steady state,
+    /// the whole tick-to-accumulator delta pipeline performs no heap
+    /// allocation once warm.
     fn sync_engine_deltas(&mut self) {
         self.engine.drain_deltas(&mut self.delta_buf);
-        for delta in &self.delta_buf {
-            self.table.apply_delta(delta);
-        }
+        self.table.apply_deltas(&self.delta_buf);
         self.delta_buf.clear();
     }
 

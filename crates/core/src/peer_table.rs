@@ -293,6 +293,16 @@ impl PeerTable {
         self.records[id.index()].record_transaction()
     }
 
+    /// Applies a drained batch of engine deltas in order — the
+    /// community's per-tick delta plumbing. One call per
+    /// `drain_deltas` keeps the loop next to the accumulator state it
+    /// feeds and leaves the caller's buffer untouched for reuse.
+    pub fn apply_deltas(&mut self, deltas: &[ReputationDelta]) {
+        for delta in deltas {
+            self.apply_delta(delta);
+        }
+    }
+
     /// Applies one engine-reported reputation movement to the
     /// aggregates. Deltas about non-members (e.g. crash-recovery
     /// noise about flagged peers still registered in the engine) only

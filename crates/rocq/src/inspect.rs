@@ -23,7 +23,10 @@ pub struct ReplicaSnapshot {
     pub reputation: Reputation,
     /// The replica's accumulated evidence mass.
     pub evidence: f64,
-    /// Number of reporters with explicit credibility state here.
+    /// Number of reporters with explicit credibility state about this
+    /// subject (the arena engine keeps one credibility book per
+    /// subject, shared by its replicas, so the count is identical for
+    /// every slot).
     pub known_reporters: usize,
 }
 

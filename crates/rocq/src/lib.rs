@@ -42,7 +42,18 @@
 //! [`RocqEngine`], the [`baselines`] module provides
 //! [`SimpleAverageEngine`](baselines::SimpleAverageEngine),
 //! [`EwmaEngine`](baselines::EwmaEngine) and
-//! [`BetaEngine`](baselines::BetaEngine).
+//! [`BetaEngine`](baselines::BetaEngine), and the [`reference`]
+//! module preserves the pre-arena memory layout as a semantic oracle
+//! and bench baseline.
+//!
+//! ## Hot-path layout
+//!
+//! [`RocqEngine`] stores subjects in a dense slot arena (hot fields
+//! split struct-of-arrays from cold replica metadata) and keeps every
+//! batch-path buffer as reusable scratch, so a steady-state
+//! [`ReputationEngine::report_batch`] performs zero heap allocations
+//! — see the crate README and the `engine` module docs for the
+//! layout, the invariants, and how to run the `hot_path` benches.
 
 pub mod baselines;
 pub mod credibility;
@@ -50,7 +61,9 @@ pub mod engine;
 pub mod inspect;
 pub mod params;
 pub mod quality;
+pub mod reference;
 pub mod score;
 
 pub use engine::{shard_of, ReputationEngine, RocqEngine};
 pub use params::RocqParams;
+pub use reference::ReferenceEngine;

@@ -6,6 +6,14 @@
 //! is the number of the reporter's previous transactions with the
 //! subject — a reporter's tenth opinion about the same partner is
 //! worth more than its first.
+//!
+//! Both the arena [`RocqEngine`](crate::engine::RocqEngine) (one log
+//! per shard) and the seed-layout
+//! [`ReferenceEngine`](crate::reference::ReferenceEngine) track these
+//! counts in an [`InteractionLog`]; the layouts share the structure
+//! so reporter departures forget counts identically (credibility
+//! state, by contrast, is stored per layout — see
+//! [`CredibilityBook`](crate::credibility::CredibilityBook)).
 
 use replend_types::PeerId;
 use std::collections::HashMap;

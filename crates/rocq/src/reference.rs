@@ -1,0 +1,528 @@
+//! The pre-arena (PR ≤ 4, "seed") engine layout, preserved as a
+//! semantic oracle and bench baseline.
+//!
+//! [`ReferenceEngine`] implements exactly the same ROCQ semantics as
+//! [`RocqEngine`](crate::engine::RocqEngine) — same parameters, same
+//! deterministic crash rolls, same canonical delta order — but with
+//! the seed's memory layout:
+//!
+//! * subjects in a `HashMap<PeerId, SubjectRecord>` probed per
+//!   access, replicas as an array-of-structs with one
+//!   [`CredibilityTable`] per replica (three hash probes per replica
+//!   per report),
+//! * a shard-global [`InteractionLog`] keyed by `(reporter, subject)`
+//!   pairs,
+//! * a replica-key index of heap-allocated `Vec`s that the
+//!   crash-recovery path `.cloned()`s per moved key,
+//! * fresh `touched` buffers per batch and a stable (allocating)
+//!   sort per delta drain.
+//!
+//! Two consumers depend on it:
+//!
+//! * the churn-oracle property test in `replend-tests` pins the arena
+//!   engine **byte-identical** to this layout under adversarial
+//!   interleavings of joins, departures, crashes and handle reuse;
+//! * the `hot_path` criterion bench times the arena layout against it
+//!   so the speedup is measured, not asserted.
+//!
+//! Keep this file boring: when engine *semantics* change, change both
+//! implementations in lockstep (the oracle will fail loudly if they
+//! drift); when only the arena's *layout* changes, leave this file
+//! alone — that is the point of it.
+
+use crate::credibility::CredibilityTable;
+use crate::engine::{crash_roll, shard_of, ReputationEngine};
+use crate::params::RocqParams;
+use crate::quality::{quality_from_count, InteractionLog};
+use crate::score::ScoreState;
+use replend_dht::managers::replica_key;
+use replend_dht::ring::{HandoffEvent, Ring};
+use replend_types::{Feedback, NodeId, PeerId, Reputation, ReputationDelta};
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// One replica of a subject's score, hosted by an overlay node.
+#[derive(Clone, Debug)]
+struct Replica {
+    /// Ring key that determines the host.
+    key: NodeId,
+    /// Current host node.
+    host: NodeId,
+    /// Aggregate state.
+    state: ScoreState,
+    /// Per-reporter credibility, local to this replica.
+    creds: CredibilityTable,
+    /// Times this replica has been re-homed by churn.
+    rehomes: u64,
+}
+
+/// All replicas of one subject, plus the cached aggregate.
+#[derive(Clone, Debug)]
+struct SubjectRecord {
+    replicas: Vec<Replica>,
+    /// Mean over `replicas` in slot order.
+    cached: Reputation,
+    /// Batch sequence number of the last batch that touched this
+    /// subject.
+    touched_seq: u64,
+}
+
+impl SubjectRecord {
+    fn recompute(&mut self) -> Reputation {
+        if self.replicas.is_empty() {
+            self.cached = Reputation::ZERO;
+            return self.cached;
+        }
+        let sum: f64 = self
+            .replicas
+            .iter()
+            .map(|r| r.state.reputation().value())
+            .sum();
+        self.cached = Reputation::new(sum / self.replicas.len() as f64);
+        self.cached
+    }
+}
+
+/// One partition of the reference engine state (the seed's
+/// `EngineShard`).
+#[derive(Clone, Debug, Default)]
+struct RefShard {
+    subjects: HashMap<PeerId, SubjectRecord>,
+    key_index: BTreeMap<NodeId, Vec<(PeerId, usize)>>,
+    interactions: InteractionLog,
+    deltas: Vec<ReputationDelta>,
+    rehomings: u64,
+    crash_losses: u64,
+}
+
+impl RefShard {
+    /// Replica keys of this shard lying in the clockwise interval
+    /// `(start, end]` — materialised into a fresh `Vec`, as the seed
+    /// did.
+    fn keys_in_arc(&self, start: NodeId, end: NodeId) -> Vec<NodeId> {
+        if start == end {
+            return self.key_index.keys().copied().collect();
+        }
+        if start < end {
+            self.key_index
+                .range((
+                    std::ops::Bound::Excluded(start),
+                    std::ops::Bound::Included(end),
+                ))
+                .map(|(k, _)| *k)
+                .collect()
+        } else {
+            self.key_index
+                .range((std::ops::Bound::Excluded(start), std::ops::Bound::Unbounded))
+                .map(|(k, _)| *k)
+                .chain(self.key_index.range(..=end).map(|(k, _)| *k))
+                .collect()
+        }
+    }
+
+    fn apply_handoff(&mut self, event: HandoffEvent, params: &RocqParams, seed: u64) {
+        let moved = self.keys_in_arc(event.range_start, event.range_end);
+        for key in moved {
+            // The seed's per-key clone the arena engine eliminates.
+            let assignments = self.key_index.get(&key).cloned().unwrap_or_default();
+            for (subject, slot) in assignments {
+                self.rehomings += 1;
+                let record = self
+                    .subjects
+                    .get_mut(&subject)
+                    .expect("key index refers to live subject");
+                let rehomes = record.replicas[slot].rehomes;
+                record.replicas[slot].rehomes += 1;
+                let crash = params.crash_prob > 0.0
+                    && crash_roll(seed, subject, slot, rehomes) < params.crash_prob;
+                if crash {
+                    self.crash_losses += 1;
+                    let sibling = record
+                        .replicas
+                        .iter()
+                        .enumerate()
+                        .find(|(i, _)| *i != slot)
+                        .map(|(_, r)| (r.state, r.creds.clone()));
+                    let replica = &mut record.replicas[slot];
+                    match sibling {
+                        Some((state, creds)) => {
+                            replica.state.overwrite_from(&state);
+                            replica.creds = creds;
+                        }
+                        None => {
+                            replica.state = ScoreState::new(Reputation::ZERO, 0.0);
+                            replica.creds =
+                                CredibilityTable::new(params.initial_credibility, params.gamma);
+                        }
+                    }
+                    let old = record.cached;
+                    let new = record.recompute();
+                    let delta = ReputationDelta { subject, old, new };
+                    if !delta.is_noop() {
+                        self.deltas.push(delta);
+                    }
+                }
+                record.replicas[slot].host = event.to;
+            }
+        }
+    }
+
+    fn apply_report(
+        &mut self,
+        params: &RocqParams,
+        members: &HashSet<PeerId>,
+        reporter: PeerId,
+        subject: PeerId,
+        opinion: f64,
+    ) -> bool {
+        if !members.contains(&reporter) {
+            return false;
+        }
+        let Some(record) = self.subjects.get_mut(&subject) else {
+            return false;
+        };
+        let n = self.interactions.record(reporter, subject);
+        let q = quality_from_count(n, params.eta, params.min_quality);
+        for replica in &mut record.replicas {
+            let c = replica.creds.get(reporter);
+            let prev = replica.state.reputation().value();
+            let agreed = (opinion - prev).abs() <= params.agreement_threshold;
+            replica.state.report(opinion, c * q, params.weight_cap);
+            replica.creds.update(reporter, agreed);
+        }
+        true
+    }
+
+    fn refresh_cache(&mut self, subject: PeerId) {
+        let Some(record) = self.subjects.get_mut(&subject) else {
+            return;
+        };
+        let old = record.cached;
+        let new = record.recompute();
+        let delta = ReputationDelta { subject, old, new };
+        if !delta.is_noop() {
+            self.deltas.push(delta);
+        }
+    }
+
+    fn apply_batch_item(
+        &mut self,
+        params: &RocqParams,
+        members: &HashSet<PeerId>,
+        seq: u64,
+        f: &Feedback,
+    ) -> Option<PeerId> {
+        if !self.apply_report(params, members, f.reporter, f.subject, f.opinion) {
+            return None;
+        }
+        let record = self
+            .subjects
+            .get_mut(&f.subject)
+            .expect("apply_report verified the subject");
+        (record.touched_seq != seq).then(|| {
+            record.touched_seq = seq;
+            f.subject
+        })
+    }
+}
+
+/// The seed-layout ROCQ engine. Always applies batches serially (the
+/// parallel fan-out is a scheduling concern, not a semantic one — the
+/// arena engine is byte-identical on either path).
+pub struct ReferenceEngine {
+    params: RocqParams,
+    num_sm: usize,
+    seed: u64,
+    ring: Ring,
+    shards: Vec<RefShard>,
+    members: HashSet<PeerId>,
+    batch_seq: u64,
+}
+
+impl ReferenceEngine {
+    /// A single-shard reference engine.
+    ///
+    /// # Panics
+    /// If `params` fail validation or `num_sm` is zero.
+    pub fn new(params: RocqParams, num_sm: usize, seed: u64) -> Self {
+        Self::sharded(params, num_sm, 1, seed)
+    }
+
+    /// A reference engine with `num_shards` seed-layout shards.
+    ///
+    /// # Panics
+    /// If `params` fail validation or `num_sm` / `num_shards` is zero.
+    pub fn sharded(params: RocqParams, num_sm: usize, num_shards: usize, seed: u64) -> Self {
+        params.validate().expect("invalid ROCQ parameters");
+        assert!(num_sm > 0, "need at least one score manager");
+        assert!(num_shards > 0, "need at least one engine shard");
+        ReferenceEngine {
+            params,
+            num_sm,
+            seed,
+            ring: Ring::new(),
+            shards: vec![RefShard::default(); num_shards],
+            members: HashSet::new(),
+            batch_seq: 0,
+        }
+    }
+
+    #[inline]
+    fn shard_of(&self, peer: PeerId) -> usize {
+        shard_of(peer, self.shards.len())
+    }
+
+    /// Total replica re-homings caused by churn so far.
+    pub fn rehomings(&self) -> u64 {
+        self.shards.iter().map(|s| s.rehomings).sum()
+    }
+
+    /// Re-homings that lost state under the crash model.
+    pub fn crash_losses(&self) -> u64 {
+        self.shards.iter().map(|s| s.crash_losses).sum()
+    }
+
+    fn apply_handoff(&mut self, event: HandoffEvent) {
+        let (params, seed) = (self.params, self.seed);
+        for shard in &mut self.shards {
+            shard.apply_handoff(event, &params, seed);
+        }
+    }
+}
+
+impl ReputationEngine for ReferenceEngine {
+    fn register_peer(&mut self, peer: PeerId, initial: Reputation) {
+        if self.members.contains(&peer) {
+            return;
+        }
+        if let Some(event) = self.ring.join(peer.node_id()) {
+            self.apply_handoff(event);
+        }
+        let mut replicas = Vec::with_capacity(self.num_sm);
+        let home = self.shard_of(peer);
+        for i in 0..self.num_sm {
+            let key = replica_key(peer, i);
+            let host = self.ring.successor(key).expect("ring non-empty after join");
+            replicas.push(Replica {
+                key,
+                host,
+                state: ScoreState::new(initial, self.params.prior_weight),
+                creds: CredibilityTable::new(self.params.initial_credibility, self.params.gamma),
+                rehomes: 0,
+            });
+            self.shards[home]
+                .key_index
+                .entry(key)
+                .or_default()
+                .push((peer, i));
+        }
+        let mut record = SubjectRecord {
+            replicas,
+            cached: Reputation::ZERO,
+            touched_seq: 0,
+        };
+        record.recompute();
+        self.shards[home].subjects.insert(peer, record);
+        self.members.insert(peer);
+    }
+
+    fn remove_peer(&mut self, peer: PeerId) {
+        if !self.members.remove(&peer) {
+            return;
+        }
+        let home = self.shard_of(peer);
+        let record = self.shards[home]
+            .subjects
+            .remove(&peer)
+            .expect("registry and shard agree");
+        for (i, replica) in record.replicas.iter().enumerate() {
+            if let Some(v) = self.shards[home].key_index.get_mut(&replica.key) {
+                v.retain(|&(p, s)| !(p == peer && s == i));
+                if v.is_empty() {
+                    self.shards[home].key_index.remove(&replica.key);
+                }
+            }
+        }
+        for shard in &mut self.shards {
+            shard.interactions.forget(peer);
+        }
+        if let Some(event) = self.ring.leave(peer.node_id()) {
+            self.apply_handoff(event);
+        }
+    }
+
+    fn contains(&self, peer: PeerId) -> bool {
+        self.members.contains(&peer)
+    }
+
+    fn report(&mut self, reporter: PeerId, subject: PeerId, opinion: f64) {
+        let (params, home) = (self.params, self.shard_of(subject));
+        let shard = &mut self.shards[home];
+        if shard.apply_report(&params, &self.members, reporter, subject, opinion) {
+            shard.refresh_cache(subject);
+        }
+    }
+
+    fn reputation(&self, subject: PeerId) -> Option<Reputation> {
+        self.shards[self.shard_of(subject)]
+            .subjects
+            .get(&subject)
+            .map(|r| r.cached)
+    }
+
+    fn credit(&mut self, subject: PeerId, amount: f64) {
+        let home = self.shard_of(subject);
+        let shard = &mut self.shards[home];
+        let Some(record) = shard.subjects.get_mut(&subject) else {
+            return;
+        };
+        for replica in &mut record.replicas {
+            replica.state.adjust(amount.abs());
+        }
+        shard.refresh_cache(subject);
+    }
+
+    fn debit(&mut self, subject: PeerId, amount: f64) {
+        let home = self.shard_of(subject);
+        let shard = &mut self.shards[home];
+        let Some(record) = shard.subjects.get_mut(&subject) else {
+            return;
+        };
+        for replica in &mut record.replicas {
+            replica.state.adjust(-amount.abs());
+        }
+        shard.refresh_cache(subject);
+    }
+
+    fn report_batch(&mut self, batch: &[Feedback]) {
+        // The seed's serial batch path: fresh first-touch buffer per
+        // call, one cache refresh per touched subject.
+        self.batch_seq += 1;
+        let seq = self.batch_seq;
+        let (params, members) = (self.params, &self.members);
+        let n_shards = self.shards.len();
+        let mut touched: Vec<(usize, PeerId)> = Vec::new();
+        for f in batch {
+            let home = shard_of(f.subject, n_shards);
+            if let Some(subject) = self.shards[home].apply_batch_item(&params, members, seq, f) {
+                touched.push((home, subject));
+            }
+        }
+        for (home, subject) in touched {
+            self.shards[home].refresh_cache(subject);
+        }
+    }
+
+    fn drain_deltas(&mut self, out: &mut Vec<ReputationDelta>) {
+        let start = out.len();
+        for shard in &mut self.shards {
+            out.append(&mut shard.deltas);
+        }
+        // The seed's canonical merge: stable sort by subject.
+        out[start..].sort_by_key(|d| d.subject);
+    }
+
+    fn name(&self) -> &'static str {
+        "rocq-reference"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::RocqEngine;
+
+    /// The smoke version of the cross-layout oracle (the adversarial
+    /// proptest lives in `replend-tests`): a fixed workload with
+    /// churn and crashes must leave both layouts byte-identical.
+    #[test]
+    fn reference_matches_arena_engine() {
+        let params = RocqParams {
+            crash_prob: 0.6,
+            ..Default::default()
+        };
+        let mut arena = RocqEngine::sharded(params, 4, 3, 11);
+        let mut seed = ReferenceEngine::sharded(params, 4, 3, 11);
+        let engines: [&mut dyn ReputationEngine; 2] = [&mut arena, &mut seed];
+        let mut streams: Vec<Vec<ReputationDelta>> = vec![Vec::new(), Vec::new()];
+        for (e, stream) in engines.into_iter().zip(streams.iter_mut()) {
+            for p in 0..60u64 {
+                e.register_peer(PeerId(p), Reputation::ONE);
+            }
+            let batch: Vec<Feedback> = (0..300u64)
+                .map(|r| Feedback::new(PeerId(r % 30), PeerId(30 + r % 30), (r % 2) as f64))
+                .collect();
+            e.report_batch(&batch);
+            for p in [5u64, 25, 3, 17] {
+                e.remove_peer(PeerId(p));
+            }
+            for p in 100..110u64 {
+                e.register_peer(PeerId(p), Reputation::HALF);
+            }
+            e.report_batch(&batch);
+            e.credit(PeerId(7), 0.1);
+            e.debit(PeerId(8), 0.2);
+            e.drain_deltas(stream);
+        }
+        assert_eq!(streams[0], streams[1], "delta streams diverged");
+        for p in 0..110u64 {
+            assert_eq!(
+                arena.reputation(PeerId(p)).map(|r| r.value().to_bits()),
+                seed.reputation(PeerId(p)).map(|r| r.value().to_bits()),
+                "peer {p} reputation diverged"
+            );
+        }
+        assert_eq!(arena.rehomings(), seed.rehomings());
+        assert_eq!(arena.crash_losses(), seed.crash_losses());
+    }
+
+    #[test]
+    fn rejoining_reporter_resumes_credibility_in_both_layouts() {
+        // The seed layout keeps a departed reporter's credibility in
+        // every replica table (departure only purges its interaction
+        // counts), so a re-joining reporter resumes its earned
+        // credibility. The arena's shared books must behave
+        // identically — this is the exact scenario a per-row forget
+        // would silently diverge on.
+        let params = RocqParams::default();
+        let mut arena = RocqEngine::new(params, 3, 5);
+        let mut seed = ReferenceEngine::new(params, 3, 5);
+        let engines: [&mut dyn ReputationEngine; 2] = [&mut arena, &mut seed];
+        for e in engines {
+            for p in 0..10u64 {
+                e.register_peer(PeerId(p), Reputation::ONE);
+            }
+            // Reporter 1 earns credibility about subject 2 …
+            for _ in 0..30 {
+                e.report(PeerId(1), PeerId(2), 1.0);
+            }
+            // … departs, re-joins, and reports again.
+            e.remove_peer(PeerId(1));
+            e.register_peer(PeerId(1), Reputation::HALF);
+            for _ in 0..5 {
+                e.report(PeerId(1), PeerId(2), 0.0);
+            }
+        }
+        for p in 0..10u64 {
+            assert_eq!(
+                arena.reputation(PeerId(p)).map(|r| r.value().to_bits()),
+                seed.reputation(PeerId(p)).map(|r| r.value().to_bits()),
+                "peer {p} diverged across the departure/re-join cycle"
+            );
+        }
+        // And the credibility really did survive the departure: the
+        // re-joined reporter is above the initial value.
+        let resumed = arena.credibility_of(PeerId(2), PeerId(1)).unwrap();
+        assert!(
+            resumed > params.initial_credibility,
+            "re-joined reporter lost its earned credibility: {resumed}"
+        );
+    }
+
+    #[test]
+    fn reference_engine_name() {
+        assert_eq!(
+            ReferenceEngine::new(RocqParams::default(), 3, 1).name(),
+            "rocq-reference"
+        );
+    }
+}

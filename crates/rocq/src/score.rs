@@ -32,18 +32,23 @@ impl ScoreState {
     }
 
     /// The replica's current aggregate.
+    #[inline]
     pub fn reputation(&self) -> Reputation {
         Reputation::new(self.r)
     }
 
     /// The current evidence mass.
+    #[inline]
     pub fn weight(&self) -> f64 {
         self.w
     }
 
     /// Folds in one report with the given opinion and weight
     /// (`credibility × quality`), capping the evidence mass at
-    /// `weight_cap`.
+    /// `weight_cap`. On the engine's batch hot path this runs once
+    /// per replica per feedback over a contiguous `ScoreState` slab —
+    /// keep it branch-light and allocation-free.
+    #[inline]
     pub fn report(&mut self, opinion: f64, weight: f64, weight_cap: f64) {
         let opinion = opinion.clamp(0.0, 1.0);
         let weight = weight.max(0.0);
@@ -63,6 +68,7 @@ impl ScoreState {
     /// Directly adds `amount` (may be negative) to the aggregate,
     /// clamped to `[0, 1]`. Evidence mass is unchanged — a lending
     /// credit is a transfer, not new evidence.
+    #[inline]
     pub fn adjust(&mut self, amount: f64) {
         self.r = (self.r + amount).clamp(0.0, 1.0);
     }

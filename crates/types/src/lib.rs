@@ -13,7 +13,9 @@
 //! * the behaviour model of the paper ([`Behavior`], [`IntroducerPolicy`]),
 //! * the full simulation configuration mirroring **Table 1** of the paper
 //!   ([`config::Table1`], [`config::LendingParams`]),
-//! * deterministic, dependency-free hashing ([`hash`]).
+//! * deterministic, dependency-free hashing ([`hash`]),
+//! * dense slot-arena primitives for allocation-free hot paths
+//!   ([`arena`]: [`Handle`], [`SlotAllocator`], [`InlineList`]).
 //!
 //! ## Design notes
 //!
@@ -24,6 +26,7 @@
 //! `[0, 1]` invariant can never be violated by protocol code.
 
 pub mod accounting;
+pub mod arena;
 pub mod behavior;
 pub mod config;
 pub mod error;
@@ -33,6 +36,7 @@ pub mod reputation;
 pub mod time;
 
 pub use accounting::{Feedback, KahanSum, MeanAcc, ReputationDelta};
+pub use arena::{Handle, InlineList, SlotAlloc, SlotAllocator};
 pub use behavior::{Behavior, IntroducerPolicy, PeerProfile};
 pub use config::{LendingParams, SimParams, Table1, TopologyKind};
 pub use error::{ConfigError, ProtocolError};

@@ -5,9 +5,21 @@
 //! rejection, plots or baselines — just honest wall-clock numbers so
 //! `cargo bench` produces comparable figures across commits on the
 //! same machine.
+//!
+//! ## Machine-readable output
+//!
+//! When the `REPLEND_BENCH_JSON` environment variable names a file,
+//! every benchmark result is additionally collected and written
+//! there as one JSON document when the bench binary finishes (the
+//! [`criterion_main!`] expansion calls [`write_json_report`]). This
+//! is how CI seeds the repo's `BENCH_<pr>.json` perf trajectory —
+//! the real criterion writes machine-readable estimates under
+//! `target/criterion/`; on swap, keep the env-var emitter in the
+//! bench harness or read criterion's own JSON instead.
 
 use std::fmt::Display;
 use std::hint::black_box;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Target measurement time per benchmark.
@@ -131,6 +143,77 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(id: &str, mut f: F) {
         bench.iters,
         fmt_time(mean)
     );
+    RESULTS
+        .lock()
+        .expect("bench result registry poisoned")
+        .push(BenchRecord {
+            id: id.to_string(),
+            iters: bench.iters,
+            total_ns: bench.elapsed.as_nanos(),
+            mean_ns: mean * 1e9,
+        });
+}
+
+/// One finished benchmark, kept for the optional JSON report.
+struct BenchRecord {
+    id: String,
+    iters: u64,
+    total_ns: u128,
+    mean_ns: f64,
+}
+
+/// Every benchmark result of this process, in execution order.
+static RESULTS: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
+
+/// Minimal JSON string escaping for benchmark ids (ASCII control
+/// characters, quotes and backslashes).
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Writes all collected results to the file named by
+/// `REPLEND_BENCH_JSON` (no-op when the variable is unset). Called by
+/// the [`criterion_main!`] expansion after every group has run; also
+/// callable directly from a custom `main`.
+///
+/// # Panics
+/// If the file cannot be written — a bench run asked for a report it
+/// could not produce should fail loudly, not silently.
+pub fn write_json_report() {
+    let Ok(path) = std::env::var("REPLEND_BENCH_JSON") else {
+        return;
+    };
+    let results = RESULTS.lock().expect("bench result registry poisoned");
+    let mut doc = String::from("{\n  \"schema\": 1,\n  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let sep = if i + 1 == results.len() { "" } else { "," };
+        doc.push_str(&format!(
+            "    {{\"id\": \"{}\", \"iters\": {}, \"total_ns\": {}, \"mean_ns\": {:.3}}}{sep}\n",
+            escape_json(&r.id),
+            r.iters,
+            r.total_ns,
+            r.mean_ns,
+        ));
+    }
+    doc.push_str("  ]\n}\n");
+    if let Some(dir) = std::path::Path::new(&path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)
+                .unwrap_or_else(|e| panic!("REPLEND_BENCH_JSON: cannot create {dir:?}: {e}"));
+        }
+    }
+    std::fs::write(&path, doc)
+        .unwrap_or_else(|e| panic!("REPLEND_BENCH_JSON: cannot write {path}: {e}"));
+    println!("bench JSON report written to {path}");
 }
 
 fn fmt_time(secs: f64) -> String {
@@ -156,12 +239,14 @@ macro_rules! criterion_group {
     };
 }
 
-/// `criterion_main!(group, ...)` — builds `main`.
+/// `criterion_main!(group, ...)` — builds `main` (and emits the
+/// optional JSON report once every group has run).
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::write_json_report();
         }
     };
 }
