@@ -1,0 +1,210 @@
+//! Service bench: the `replend serve` concurrent facade under a
+//! sustained-ingest workload — what a community operator's reputation
+//! oracle actually does all day.
+//!
+//! Measured per subject-store size (default 1 000 000 subjects; the
+//! ISSUE-6 acceptance scale) and emitted into the machine-readable
+//! perf trajectory (`REPLEND_BENCH_JSON`, see the criterion shim):
+//!
+//! * `service/register/…` — cold-start registration cost per subject
+//!   (every partition learns the peer as a reporter; the home
+//!   partition also stores it as a subject).
+//! * `service/ingest/…` — per-opinion cost of `report_batch` with no
+//!   readers attached: the pure write path, batches grouped by
+//!   partition and applied under one write lock each.
+//! * `service/read_mean_during_ingest/…` and
+//!   `service/read_p99_during_ingest/…` — reputation + status probe
+//!   latency (mean and 99th percentile) measured by reader threads
+//!   **while** the same ingest stream is being applied. This is the
+//!   tentpole number: reads on other partitions proceed during a
+//!   batch, so the tail stays bounded by one partition's batch slice,
+//!   not by the whole ingest.
+//! * `service/ingest_during_reads/…` — the write path's per-opinion
+//!   cost while those readers are hammering the service, so read
+//!   amplification of the ingest side is visible too.
+//!
+//! The sustained phases are timed as a whole workload rather than
+//! through `Bencher::iter` (a concurrent phase has no single closure
+//! to repeat), so results enter the report via the shim's
+//! [`record_measurement`]. On a single-core host the concurrency is
+//! interleaving, not parallelism — numbers are trend material there;
+//! the committed `BENCH_6.json` carries this host's full-size run.
+//!
+//! `REPLEND_BENCH_SUBJECTS` (comma-separated counts) scales the
+//! subject sizes for CI smoke runs, exactly as in `hot_path`.
+
+use criterion::{record_measurement, write_json_report};
+use replend_core::serve::{ReputationService, ServeConfig};
+use replend_types::hash::{salted, splitmix64};
+use replend_types::{Feedback, PeerId, Reputation};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+/// Reader threads probing the live service in the concurrent phase.
+const READERS: usize = 2;
+
+/// Ingest batches applied per measured phase.
+const ROUNDS: u64 = 20;
+
+/// Opinions per ingest batch.
+const BATCH: usize = 10_000;
+
+/// Subject-store sizes exercised, overridable via
+/// `REPLEND_BENCH_SUBJECTS` for smoke runs.
+fn sizes() -> Vec<u64> {
+    match std::env::var("REPLEND_BENCH_SUBJECTS") {
+        Ok(list) => list
+            .split(',')
+            .map(|s| {
+                s.trim()
+                    .parse()
+                    .expect("REPLEND_BENCH_SUBJECTS: comma-separated subject counts")
+            })
+            .collect(),
+        Err(_) => vec![1_000_000],
+    }
+}
+
+/// `ROUNDS` pre-generated ingest batches over `subjects` peers:
+/// reporters and subjects drawn from a splitmix chain, opinions
+/// mostly positive for ~70 % of subjects (the serve workload shape),
+/// so the status tiers stay populated while the bench runs.
+fn batches(subjects: u64, seed: u64) -> Vec<Vec<Feedback>> {
+    (0..ROUNDS)
+        .map(|round| {
+            (0..BATCH as u64)
+                .map(|i| {
+                    let k = splitmix64(salted(seed, round * BATCH as u64 + i));
+                    let subject = splitmix64(k) % subjects;
+                    let honest = splitmix64(salted(seed, subject)) % 10 < 7;
+                    let noise = splitmix64(k.rotate_left(23)) % 10;
+                    let positive = if honest { noise < 9 } else { noise < 2 };
+                    Feedback::new(
+                        PeerId(k % subjects),
+                        PeerId(subject),
+                        if positive { 1.0 } else { 0.0 },
+                    )
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// The 99th-percentile of a sample set, by sorting (the sample counts
+/// here are small enough that a selection algorithm would be noise).
+fn p99(samples: &mut [u64]) -> u64 {
+    samples.sort_unstable();
+    samples[(samples.len().saturating_sub(1)) * 99 / 100]
+}
+
+fn bench_service(subjects: u64) {
+    let config = ServeConfig {
+        seed: 0xBE6C,
+        ..ServeConfig::default()
+    };
+    let service = ReputationService::in_memory(config);
+
+    // Cold-start registration.
+    let start = Instant::now();
+    for s in 0..subjects {
+        service
+            .register_peer(PeerId(s), Reputation::new(0.5))
+            .expect("in-memory registration cannot fail");
+    }
+    let elapsed = start.elapsed();
+    record_measurement(
+        &format!("service/register/{subjects}subj"),
+        subjects,
+        elapsed.as_nanos(),
+        elapsed.as_nanos() as f64 / subjects as f64,
+    );
+
+    // Pure write path: ingest with no readers attached.
+    let quiet = batches(subjects, 1);
+    let opinions = (ROUNDS * BATCH as u64).max(1);
+    let start = Instant::now();
+    for batch in &quiet {
+        service.report_batch(batch).expect("in-memory ingest");
+    }
+    let elapsed = start.elapsed();
+    record_measurement(
+        &format!("service/ingest/{subjects}subj"),
+        opinions,
+        elapsed.as_nanos(),
+        elapsed.as_nanos() as f64 / opinions as f64,
+    );
+
+    // Sustained phase: the same ingest stream again, now with reader
+    // threads timing every reputation + status probe against the live
+    // service.
+    let noisy = batches(subjects, 2);
+    let stop = AtomicBool::new(false);
+    let mut ingest_ns = 0u128;
+    let mut latencies: Vec<Vec<u64>> = Vec::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for t in 0..READERS as u64 {
+            let (service, stop) = (&service, &stop);
+            handles.push(scope.spawn(move || {
+                let mut samples = Vec::with_capacity(1 << 16);
+                let mut k = salted(0xD1, t);
+                while !stop.load(Ordering::Relaxed) {
+                    k = splitmix64(k);
+                    let subject = PeerId(k % subjects);
+                    let start = Instant::now();
+                    black_box(service.reputation(subject));
+                    black_box(service.status(subject));
+                    samples.push(start.elapsed().as_nanos() as u64);
+                }
+                samples
+            }));
+        }
+        let start = Instant::now();
+        for batch in &noisy {
+            service.report_batch(batch).expect("in-memory ingest");
+            // Give interleaved readers a scheduling slot between
+            // batches on single-core hosts; a no-op with real cores.
+            std::thread::yield_now();
+        }
+        ingest_ns = start.elapsed().as_nanos();
+        stop.store(true, Ordering::Relaxed);
+        latencies = handles
+            .into_iter()
+            .map(|h| h.join().expect("reader thread panicked"))
+            .collect();
+    });
+
+    record_measurement(
+        &format!("service/ingest_during_reads/{subjects}subj"),
+        opinions,
+        ingest_ns,
+        ingest_ns as f64 / opinions as f64,
+    );
+    let mut all: Vec<u64> = latencies.into_iter().flatten().collect();
+    assert!(
+        !all.is_empty(),
+        "reader threads recorded no probes during ingest"
+    );
+    let reads = all.len() as u64;
+    let total: u128 = all.iter().map(|&ns| ns as u128).sum();
+    record_measurement(
+        &format!("service/read_mean_during_ingest/{subjects}subj"),
+        reads,
+        total,
+        total as f64 / reads as f64,
+    );
+    record_measurement(
+        &format!("service/read_p99_during_ingest/{subjects}subj"),
+        reads,
+        total,
+        p99(&mut all) as f64,
+    );
+}
+
+fn main() {
+    for subjects in sizes() {
+        bench_service(subjects);
+    }
+    write_json_report();
+}

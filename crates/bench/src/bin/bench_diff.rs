@@ -1,0 +1,120 @@
+//! Diffs two machine-readable bench reports (the schema-1 JSON the
+//! criterion shim writes via `REPLEND_BENCH_JSON`) and fails when any
+//! shared benchmark regressed past a tolerance band.
+//!
+//! ```text
+//! bench_diff BASELINE.json FRESH.json
+//! ```
+//!
+//! Benchmarks are matched by id; ids present in only one file are
+//! listed but don't fail the diff (benches come and go across PRs).
+//! A regression is `fresh > baseline × tolerance`, with the tolerance
+//! from `REPLEND_BENCH_TOLERANCE` (default 4.0 — CI smoke runs on
+//! shared single-core runners, so the band must absorb scheduler
+//! noise; it still catches order-of-magnitude cliffs like an
+//! accidental O(n²) or a lost fast path). An empty id intersection is
+//! itself a failure: it means the diff compared nothing.
+//!
+//! The parser is deliberately a scanner for the shim's own fixed
+//! one-record-per-line layout, not a general JSON reader — the
+//! workspace has no JSON dependency, and this tool only ever reads
+//! documents the shim wrote.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// Extracts `id -> mean_ns` from a schema-1 bench report.
+fn parse_report(text: &str, path: &str) -> BTreeMap<String, f64> {
+    assert!(
+        text.contains("\"schema\": 1"),
+        "{path}: not a schema-1 bench report"
+    );
+    let mut out = BTreeMap::new();
+    for line in text.lines() {
+        let Some(id_at) = line.find("\"id\": \"") else {
+            continue;
+        };
+        let rest = &line[id_at + 7..];
+        let id_end = rest.find('"').unwrap_or_else(|| {
+            panic!("{path}: unterminated id in line {line:?}");
+        });
+        let id = &rest[..id_end];
+        let mean_at = line
+            .find("\"mean_ns\": ")
+            .unwrap_or_else(|| panic!("{path}: result line without mean_ns: {line:?}"));
+        let mean_raw = line[mean_at + 11..]
+            .trim_end()
+            .trim_end_matches(',')
+            .trim_end_matches('}');
+        let mean: f64 = mean_raw
+            .parse()
+            .unwrap_or_else(|e| panic!("{path}: bad mean_ns {mean_raw:?}: {e}"));
+        if out.insert(id.to_string(), mean).is_some() {
+            panic!("{path}: duplicate benchmark id {id:?}");
+        }
+    }
+    assert!(!out.is_empty(), "{path}: no benchmark results found");
+    out
+}
+
+fn load(path: &str) -> BTreeMap<String, f64> {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+    parse_report(&text, path)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [baseline_path, fresh_path] = args.as_slice() else {
+        eprintln!("usage: bench_diff BASELINE.json FRESH.json");
+        return ExitCode::FAILURE;
+    };
+    let tolerance: f64 = match std::env::var("REPLEND_BENCH_TOLERANCE") {
+        Ok(raw) => raw
+            .parse()
+            .unwrap_or_else(|e| panic!("REPLEND_BENCH_TOLERANCE {raw:?}: {e}")),
+        Err(_) => 4.0,
+    };
+    assert!(tolerance >= 1.0, "tolerance below 1.0 rejects everything");
+
+    let baseline = load(baseline_path);
+    let fresh = load(fresh_path);
+
+    let mut compared = 0usize;
+    let mut regressions = Vec::new();
+    println!(
+        "bench diff: {baseline_path} -> {fresh_path} (tolerance {tolerance}x)\n\
+         {:<60} {:>14} {:>14} {:>8}",
+        "id", "baseline ns", "fresh ns", "ratio"
+    );
+    for (id, base) in &baseline {
+        let Some(new) = fresh.get(id) else {
+            println!("{id:<60} {base:>14.1} {:>14} {:>8}", "-", "gone");
+            continue;
+        };
+        let ratio = new / base;
+        let flag = if ratio > tolerance { "REGRESSED" } else { "" };
+        println!("{id:<60} {base:>14.1} {new:>14.1} {ratio:>7.2}x {flag}");
+        compared += 1;
+        if ratio > tolerance {
+            regressions.push(id.clone());
+        }
+    }
+    for id in fresh.keys().filter(|id| !baseline.contains_key(*id)) {
+        println!("{id:<60} {:>14} {:>14.1} {:>8}", "-", fresh[id], "new");
+    }
+
+    if compared == 0 {
+        eprintln!("bench diff: no shared benchmark ids — nothing was compared");
+        return ExitCode::FAILURE;
+    }
+    if !regressions.is_empty() {
+        eprintln!(
+            "bench diff: {} benchmark(s) regressed past {tolerance}x: {}",
+            regressions.len(),
+            regressions.join(", ")
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("bench diff: {compared} shared benchmark(s) within the {tolerance}x band");
+    ExitCode::SUCCESS
+}

@@ -17,7 +17,7 @@ use replend_bench::experiment::{env_runs, env_ticks, PAPER_RUNS};
 use replend_bench::output::{fmt, print_table, write_csv};
 use replend_core::community::CommunityBuilder;
 use replend_core::CommunityCluster;
-use replend_sim::series::{average_series, TimeSeries};
+use replend_sim::series::{average_present, TimeSeries};
 use replend_types::Table1;
 
 /// Paper sampling interval: "every 5000 time units".
@@ -41,7 +41,7 @@ fn reputation_series(lambda: f64, runs: usize, ticks: u64) -> (TimeSeries, f64) 
     // cluster (same seed schedule as the former per-run fan-out, so
     // the CSV output is unchanged).
     let mut cluster = CommunityCluster::build(CommunityBuilder::new(config), runs, 0xF162);
-    let series = cluster
+    let runs_series = cluster
         .run_sampled(ticks, sample_every(ticks))
         .expect("in-process cluster cannot fail");
     let uncoop = cluster
@@ -50,7 +50,13 @@ fn reputation_series(lambda: f64, runs: usize, ticks: u64) -> (TimeSeries, f64) 
         .map(|r| r.mean_uncoop_rep.unwrap_or(0.0))
         .sum::<f64>()
         / cluster.len().max(1) as f64;
-    (average_series(&series).expect("aligned runs"), uncoop)
+    let mut averaged = TimeSeries::new(sample_every(ticks));
+    for sample in average_present(&runs_series).expect("aligned runs") {
+        // Figure 2 starts from an all-cooperative initial population
+        // with no departures, so the cohort is never empty.
+        averaged.push(sample.expect("cooperative cohort never empty under Figure-2 configs"));
+    }
+    (averaged, uncoop)
 }
 
 fn main() {

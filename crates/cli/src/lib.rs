@@ -9,6 +9,9 @@
 //!             [--intro-amt F] [--reward F] [--wait N] [--audit-trans N]
 //!             [--departure-rate F] [--seed N] [--runs N] [--sample N]
 //!             [--histogram N] [--shards N] [--communities K]
+//! replend serve [--subjects N] [--rounds N] [--batch N] [--readers N]
+//!               [--partitions N] [--num-sm N] [--seed N] [--journal PATH]
+//!               [--min-observations N] [--throttle-below F] [--ban-below F]
 //! replend table1
 //! replend help
 //! ```
@@ -23,11 +26,16 @@
 //! around [`run_cli`].
 
 use replend_core::community::CommunityBuilder;
+use replend_core::serve::{
+    run_ingest_workload, ReputationService, ServeConfig, StatusPolicy, WorkloadConfig,
+};
 use replend_core::worker::Worker;
 use replend_core::{BootstrapPolicy, CommunityCluster, EngineKind, SubprocessWorker};
 use replend_sim::runner::{run_many_parallel, Summary};
+use replend_sim::series::average_present;
 use replend_types::{Table1, TopologyKind};
 use std::fmt::Write as _;
+use std::path::PathBuf;
 
 /// Parsed command line.
 #[derive(Clone, Debug, PartialEq)]
@@ -40,8 +48,92 @@ pub enum Command {
     /// Serve cluster jobs over stdin/stdout (spawned by `run
     /// --workers N`; speaks the `replend-wire` framed protocol).
     Worker,
+    /// Run the concurrent reputation service under a synthetic ingest
+    /// workload (optionally journalled) and print the tier census.
+    Serve(ServeArgs),
     /// Print usage.
     Help,
+}
+
+/// Options of `replend serve`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServeArgs {
+    /// Subjects registered before ingest starts.
+    pub subjects: u64,
+    /// Ingest batches applied.
+    pub rounds: u64,
+    /// Opinions per batch.
+    pub batch: usize,
+    /// Concurrent reader threads probing the live service.
+    pub readers: usize,
+    /// Lock partitions of the concurrent engine.
+    pub partitions: usize,
+    /// Score managers per subject.
+    pub num_sm: usize,
+    /// Engine + workload seed.
+    pub seed: u64,
+    /// Write-ahead feedback journal (`None` = in-memory only).
+    pub journal: Option<PathBuf>,
+    /// Observations before the status policy trusts a reputation.
+    pub min_observations: u64,
+    /// Throttle subjects below this reputation.
+    pub throttle_below: f64,
+    /// Ban subjects below this reputation.
+    pub ban_below: f64,
+}
+
+impl Default for ServeArgs {
+    fn default() -> Self {
+        let workload = WorkloadConfig::default();
+        let config = ServeConfig::default();
+        ServeArgs {
+            subjects: workload.subjects,
+            rounds: workload.rounds,
+            batch: workload.batch,
+            readers: workload.readers,
+            partitions: config.partitions,
+            num_sm: config.num_sm,
+            seed: 0,
+            journal: None,
+            min_observations: config.policy.min_observations,
+            throttle_below: config.policy.throttle_below,
+            ban_below: config.policy.ban_below,
+        }
+    }
+}
+
+impl ServeArgs {
+    /// The status-tier policy these arguments describe.
+    pub fn policy(&self) -> StatusPolicy {
+        StatusPolicy {
+            min_observations: self.min_observations,
+            throttle_below: self.throttle_below,
+            ban_below: self.ban_below,
+        }
+    }
+
+    /// The service configuration these arguments describe (engine
+    /// crash model off: the service is an oracle, not a simulation).
+    pub fn service_config(&self) -> ServeConfig {
+        ServeConfig {
+            num_sm: self.num_sm,
+            partitions: self.partitions,
+            seed: self.seed,
+            policy: self.policy(),
+            ..ServeConfig::default()
+        }
+    }
+
+    /// The synthetic workload these arguments describe.
+    pub fn workload(&self) -> WorkloadConfig {
+        WorkloadConfig {
+            subjects: self.subjects,
+            rounds: self.rounds,
+            batch: self.batch,
+            readers: self.readers,
+            seed: self.seed,
+        }
+    }
 }
 
 /// Options of `replend run`.
@@ -168,6 +260,70 @@ pub fn parse_args(args: &[&str]) -> Result<Command, UsageError> {
         None | Some("help") | Some("--help") | Some("-h") => Ok(Command::Help),
         Some("table1") => Ok(Command::Table1),
         Some("worker") => Ok(Command::Worker),
+        Some("serve") => {
+            let mut out = ServeArgs::default();
+            let mut i = 1;
+            while i < args.len() {
+                let flag = args[i];
+                let value = args.get(i + 1).copied();
+                match flag {
+                    "--subjects" => {
+                        out.subjects = parse_value(flag, value)?;
+                        i += 2;
+                    }
+                    "--rounds" => {
+                        out.rounds = parse_value(flag, value)?;
+                        i += 2;
+                    }
+                    "--batch" => {
+                        out.batch = parse_positive(flag, value)?;
+                        i += 2;
+                    }
+                    "--readers" => {
+                        out.readers = parse_value(flag, value)?;
+                        i += 2;
+                    }
+                    "--partitions" => {
+                        // Caught here, not at the engine's assert!.
+                        out.partitions = parse_positive(flag, value)?;
+                        i += 2;
+                    }
+                    "--num-sm" => {
+                        out.num_sm = parse_positive(flag, value)?;
+                        i += 2;
+                    }
+                    "--seed" => {
+                        out.seed = parse_value(flag, value)?;
+                        i += 2;
+                    }
+                    "--journal" => {
+                        let raw: String = parse_value(flag, value)?;
+                        out.journal = Some(PathBuf::from(raw));
+                        i += 2;
+                    }
+                    "--min-observations" => {
+                        out.min_observations = parse_value(flag, value)?;
+                        i += 2;
+                    }
+                    "--throttle-below" => {
+                        out.throttle_below = parse_value(flag, value)?;
+                        i += 2;
+                    }
+                    "--ban-below" => {
+                        out.ban_below = parse_value(flag, value)?;
+                        i += 2;
+                    }
+                    other => return Err(UsageError(format!("unknown flag {other:?}"))),
+                }
+            }
+            if out.subjects == 0 {
+                return Err(UsageError("--subjects must be at least 1".into()));
+            }
+            out.policy()
+                .validate()
+                .map_err(|e| UsageError(format!("invalid status policy: {e}")))?;
+            Ok(Command::Serve(out))
+        }
         Some("run") => {
             let mut out = RunArgs::default();
             let mut i = 1;
@@ -312,6 +468,9 @@ pub fn usage() -> String {
      \x20 replend table1          print the paper's Table-1 defaults\n\
      \x20 replend worker          serve cluster jobs over stdin/stdout (wire\n\
      \x20                         protocol; spawned by `run --workers N`)\n\
+     \x20 replend serve [OPTIONS] run the concurrent reputation service under a\n\
+     \x20                         synthetic ingest workload and print the\n\
+     \x20                         operational status-tier census\n\
      \x20 replend help            this text\n\
      \n\
      RUN OPTIONS (defaults = Table 1, 50 000 ticks):\n\
@@ -345,7 +504,23 @@ pub fn usage() -> String {
      \x20                     processes (`replend worker` children speaking the\n\
      \x20                     wire protocol; default 1 = in-process; output is\n\
      \x20                     byte-identical to the in-process run; needs\n\
-     \x20                     --communities >= 2, capped at K)\n"
+     \x20                     --communities >= 2, capped at K)\n\
+     \n\
+     SERVE OPTIONS (reads proceed concurrently with ingest; final state\n\
+     is deterministic in the seed):\n\
+     \x20 --subjects N        subjects registered before ingest (default 10000)\n\
+     \x20 --rounds N          ingest batches applied (default 100)\n\
+     \x20 --batch N           opinions per batch (default 1000)\n\
+     \x20 --readers N         concurrent reader threads (default 2; 0 = ingest only)\n\
+     \x20 --partitions N      lock partitions of the concurrent engine (default 8)\n\
+     \x20 --num-sm N          score managers per subject (default 6)\n\
+     \x20 --seed N            engine + workload seed (default 0)\n\
+     \x20 --journal PATH      write-ahead feedback journal; replayed on start,\n\
+     \x20                     so a restart lands on byte-identical state\n\
+     \x20 --min-observations N  observations before the policy trusts a\n\
+     \x20                     reputation (default 10)\n\
+     \x20 --throttle-below F  throttle subjects below this reputation (default 0.5)\n\
+     \x20 --ban-below F       ban subjects below this reputation (default 0.2)\n"
         .to_string()
 }
 
@@ -384,7 +559,65 @@ pub fn execute(command: Command) -> Result<String, CliError> {
             ))
         }
         Command::Run(args) => run_simulation(&args),
+        Command::Serve(args) => run_serve(&args),
     }
+}
+
+/// Executes `replend serve`: opens (and replays) the journal when one
+/// was requested, runs the synthetic ingest workload with concurrent
+/// readers, and prints the operational summary. Everything printed
+/// except the read count is deterministic in (seed, workload shape).
+fn run_serve(args: &ServeArgs) -> Result<String, CliError> {
+    let config = args.service_config();
+    let serve_failed = |e: replend_core::ServeError| CliError::Run(format!("serve failed: {e}"));
+
+    let (service, replayed) = match &args.journal {
+        Some(path) => {
+            let (service, summary) = ReputationService::open(config, path).map_err(serve_failed)?;
+            (service, Some(summary))
+        }
+        None => (ReputationService::in_memory(config), None),
+    };
+    let report = run_ingest_workload(&service, args.workload()).map_err(serve_failed)?;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "replend serve: {} subjects, {} rounds × {} opinions, {} reader thread(s), \
+         {} partition(s), seed {}",
+        args.subjects, args.rounds, args.batch, args.readers, args.partitions, args.seed
+    );
+    match (&args.journal, replayed) {
+        (Some(path), Some(summary)) => {
+            let _ = writeln!(
+                out,
+                "  journal: {} (replayed {} op(s), {} byte(s){})",
+                path.display(),
+                summary.records,
+                summary.bytes,
+                if summary.truncated_torn_tail {
+                    ", torn tail truncated"
+                } else {
+                    ""
+                }
+            );
+        }
+        _ => {
+            let _ = writeln!(out, "  journal: off (in-memory)");
+        }
+    }
+    let _ = writeln!(out, "  registered subjects    {}", report.registered);
+    let _ = writeln!(out, "  ingested opinions      {}", report.feedback);
+    let _ = writeln!(out, "  reads during ingest    {}", report.reads);
+    let _ = writeln!(
+        out,
+        "  status census (min obs {}, throttle < {}, ban < {}):",
+        args.min_observations, args.throttle_below, args.ban_below
+    );
+    let _ = writeln!(out, "    whitelisted  {}", report.census.whitelisted);
+    let _ = writeln!(out, "    throttled    {}", report.census.throttled);
+    let _ = writeln!(out, "    banned       {}", report.census.banned);
+    Ok(out)
 }
 
 /// Per-run scalar outputs gathered for averaging.
@@ -398,7 +631,7 @@ struct RunOutput {
     uncoop_rep: f64,
     refused_rep: f64,
     refused_sel: f64,
-    series: Vec<f64>,
+    series: Vec<Option<f64>>,
     hist: Vec<u64>,
 }
 
@@ -421,15 +654,23 @@ fn render_histogram(out: &mut String, title: &str, buckets: &[u64]) {
 }
 
 /// Renders a fixed-interval reputation series averaged element-wise
-/// across sources (runs or communities).
-fn render_series(out: &mut String, interval: u64, series: &[Vec<f64>]) {
-    let Some(first) = series.first() else {
+/// across sources (runs or communities). Sources with no cooperative
+/// members at a sample tick are excluded from that tick's mean; a
+/// tick where *every* source was empty prints `n/a` instead of a
+/// fabricated 0.0.
+fn render_series(out: &mut String, interval: u64, series: &[Vec<Option<f64>>]) {
+    let Some(averaged) = average_present(series) else {
         return;
     };
     let _ = writeln!(out, "  reputation series (every {interval} ticks):");
-    for i in 0..first.len() {
-        let mean: f64 = series.iter().map(|s| s[i]).sum::<f64>() / series.len() as f64;
-        let _ = writeln!(out, "    t={:>9}  {:.4}", (i as u64 + 1) * interval, mean);
+    for (i, mean) in averaged.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    t={:>9}  {}",
+            (i as u64 + 1) * interval,
+            mean.map(|m| format!("{m:.4}"))
+                .unwrap_or_else(|| "n/a".into())
+        );
     }
 }
 
@@ -477,13 +718,10 @@ fn render_cluster<W: Worker>(
         cluster.set_histogram_buckets(args.histogram);
     }
     let run_failed = |e: replend_core::WorkerError| CliError::Run(e.to_string());
-    let series: Vec<Vec<f64>> = if args.sample > 0 {
+    let series: Vec<Vec<Option<f64>>> = if args.sample > 0 {
         cluster
             .run_sampled(ticks, args.sample)
             .map_err(run_failed)?
-            .into_iter()
-            .map(|s| s.values().to_vec())
-            .collect()
     } else {
         cluster.run(ticks).map_err(run_failed)?;
         Vec::new()
@@ -584,12 +822,7 @@ fn run_simulation(args: &RunArgs) -> Result<String, CliError> {
             .seed(seed)
             .build();
         let series = if args.sample > 0 {
-            community
-                .run_sampled(ticks, args.sample, |c| {
-                    c.mean_cooperative_reputation().unwrap_or(0.0)
-                })
-                .values()
-                .to_vec()
+            community.run_sampled_with(ticks, args.sample, |c| c.mean_cooperative_reputation())
         } else {
             community.run(ticks);
             Vec::new()
@@ -654,7 +887,7 @@ fn run_simulation(args: &RunArgs) -> Result<String, CliError> {
         );
     }
     if args.sample > 0 {
-        let series: Vec<Vec<f64>> = outputs.iter().map(|r| r.series.clone()).collect();
+        let series: Vec<Vec<Option<f64>>> = outputs.iter().map(|r| r.series.clone()).collect();
         render_series(&mut out, args.sample, &series);
     }
     Ok(out)
@@ -905,6 +1138,15 @@ mod tests {
             "--batch-min",
             "--communities",
             "--workers",
+            "--subjects",
+            "--rounds",
+            "--batch ",
+            "--readers",
+            "--partitions",
+            "--journal",
+            "--min-observations",
+            "--throttle-below",
+            "--ban-below",
         ] {
             assert!(u.contains(flag), "usage missing {flag}");
         }
@@ -912,6 +1154,133 @@ mod tests {
             u.contains("replend worker"),
             "usage missing the worker subcommand"
         );
+        assert!(
+            u.contains("replend serve"),
+            "usage missing the serve subcommand"
+        );
+    }
+
+    #[test]
+    fn serve_parses_all_flags() {
+        assert_eq!(
+            parse_args(&["serve"]),
+            Ok(Command::Serve(ServeArgs::default()))
+        );
+        let Command::Serve(args) = parse_args(&[
+            "serve",
+            "--subjects",
+            "500",
+            "--rounds",
+            "20",
+            "--batch",
+            "100",
+            "--readers",
+            "0",
+            "--partitions",
+            "4",
+            "--num-sm",
+            "3",
+            "--seed",
+            "7",
+            "--journal",
+            "/tmp/feedback.wal",
+            "--min-observations",
+            "5",
+            "--throttle-below",
+            "0.6",
+            "--ban-below",
+            "0.3",
+        ])
+        .unwrap() else {
+            panic!("expected Serve");
+        };
+        assert_eq!(args.subjects, 500);
+        assert_eq!(args.rounds, 20);
+        assert_eq!(args.batch, 100);
+        assert_eq!(args.readers, 0);
+        assert_eq!(args.partitions, 4);
+        assert_eq!(args.num_sm, 3);
+        assert_eq!(args.seed, 7);
+        assert_eq!(args.journal, Some(PathBuf::from("/tmp/feedback.wal")));
+        assert_eq!(args.min_observations, 5);
+        assert!((args.throttle_below - 0.6).abs() < 1e-12);
+        assert!((args.ban_below - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serve_rejects_bad_arguments() {
+        assert!(parse_args(&["serve", "--frobnicate", "1"]).is_err());
+        assert!(parse_args(&["serve", "--subjects", "0"]).is_err());
+        assert!(parse_args(&["serve", "--partitions", "0"]).is_err());
+        assert!(parse_args(&["serve", "--batch", "0"]).is_err());
+        // ban > throttle inverts the tiers; must die at parse time.
+        let err =
+            parse_args(&["serve", "--throttle-below", "0.1", "--ban-below", "0.4"]).unwrap_err();
+        assert!(err.to_string().contains("status policy"), "{err}");
+    }
+
+    #[test]
+    fn serve_execute_prints_census_and_is_seed_deterministic() {
+        let small = |seed: &str| {
+            execute(
+                parse_args(&[
+                    "serve",
+                    "--subjects",
+                    "300",
+                    "--rounds",
+                    "20",
+                    "--batch",
+                    "150",
+                    "--readers",
+                    "0",
+                    "--seed",
+                    seed,
+                ])
+                .unwrap(),
+            )
+            .unwrap()
+        };
+        let text = small("5");
+        assert!(text.contains("replend serve: 300 subjects"), "{text}");
+        assert!(text.contains("journal: off (in-memory)"), "{text}");
+        assert!(text.contains("ingested opinions      3000"), "{text}");
+        assert!(text.contains("status census"), "{text}");
+        assert!(text.contains("whitelisted"), "{text}");
+        assert!(text.contains("banned"), "{text}");
+        // With no reader threads every printed byte is deterministic.
+        assert_eq!(text, small("5"));
+        assert_ne!(text, small("6"), "different seeds, different census");
+    }
+
+    #[test]
+    fn serve_execute_journals_and_replays() {
+        let path =
+            std::env::temp_dir().join(format!("replend-cli-serve-{}.wal", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let journal = path.to_str().unwrap();
+        let args = |journal: &str| {
+            parse_args(&[
+                "serve",
+                "--subjects",
+                "100",
+                "--rounds",
+                "5",
+                "--batch",
+                "50",
+                "--readers",
+                "0",
+                "--journal",
+                journal,
+            ])
+            .unwrap()
+        };
+        let first = execute(args(journal)).unwrap();
+        assert!(first.contains("replayed 0 op(s)"), "{first}");
+        // Second invocation replays the first session's ops: 100
+        // registrations + 5 batches.
+        let second = execute(args(journal)).unwrap();
+        assert!(second.contains("replayed 105 op(s)"), "{second}");
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -64,6 +64,50 @@ fn worker_subcommand_with_empty_stdin_is_a_clean_noop() {
     assert!(out.stdout.is_empty(), "no jobs, no summaries");
 }
 
+/// The mid-stream-failure regression (ISSUE 6): a worker that emits a
+/// garbage frame and then hangs must be killed and reaped — not left
+/// running behind a deadlocked `wait` — and whatever it wrote to
+/// stderr must surface in the coordinator's error.
+#[test]
+fn misbehaving_worker_is_killed_reaped_and_its_stderr_surfaces() {
+    use replend_core::community::CommunityBuilder;
+    use replend_core::worker::{SubprocessWorker, Worker, WorkerJob};
+    use replend_types::Table1;
+
+    // A fake worker: complains on stderr, emits a framed payload that
+    // cannot decode, then blocks forever. Decoding fails mid-stream,
+    // so without the kill-on-error path the child would sleep out its
+    // 10 minutes while `run` waits on it. The sleep runs as a
+    // *forked descendant* (`& wait` defeats dash's exec-the-last-
+    // command optimisation) so it survives the kill of the direct
+    // child while holding the pipe write ends open — the worst case:
+    // the coordinator must still return promptly with the stderr
+    // tail it captured, not block awaiting a pipe EOF that only the
+    // orphan can deliver.
+    let script = "echo boom-worker-stderr >&2; printf '\\004\\000\\000\\000ABCD'; sleep 600 & wait";
+    let mut worker = SubprocessWorker::with_args("/bin/sh", vec!["-c".into(), script.into()]);
+
+    let builder = CommunityBuilder::new(
+        Table1::paper_defaults()
+            .with_num_init(10)
+            .with_num_trans(100),
+    );
+    let mut job = WorkerJob::from_builder(&builder, 9, vec![0]);
+    job.ticks = 100;
+
+    let start = std::time::Instant::now();
+    let err = worker.run(&job).expect_err("garbage frame must fail");
+    assert!(
+        start.elapsed() < std::time::Duration::from_secs(60),
+        "the sleeping child was killed and reaped, not waited out"
+    );
+    let msg = err.to_string();
+    assert!(
+        msg.contains("boom-worker-stderr"),
+        "captured stderr must ride along in the error: {msg}"
+    );
+}
+
 #[test]
 fn worker_subcommand_rejects_garbage_frames() {
     let mut child = Command::new(env!("CARGO_BIN_EXE_replend"))

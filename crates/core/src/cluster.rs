@@ -29,7 +29,6 @@
 use crate::community::CommunityBuilder;
 use crate::stats::{CommunityStats, Population};
 use crate::worker::{CommunityReport, InProcessWorker, Worker, WorkerError, WorkerJob};
-use replend_sim::series::TimeSeries;
 use replend_sim::stats::Histogram;
 
 impl replend_sim::cluster::ClusterNode for crate::community::Community {
@@ -161,15 +160,16 @@ impl<W: Worker> CommunityCluster<W> {
 
     /// [`CommunityCluster::run`] with a sampling interval: every
     /// community records its mean cooperative reputation every
-    /// `interval` ticks. Returns one aligned series per community —
-    /// feed them to
-    /// [`average_series`](replend_sim::series::average_series) for
+    /// `interval` ticks. Returns one aligned series per community;
+    /// a `None` sample means the community had no cooperative members
+    /// at that tick (not a `0.0` mean). Feed them to
+    /// [`average_present`](replend_sim::series::average_present) for
     /// the paper's cross-run averages.
     pub fn run_sampled(
         &mut self,
         ticks: u64,
         interval: u64,
-    ) -> Result<Vec<TimeSeries>, WorkerError> {
+    ) -> Result<Vec<Vec<Option<f64>>>, WorkerError> {
         self.set_sample_interval(interval);
         self.run(ticks)?;
         Ok(self.series())
@@ -181,20 +181,12 @@ impl<W: Worker> CommunityCluster<W> {
         &self.reports
     }
 
-    /// The sampled series of the last run, one per community
-    /// (empty unless a sample interval was set).
-    pub fn series(&self) -> Vec<TimeSeries> {
-        let interval = self.job.sample_interval;
-        self.reports
-            .iter()
-            .map(|r| {
-                let mut series = TimeSeries::new(interval.max(1));
-                for &v in &r.series {
-                    series.push(v);
-                }
-                series
-            })
-            .collect()
+    /// The sampled series of the last run, one per community (empty
+    /// unless a sample interval was set). Samples are `Option`: a
+    /// cohort that was empty at a sample tick reports `None`, exactly
+    /// as it crossed the wire.
+    pub fn series(&self) -> Vec<Vec<Option<f64>>> {
+        self.reports.iter().map(|r| r.series.clone()).collect()
     }
 
     /// Merged population counters over all communities.
@@ -384,9 +376,7 @@ mod tests {
         let series = cluster.run_sampled(2_000, 500).unwrap();
         assert_eq!(series.len(), 2);
         let mut solo = small_builder().seed(seed_for_run(31, 0)).build();
-        let solo_series = solo.run_sampled(2_000, 500, |c| {
-            c.mean_cooperative_reputation().unwrap_or(0.0)
-        });
+        let solo_series = solo.run_sampled_with(2_000, 500, |c| c.mean_cooperative_reputation());
         assert_eq!(series[0], solo_series);
     }
 
@@ -399,6 +389,52 @@ mod tests {
         assert_eq!(cluster.population(), Population::default());
         assert_eq!(cluster.mean_cooperative_reputation(), None);
         assert_eq!(cluster.reputation_histogram().unwrap().count(), 0);
+    }
+
+    /// The empty-cohort regression (ISSUE 6): a community with no
+    /// uncooperative members must merge as "no mean" — never as a
+    /// fabricated `0.0` — and the merge must be bit-identical whether
+    /// the reports stayed in process or crossed the wire.
+    #[test]
+    fn empty_cohort_means_merge_exactly_across_transports() {
+        let mut config = Table1::paper_defaults()
+            .with_num_init(30)
+            .with_arrival_rate(0.05)
+            .with_num_trans(5_000);
+        // No uncooperative entrants: that cohort stays empty in every
+        // community for the whole run.
+        config.sim.f_uncoop = 0.0;
+        let builder = || CommunityBuilder::new(config);
+
+        let mut in_process = CommunityCluster::build(builder(), 3, 21);
+        let in_process_series = in_process.run_sampled(1_500, 500).unwrap();
+        let mut wired = CommunityCluster::with_workers(builder(), 3, 21, vec![EncodingWorker]);
+        let wired_series = wired.run_sampled(1_500, 500).unwrap();
+
+        for r in in_process.reports() {
+            assert_eq!(
+                r.mean_uncoop_rep, None,
+                "an empty cohort reports no mean, not 0.0"
+            );
+        }
+        assert_eq!(in_process.mean_uncooperative_reputation(), None);
+        assert_eq!(wired.mean_uncooperative_reputation(), None);
+        // The dense cohort's weighted mean is bit-identical through
+        // the wire, and so is every sampled series value.
+        assert_eq!(
+            in_process.mean_cooperative_reputation().map(f64::to_bits),
+            wired.mean_cooperative_reputation().map(f64::to_bits)
+        );
+        assert_eq!(in_process_series, wired_series);
+
+        // An `Option` series with absent samples survives a wire
+        // round trip exactly (the encoding is a tagged Option, not a
+        // 0.0 substitute).
+        let mut report = in_process.reports()[0].clone();
+        report.series = vec![Some(0.25), None, Some(0.0)];
+        let bytes = replend_wire::to_bytes(&report).unwrap();
+        let back: CommunityReport = replend_wire::from_bytes(&bytes).unwrap();
+        assert_eq!(back, report);
     }
 
     /// A transport that proxies [`run_job`] through an extra

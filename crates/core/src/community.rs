@@ -390,13 +390,33 @@ impl Community {
         F: FnMut(&Community) -> f64,
     {
         let mut series = TimeSeries::new(interval);
-        for _ in 0..ticks {
-            self.step();
-            if series.is_sample_tick(self.clock) {
-                series.push(sampler(self));
-            }
+        for value in self.run_sampled_with(ticks, interval, |c| sampler(c)) {
+            series.push(value);
         }
         series
+    }
+
+    /// [`Community::run_sampled`] with an arbitrary sample type:
+    /// records `sampler(self)` every `interval` ticks and returns the
+    /// raw samples in order. The cluster protocol uses this with
+    /// `Option<f64>` samples so an empty cohort's "no mean" is never
+    /// conflated with a true `0.0`.
+    pub fn run_sampled_with<T, F>(&mut self, ticks: u64, interval: u64, mut sampler: F) -> Vec<T>
+    where
+        F: FnMut(&Community) -> T,
+    {
+        // An empty series used only for its sampling-tick rule, so
+        // the gate stays the single definition shared with
+        // `TimeSeries` consumers.
+        let gate = TimeSeries::new(interval);
+        let mut samples = Vec::new();
+        for _ in 0..ticks {
+            self.step();
+            if gate.is_sample_tick(self.clock) {
+                samples.push(sampler(self));
+            }
+        }
+        samples
     }
 
     // ------------------------------------------------------------------

@@ -41,6 +41,10 @@
 //! * [`worker`] — the cluster's job/report protocol: in-process
 //!   execution on the rayon pool, or shared-nothing subprocess
 //!   workers speaking the `replend-wire` format over stdio;
+//! * [`serve`] — the online service layer: a concurrently-readable
+//!   engine facade with whitelist/throttle/ban status tiers and an
+//!   append-only write-ahead feedback journal for crash-consistent
+//!   restart;
 //! * [`stats`] — the admission ledger, population counts, and the
 //!   §4.1 decision success-rate metric.
 //!
@@ -71,12 +75,16 @@ pub mod messages;
 pub mod peer;
 pub mod peer_table;
 pub mod policy;
+pub mod serve;
 pub mod stats;
 pub mod worker;
 
 pub use cluster::{CommunityCluster, CommunitySummary};
 pub use community::{Community, CommunityBuilder};
 pub use policy::{BootstrapPolicy, EngineKind};
+pub use serve::{
+    ReputationService, ServeConfig, ServeError, StatusCensus, StatusPolicy, SubjectStatus,
+};
 pub use worker::{
     CommunityReport, InProcessWorker, SubprocessWorker, Worker, WorkerError, WorkerJob,
 };

@@ -60,6 +60,26 @@ fn fine_bin(x: f64) -> usize {
     ((x / width) as usize).min(HIST_RESOLUTION - 1)
 }
 
+/// How [`PeerTable::histogram`] serves a bucket count — the former
+/// silent O(members) fallback, made explicit and queryable so callers
+/// on a latency budget can check before asking.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HistogramMode {
+    /// `buckets` divides [`HIST_RESOLUTION`]: each output bucket is
+    /// the sum of `group` adjacent maintained fine bins — O(buckets),
+    /// engine-free, and exactly what a direct rebin would produce.
+    Grouped {
+        /// Fine bins summed per output bucket.
+        group: usize,
+    },
+    /// `buckets` does not divide [`HIST_RESOLUTION`] (including every
+    /// `buckets > HIST_RESOLUTION`): the table rebins the tracked
+    /// member reputations in an O(members) pass. Still engine-free
+    /// and bit-identical to recording each member into a fresh
+    /// [`Histogram`], just not O(buckets).
+    Rebinned,
+}
+
 /// Indexed peer store: records, per-status accounting, and O(1)
 /// community aggregates.
 #[derive(Clone, Debug)]
@@ -168,24 +188,43 @@ impl PeerTable {
         self.tracked.get(peer.index()).copied()
     }
 
+    /// The serving strategy for a bucket count, after the same
+    /// clamping [`PeerTable::histogram`] applies (`buckets = 0` is
+    /// clamped to 1, which groups). See [`HistogramMode`].
+    pub fn histogram_mode(buckets: usize) -> HistogramMode {
+        let buckets = buckets.max(1);
+        if buckets <= HIST_RESOLUTION && HIST_RESOLUTION % buckets == 0 {
+            HistogramMode::Grouped {
+                group: HIST_RESOLUTION / buckets,
+            }
+        } else {
+            HistogramMode::Rebinned
+        }
+    }
+
     /// Histogram of member reputations over `buckets` equal bins of
-    /// `[0, 1]`.
+    /// `[0, 1]` (`buckets = 0` is clamped to 1; values of exactly 1.0
+    /// land in the top bucket via [`HIST_HI`]).
     ///
-    /// Served in O(buckets) from the maintained bins whenever
-    /// `buckets` divides [`HIST_RESOLUTION`] (all of the paper's
-    /// figures); other bucket counts fall back to an O(members) pass
-    /// over the tracked values — still engine-free.
+    /// The cost depends on [`PeerTable::histogram_mode`]: O(buckets)
+    /// grouping of the maintained fine bins when `buckets` divides
+    /// [`HIST_RESOLUTION`] (all of the paper's figures), otherwise a
+    /// documented O(members) rebin of the tracked values — both
+    /// engine-free, and both bit-identical to recording every member
+    /// reputation into a fresh [`Histogram`].
     pub fn histogram(&self, buckets: usize) -> Histogram {
         let buckets = buckets.max(1);
         let mut out = Histogram::new(0.0, HIST_HI, buckets);
-        if HIST_RESOLUTION % buckets == 0 {
-            let group = HIST_RESOLUTION / buckets;
-            for (i, &n) in self.hist.iter().enumerate() {
-                out.add_to_bucket(i / group, n);
+        match Self::histogram_mode(buckets) {
+            HistogramMode::Grouped { group } => {
+                for (i, &n) in self.hist.iter().enumerate() {
+                    out.add_to_bucket(i / group, n);
+                }
             }
-        } else {
-            for id in &self.member_index {
-                out.record(self.tracked[id.index()]);
+            HistogramMode::Rebinned => {
+                for id in &self.member_index {
+                    out.record(self.tracked[id.index()]);
+                }
             }
         }
         out
@@ -457,7 +496,12 @@ mod tests {
         for (i, &r) in reps.iter().enumerate() {
             t.push_founding(PeerRecord::founding(PeerId(i as u64), coop_profile()), r);
         }
-        // 10 divides 120 → O(buckets); 7 does not → fallback scan.
+        // 10 divides 120 → O(buckets); 7 does not → rebin pass.
+        assert_eq!(
+            PeerTable::histogram_mode(10),
+            HistogramMode::Grouped { group: 12 }
+        );
+        assert_eq!(PeerTable::histogram_mode(7), HistogramMode::Rebinned);
         let fast = t.histogram(10);
         assert_eq!(fast.count() as usize, reps.len());
         // The range is stretched to 1 + 1e-9, so 0.1 still lands in
@@ -466,6 +510,60 @@ mod tests {
         assert_eq!(fast.buckets()[9], 2, "0.95 and 1.0 share the top bin");
         let slow = t.histogram(7);
         assert_eq!(slow.count() as usize, reps.len());
+    }
+
+    /// The `b = 0` and `b > HIST_RESOLUTION` edges of
+    /// [`PeerTable::histogram`]: both are served (clamped / rebinned,
+    /// never a panic or a silent surprise), the mode is queryable,
+    /// and every bucket count round-trips the edge values — a member
+    /// at exactly 0.0 in the bottom bin, one at exactly 1.0 in the
+    /// top bin, with no member lost to under/overflow.
+    #[test]
+    fn histogram_edge_bucket_counts_round_trip() {
+        let mut t = PeerTable::with_capacity(64);
+        let reps = [0.0, 1e-12, 0.5, 1.0 - 1e-12, 1.0];
+        for (i, &r) in reps.iter().enumerate() {
+            t.push_founding(PeerRecord::founding(PeerId(i as u64), coop_profile()), r);
+        }
+
+        // b = 0 clamps to one all-encompassing bucket (grouped).
+        assert_eq!(
+            PeerTable::histogram_mode(0),
+            HistogramMode::Grouped { group: 120 }
+        );
+        let h0 = t.histogram(0);
+        assert_eq!(h0.buckets(), &[reps.len() as u64][..]);
+
+        // b = HIST_RESOLUTION is the identity grouping.
+        assert_eq!(
+            PeerTable::histogram_mode(HIST_RESOLUTION),
+            HistogramMode::Grouped { group: 1 }
+        );
+
+        // b > HIST_RESOLUTION cannot group — explicit rebin.
+        for buckets in [HIST_RESOLUTION + 1, 2 * HIST_RESOLUTION, 1000] {
+            assert_eq!(PeerTable::histogram_mode(buckets), HistogramMode::Rebinned);
+            let h = t.histogram(buckets);
+            assert_eq!(h.count() as usize, reps.len(), "{buckets} buckets");
+            assert_eq!(h.underflow(), 0);
+            assert_eq!(h.overflow(), 0, "1.0 must land in range, not overflow");
+            assert!(h.buckets()[0] >= 2, "0.0 and 1e-12 sit in the bottom bin");
+            assert!(
+                *h.buckets().last().unwrap() >= 1,
+                "exactly 1.0 sits in the top bin"
+            );
+        }
+
+        // Every mode agrees with a direct rebin of the tracked values
+        // (grouped and rebinned are the same histogram, bit for bit).
+        for buckets in [1, 6, 40, 120, 121, 240] {
+            let served = t.histogram(buckets);
+            let mut direct = Histogram::new(0.0, HIST_HI, buckets);
+            for &r in &reps {
+                direct.record(r);
+            }
+            assert_eq!(served.buckets(), direct.buckets(), "{buckets} buckets");
+        }
     }
 
     #[test]

@@ -1,0 +1,707 @@
+//! The serve layer: an online, concurrently-readable reputation
+//! service over the arena engine, with an append-only write-ahead
+//! feedback journal as its durable source of truth.
+//!
+//! Everything before this module is batch-simulation-shaped — one
+//! owner mutates an engine while readers wait their turn. A deployed
+//! reputation store is used the other way around: a heavy stream of
+//! `reputation()` / status probes from admission control, punctuated
+//! by feedback ingest. [`ReputationService`] serves that shape:
+//!
+//! * **Concurrent reads.** Subjects live in a
+//!   [`ConcurrentEngine`] — a lock-per-partition facade — so reads
+//!   take one partition read lock and proceed while ingest writes
+//!   other partitions. Every individual subject is linearizable;
+//!   cross-subject sweeps are not a consistent global snapshot (see
+//!   the `replend_rocq::concurrent` module docs).
+//! * **Status tiers.** [`StatusPolicy`] maps a subject's reputation
+//!   *and* its applied-report count to an operational
+//!   [`SubjectStatus`]: `Whitelisted` / `Throttled` / `Banned`. The
+//!   interaction floor keeps a newcomer with two low reports from
+//!   being banned on no evidence — below `min_observations` the
+//!   policy stays permissive and lets the lending protocol's own
+//!   stake bear the risk.
+//! * **Write-ahead journal.** With a journal attached, every mutation
+//!   is appended (and flushed) to an append-only log of
+//!   length-prefixed `replend-wire` frames *before* it touches the
+//!   engine. A restarted service replays the log through the same
+//!   apply path and reaches byte-identical engine state — pinned by
+//!   the determinism suite. A torn final frame (crash mid-append) is
+//!   truncated on open; the lost operation was never applied, so the
+//!   truncation is exact, not lossy.
+//!
+//! The one-writer/many-readers split is by construction: mutators
+//! serialize on the journal lock (a WAL has one tail), while readers
+//! share the engine's partition read locks. [`run_ingest_workload`]
+//! is the service loop the `replend serve` subcommand and the service
+//! bench both drive: a deterministic synthetic ingest stream with
+//! reader threads hammering the read path the whole time.
+
+use replend_rocq::concurrent::ConcurrentEngine;
+use replend_rocq::inspect::SubjectSnapshot;
+use replend_rocq::RocqParams;
+use replend_types::hash::{salted, splitmix64};
+use replend_types::{Feedback, PeerId, Reputation};
+use replend_wire::{JournalError, JournalReader, JournalWriter};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufReader, Seek, SeekFrom};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// The operational tier admission control acts on: serve the request,
+/// serve it rate-limited, or refuse it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SubjectStatus {
+    /// Full service: reputable, or not yet enough evidence to judge.
+    Whitelisted,
+    /// Degraded service: reputation below the throttle line.
+    Throttled,
+    /// Refused: reputation below the ban line with real evidence.
+    Banned,
+}
+
+impl SubjectStatus {
+    /// Stable lowercase name for reports and CLI output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SubjectStatus::Whitelisted => "whitelisted",
+            SubjectStatus::Throttled => "throttled",
+            SubjectStatus::Banned => "banned",
+        }
+    }
+}
+
+impl fmt::Display for SubjectStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Maps (reputation, applied-report count) to a [`SubjectStatus`].
+///
+/// Tiering on reputation alone would ban every newcomer the first
+/// time a liar reported on them; the `min_observations` evidence
+/// floor (cf. the `ReputationBox` admission tiers this layer is
+/// modeled on) keeps the policy permissive until the score managers
+/// have actually heard enough.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct StatusPolicy {
+    /// Applied reports required before a subject can be throttled or
+    /// banned. Below this the status is always `Whitelisted`.
+    pub min_observations: u64,
+    /// Reputations strictly below this are at most `Throttled`.
+    pub throttle_below: f64,
+    /// Reputations strictly below this are `Banned`.
+    pub ban_below: f64,
+}
+
+impl Default for StatusPolicy {
+    fn default() -> Self {
+        StatusPolicy {
+            min_observations: 10,
+            throttle_below: 0.5,
+            ban_below: 0.2,
+        }
+    }
+}
+
+impl StatusPolicy {
+    /// The tier for a subject with the given aggregate reputation and
+    /// applied-report count.
+    pub fn classify(&self, reputation: Reputation, observations: u64) -> SubjectStatus {
+        if observations < self.min_observations {
+            return SubjectStatus::Whitelisted;
+        }
+        let r = reputation.value();
+        if r < self.ban_below {
+            SubjectStatus::Banned
+        } else if r < self.throttle_below {
+            SubjectStatus::Throttled
+        } else {
+            SubjectStatus::Whitelisted
+        }
+    }
+
+    /// Checks the thresholds are ordered and in range.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.0..=1.0).contains(&self.ban_below) || !(0.0..=1.0).contains(&self.throttle_below) {
+            return Err("status thresholds must lie in [0, 1]".into());
+        }
+        if self.ban_below > self.throttle_below {
+            return Err(format!(
+                "ban_below ({}) must not exceed throttle_below ({})",
+                self.ban_below, self.throttle_below
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Static configuration of a [`ReputationService`].
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// ROCQ parameters for every partition engine. The crash model
+    /// defaults to off (`crash_prob = 0`): a service node does not
+    /// simulate its own replica crashes.
+    pub params: RocqParams,
+    /// Score-manager replicas per subject.
+    pub num_sm: usize,
+    /// Lock partitions (independent read/write domains).
+    pub partitions: usize,
+    /// Engine seed; also stamped into every journal frame so a log
+    /// cannot be replayed into a differently-seeded service.
+    pub seed: u64,
+    /// The status-tier thresholds.
+    pub policy: StatusPolicy,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            params: RocqParams {
+                crash_prob: 0.0,
+                ..RocqParams::default()
+            },
+            // Table 1's `numSM` paper default.
+            num_sm: 6,
+            partitions: 8,
+            seed: 0,
+            policy: StatusPolicy::default(),
+        }
+    }
+}
+
+/// One journalled mutation. The journal is the write-ahead log of
+/// *operations*, not of resulting states: replaying the ops through
+/// the same engine code is what makes restart byte-identical, and it
+/// keeps each frame small and version-gated by `replend-wire`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum JournalOp {
+    /// `register_peer(peer, initial)`.
+    Register { peer: PeerId, initial: f64 },
+    /// `remove_peer(peer)`.
+    Remove { peer: PeerId },
+    /// `report_batch(&batch)`.
+    Batch { batch: Vec<Feedback> },
+    /// `credit(subject, amount)`.
+    Credit { subject: PeerId, amount: f64 },
+    /// `debit(subject, amount)`.
+    Debit { subject: PeerId, amount: f64 },
+}
+
+/// Serve-layer failures: journal I/O and journal decode/replay.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Appending to or replaying the journal failed.
+    Journal(JournalError),
+    /// Opening, truncating or seeking the journal file failed.
+    Io(io::Error),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Journal(e) => write!(f, "journal: {e}"),
+            ServeError::Io(e) => write!(f, "journal file: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<JournalError> for ServeError {
+    fn from(e: JournalError) -> Self {
+        ServeError::Journal(e)
+    }
+}
+
+impl From<io::Error> for ServeError {
+    fn from(e: io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+/// What [`ReputationService::open`] found in an existing journal.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReplaySummary {
+    /// Operations replayed from the intact prefix.
+    pub records: u64,
+    /// Bytes of intact journal retained.
+    pub bytes: u64,
+    /// True when a torn final frame was truncated away.
+    pub truncated_torn_tail: bool,
+}
+
+/// The online reputation service. Mutators take `&self` and serialize
+/// on the journal lock; reads go straight to the concurrent engine's
+/// partition read locks, so the service can be shared across reader
+/// threads (`&ReputationService` is `Send + Sync`).
+pub struct ReputationService {
+    engine: ConcurrentEngine,
+    policy: StatusPolicy,
+    seed: u64,
+    /// `None` for an in-memory (journal-less) service. The mutex is
+    /// the WAL tail: it orders append *and* apply, so journal order
+    /// is exactly apply order — the replay contract.
+    journal: Option<Mutex<JournalWriter<File>>>,
+}
+
+impl ReputationService {
+    /// An in-memory service: no durability, same semantics otherwise.
+    pub fn in_memory(config: ServeConfig) -> Self {
+        ReputationService {
+            engine: ConcurrentEngine::new(
+                config.params,
+                config.num_sm,
+                config.partitions,
+                config.seed,
+            ),
+            policy: config.policy,
+            seed: config.seed,
+            journal: None,
+        }
+    }
+
+    /// Opens (creating if absent) the journal at `path`, replays its
+    /// intact prefix into a fresh engine, truncates a torn tail if
+    /// the last run crashed mid-append, and attaches the file as the
+    /// service's write-ahead log.
+    ///
+    /// Replay runs every operation through the same apply path live
+    /// mutations use, so the rebuilt engine is byte-identical to the
+    /// pre-restart one — the determinism suite pins this.
+    pub fn open(config: ServeConfig, path: &Path) -> Result<(Self, ReplaySummary), ServeError> {
+        let mut service = Self::in_memory(config);
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+
+        let mut summary = ReplaySummary::default();
+        let mut reader = JournalReader::new(BufReader::new(&mut file), config.seed);
+        while let Some(op) = reader.next::<JournalOp>()? {
+            service.apply(&op);
+            summary.records += 1;
+        }
+        summary.bytes = reader.consumed();
+        summary.truncated_torn_tail = reader.torn_tail();
+        if summary.truncated_torn_tail {
+            // The torn op was journalled but never applied (append
+            // happens first and flushes); dropping it loses nothing
+            // the engine ever saw.
+            file.set_len(summary.bytes)?;
+        }
+        file.seek(SeekFrom::Start(summary.bytes))?;
+        service.journal = Some(Mutex::new(JournalWriter::new(file, config.seed)));
+        Ok((service, summary))
+    }
+
+    /// The engine seed (and journal seed stamp).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The status-tier thresholds in force.
+    pub fn policy(&self) -> StatusPolicy {
+        self.policy
+    }
+
+    /// The underlying concurrent engine, for read fan-out.
+    pub fn engine(&self) -> &ConcurrentEngine {
+        &self.engine
+    }
+
+    /// True when mutations are journalled.
+    pub fn journalled(&self) -> bool {
+        self.journal.is_some()
+    }
+
+    fn apply(&self, op: &JournalOp) {
+        match op {
+            JournalOp::Register { peer, initial } => {
+                self.engine.register_peer(*peer, Reputation::new(*initial));
+            }
+            JournalOp::Remove { peer } => self.engine.remove_peer(*peer),
+            JournalOp::Batch { batch } => self.engine.report_batch(batch),
+            JournalOp::Credit { subject, amount } => self.engine.credit(*subject, *amount),
+            JournalOp::Debit { subject, amount } => self.engine.debit(*subject, *amount),
+        }
+    }
+
+    /// Journal-then-apply. Holding the journal lock across both steps
+    /// makes journal order identical to apply order.
+    fn mutate(&self, op: JournalOp) -> Result<(), ServeError> {
+        match &self.journal {
+            Some(journal) => {
+                let mut writer = journal.lock().expect("journal lock poisoned");
+                writer.append(&op)?;
+                self.apply(&op);
+            }
+            None => self.apply(&op),
+        }
+        Ok(())
+    }
+
+    /// Registers a subject (journalled). Idempotent.
+    pub fn register_peer(&self, peer: PeerId, initial: Reputation) -> Result<(), ServeError> {
+        self.mutate(JournalOp::Register {
+            peer,
+            initial: initial.value(),
+        })
+    }
+
+    /// Removes a subject (journalled).
+    pub fn remove_peer(&self, peer: PeerId) -> Result<(), ServeError> {
+        self.mutate(JournalOp::Remove { peer })
+    }
+
+    /// Ingests a feedback batch (journalled as one record).
+    pub fn report_batch(&self, batch: &[Feedback]) -> Result<(), ServeError> {
+        self.mutate(JournalOp::Batch {
+            batch: batch.to_vec(),
+        })
+    }
+
+    /// Raises `subject`'s reputation (journalled).
+    pub fn credit(&self, subject: PeerId, amount: f64) -> Result<(), ServeError> {
+        self.mutate(JournalOp::Credit { subject, amount })
+    }
+
+    /// Lowers `subject`'s reputation (journalled).
+    pub fn debit(&self, subject: PeerId, amount: f64) -> Result<(), ServeError> {
+        self.mutate(JournalOp::Debit { subject, amount })
+    }
+
+    /// The aggregate reputation of `subject` — one partition read
+    /// lock, concurrent with ingest on other partitions.
+    pub fn reputation(&self, subject: PeerId) -> Option<Reputation> {
+        self.engine.reputation(subject)
+    }
+
+    /// The subject's full score-manager snapshot.
+    pub fn snapshot(&self, subject: PeerId) -> Option<SubjectSnapshot> {
+        self.engine.snapshot(subject)
+    }
+
+    /// The subject's operational tier, from reputation + applied
+    /// report count read under one lock.
+    pub fn status(&self, subject: PeerId) -> Option<SubjectStatus> {
+        let p = self.policy;
+        let reputation = self.engine.reputation(subject)?;
+        let observations = self.engine.interactions(subject)?;
+        Some(p.classify(reputation, observations))
+    }
+
+    /// Registered subjects.
+    pub fn subjects(&self) -> usize {
+        self.engine.len()
+    }
+
+    /// Member-reputation bucket counts over `buckets` equal bins of
+    /// `[0, 1]`.
+    pub fn histogram(&self, buckets: usize) -> Vec<u64> {
+        self.engine.reputation_buckets(buckets)
+    }
+
+    /// Counts subjects per status tier in one sweep.
+    pub fn status_census(&self) -> StatusCensus {
+        let mut census = StatusCensus::default();
+        let policy = self.policy;
+        self.engine.for_each_subject(|_, reputation, observations| {
+            match policy.classify(reputation, observations) {
+                SubjectStatus::Whitelisted => census.whitelisted += 1,
+                SubjectStatus::Throttled => census.throttled += 1,
+                SubjectStatus::Banned => census.banned += 1,
+            }
+        });
+        census
+    }
+}
+
+/// Subjects per tier, from [`ReputationService::status_census`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StatusCensus {
+    /// Subjects at full service.
+    pub whitelisted: u64,
+    /// Subjects rate-limited.
+    pub throttled: u64,
+    /// Subjects refused.
+    pub banned: u64,
+}
+
+impl StatusCensus {
+    /// All subjects counted.
+    pub fn total(&self) -> u64 {
+        self.whitelisted + self.throttled + self.banned
+    }
+}
+
+/// Shape of the synthetic serve workload: `subjects` peers (a
+/// deterministic mix of honest and lying reporters), `rounds` ingest
+/// batches of `batch` opinions each, with `readers` threads issuing
+/// reputation/status probes for the whole ingest window.
+#[derive(Clone, Copy, Debug)]
+pub struct WorkloadConfig {
+    /// Subjects registered up front.
+    pub subjects: u64,
+    /// Ingest batches to apply.
+    pub rounds: u64,
+    /// Opinions per batch.
+    pub batch: usize,
+    /// Concurrent reader threads (0 = ingest only).
+    pub readers: usize,
+    /// Workload seed (reporter/subject/opinion selection); independent
+    /// of the engine seed.
+    pub seed: u64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            subjects: 10_000,
+            rounds: 100,
+            batch: 1_000,
+            readers: 2,
+            seed: 1,
+        }
+    }
+}
+
+/// What [`run_ingest_workload`] did. Engine state is a deterministic
+/// function of (engine seed, workload config); `reads` is a load
+/// metric and varies with scheduling.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WorkloadReport {
+    /// Subjects registered (pre-existing subjects are kept).
+    pub registered: u64,
+    /// Opinions ingested (`rounds × batch`).
+    pub feedback: u64,
+    /// Reputation/status probes completed by the reader threads while
+    /// ingest was running.
+    pub reads: u64,
+    /// Tier census after the final batch.
+    pub census: StatusCensus,
+}
+
+/// Deterministic opinion for `reporter` about `subject` at `round`:
+/// roughly 70 % of subjects behave well (mostly 1-opinions), the rest
+/// draw mostly 0s, so the census populates every tier.
+fn synthetic_opinion(seed: u64, reporter: u64, subject: u64, round: u64) -> f64 {
+    let honest = splitmix64(salted(seed, subject)) % 10 < 7;
+    let noise = splitmix64(salted(
+        seed,
+        reporter ^ (round << 32) ^ subject.rotate_left(17),
+    )) % 10;
+    let positive = if honest { noise < 9 } else { noise < 2 };
+    if positive {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+/// The service loop: registers `cfg.subjects` subjects, then applies
+/// `cfg.rounds` synthetic feedback batches while `cfg.readers`
+/// threads continuously probe `reputation()` + `status()` against the
+/// live service. This is exactly what `replend serve` and the
+/// `service` bench run.
+///
+/// The ingest stream (and therefore the final engine state) is fully
+/// deterministic; the read count is not.
+pub fn run_ingest_workload(
+    service: &ReputationService,
+    cfg: WorkloadConfig,
+) -> Result<WorkloadReport, ServeError> {
+    let mut report = WorkloadReport::default();
+    for s in 0..cfg.subjects {
+        service.register_peer(PeerId(s), Reputation::new(0.5))?;
+        report.registered += 1;
+    }
+
+    let stop = AtomicBool::new(false);
+    let reads = AtomicU64::new(0);
+    let ingest_result: Mutex<Result<u64, ServeError>> = Mutex::new(Ok(0));
+
+    std::thread::scope(|scope| {
+        for r in 0..cfg.readers {
+            let stop = &stop;
+            let reads = &reads;
+            scope.spawn(move || {
+                let mut probe = splitmix64(salted(cfg.seed, r as u64 + 1));
+                let mut local = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let subject = PeerId(probe % cfg.subjects.max(1));
+                    // Both read entry points: the O(1) aggregate and
+                    // the tier classification.
+                    let rep = service.reputation(subject);
+                    let status = service.status(subject);
+                    debug_assert_eq!(rep.is_some(), status.is_some());
+                    local += 2;
+                    probe = splitmix64(probe);
+                }
+                reads.fetch_add(local, Ordering::Relaxed);
+            });
+        }
+
+        let mut batch = Vec::with_capacity(cfg.batch);
+        let mut applied = 0u64;
+        let outcome = (|| -> Result<(), ServeError> {
+            for round in 0..cfg.rounds {
+                batch.clear();
+                for i in 0..cfg.batch as u64 {
+                    let k = splitmix64(salted(cfg.seed, round * cfg.batch as u64 + i));
+                    let reporter = k % cfg.subjects.max(1);
+                    let subject = splitmix64(k) % cfg.subjects.max(1);
+                    batch.push(Feedback::new(
+                        PeerId(reporter),
+                        PeerId(subject),
+                        synthetic_opinion(cfg.seed, reporter, subject, round),
+                    ));
+                }
+                service.report_batch(&batch)?;
+                applied += batch.len() as u64;
+            }
+            Ok(())
+        })();
+        stop.store(true, Ordering::Relaxed);
+        *ingest_result.lock().expect("ingest result lock poisoned") = outcome.map(|()| applied);
+    });
+
+    report.feedback = ingest_result
+        .into_inner()
+        .expect("ingest result lock poisoned")?;
+    report.reads = reads.into_inner();
+    report.census = service.status_census();
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> ServeConfig {
+        ServeConfig {
+            partitions: 4,
+            seed: 77,
+            ..ServeConfig::default()
+        }
+    }
+
+    #[test]
+    fn status_policy_tiers() {
+        let p = StatusPolicy::default();
+        assert!(p.validate().is_ok());
+        // Below the evidence floor: always whitelisted.
+        assert_eq!(
+            p.classify(Reputation::new(0.0), 9),
+            SubjectStatus::Whitelisted
+        );
+        // With evidence: banned / throttled / whitelisted by value.
+        assert_eq!(p.classify(Reputation::new(0.1), 10), SubjectStatus::Banned);
+        assert_eq!(
+            p.classify(Reputation::new(0.3), 10),
+            SubjectStatus::Throttled
+        );
+        assert_eq!(
+            p.classify(Reputation::new(0.8), 10),
+            SubjectStatus::Whitelisted
+        );
+        // Boundaries are strict `<`.
+        assert_eq!(
+            p.classify(Reputation::new(0.2), 10),
+            SubjectStatus::Throttled
+        );
+        assert_eq!(
+            p.classify(Reputation::new(0.5), 10),
+            SubjectStatus::Whitelisted
+        );
+        let bad = StatusPolicy {
+            ban_below: 0.8,
+            throttle_below: 0.5,
+            ..p
+        };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn in_memory_service_serves_status() {
+        let service = ReputationService::in_memory(config());
+        assert!(!service.journalled());
+        service
+            .register_peer(PeerId(1), Reputation::new(0.9))
+            .unwrap();
+        service
+            .register_peer(PeerId(2), Reputation::new(0.9))
+            .unwrap();
+        assert_eq!(service.status(PeerId(1)), Some(SubjectStatus::Whitelisted));
+        // Pile on negative evidence until peer 1 crosses the ban line.
+        let batch: Vec<Feedback> = (0..12)
+            .map(|_| Feedback::new(PeerId(2), PeerId(1), 0.0))
+            .collect();
+        for _ in 0..20 {
+            service.report_batch(&batch).unwrap();
+        }
+        assert_eq!(service.status(PeerId(1)), Some(SubjectStatus::Banned));
+        assert_eq!(service.status(PeerId(99)), None);
+        let census = service.status_census();
+        assert_eq!(census.total(), 2);
+        assert_eq!(census.banned, 1);
+        assert_eq!(service.histogram(10).iter().sum::<u64>(), 2);
+    }
+
+    #[test]
+    fn workload_reads_run_against_live_ingest() {
+        let service = ReputationService::in_memory(config());
+        let report = run_ingest_workload(
+            &service,
+            WorkloadConfig {
+                subjects: 200,
+                rounds: 20,
+                batch: 100,
+                readers: 2,
+                seed: 5,
+            },
+        )
+        .unwrap();
+        assert_eq!(report.registered, 200);
+        assert_eq!(report.feedback, 2_000);
+        assert!(report.reads > 0, "readers made progress during ingest");
+        assert_eq!(report.census.total(), 200);
+        assert!(
+            report.census.banned > 0 && report.census.whitelisted > 0,
+            "synthetic mix populates multiple tiers: {:?}",
+            report.census
+        );
+    }
+
+    #[test]
+    fn workload_final_state_is_deterministic() {
+        let fingerprint = |readers: usize| {
+            let service = ReputationService::in_memory(config());
+            run_ingest_workload(
+                &service,
+                WorkloadConfig {
+                    subjects: 150,
+                    rounds: 10,
+                    batch: 80,
+                    readers,
+                    seed: 9,
+                },
+            )
+            .unwrap();
+            let mut state: Vec<(u64, u64, u64)> = Vec::new();
+            service
+                .engine()
+                .for_each_subject(|p, r, n| state.push((p.raw(), r.value().to_bits(), n)));
+            state.sort_unstable();
+            state
+        };
+        // Reader pressure must not perturb the engine state.
+        assert_eq!(fingerprint(0), fingerprint(3));
+    }
+}

@@ -156,8 +156,10 @@ pub struct CommunityReport {
     pub histogram: Vec<u64>,
     /// Mean cooperative reputation sampled every
     /// [`WorkerJob::sample_interval`] ticks (empty when not
-    /// requested).
-    pub series: Vec<f64>,
+    /// requested). `None` marks a sample taken while the community
+    /// had no cooperative members — distinct from a true `0.0` mean,
+    /// so cluster merges stay exact when some communities are empty.
+    pub series: Vec<Option<f64>>,
 }
 
 /// A worker transport failure (the wire layer, the pipe, or the peer
@@ -220,12 +222,11 @@ pub fn run_one(job: &WorkerJob, index: u64) -> CommunityReport {
         .seed(seed_for_run(job.base_seed, index))
         .build();
     let series = if job.sample_interval > 0 {
-        community
-            .run_sampled(job.ticks, job.sample_interval, |c| {
-                c.mean_cooperative_reputation().unwrap_or(0.0)
-            })
-            .values()
-            .to_vec()
+        // The sample stays `Option` end to end: a cohort with no
+        // cooperative members reports "no mean", never a fake 0.0.
+        community.run_sampled_with(job.ticks, job.sample_interval, |c| {
+            c.mean_cooperative_reputation()
+        })
     } else {
         community.run(job.ticks);
         Vec::new()
@@ -298,23 +299,67 @@ impl SubprocessWorker {
     }
 }
 
+/// Folds the worker's captured stderr into an error message. Keeps
+/// typed `Wire`/`Io` errors intact when the child said nothing.
+fn with_stderr(err: WorkerError, stderr: &str) -> WorkerError {
+    let stderr = stderr.trim();
+    if stderr.is_empty() {
+        return err;
+    }
+    WorkerError::Protocol(format!("{err}; worker stderr: {stderr}"))
+}
+
 impl Worker for SubprocessWorker {
     fn run(&mut self, job: &WorkerJob) -> Result<Vec<CommunityReport>, WorkerError> {
         let mut child = Command::new(&self.program)
             .args(&self.args)
             .stdin(Stdio::piped())
             .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
             .spawn()?;
-        // One job per child: write it, close stdin so the child's
-        // serve loop terminates after this job.
+        // Drain stderr on its own thread for the child's whole life:
+        // a worker that chats on stderr must never block on a full
+        // pipe, but whatever it said must reach the error message.
+        // The tail accumulates *incrementally* in a shared buffer
+        // (bounded; excess is discarded) rather than being returned on
+        // join: a misbehaving worker can fork descendants that inherit
+        // the pipe's write end and outlive the kill, so EOF — and
+        // therefore a join — may never come. The drain thread signals
+        // EOF over a channel and the coordinator waits for it only a
+        // bounded grace period before reading whatever has arrived.
+        let mut stderr = child.stderr.take().expect("stderr was piped");
+        let stderr_tail = std::sync::Arc::new(std::sync::Mutex::new(String::new()));
+        let (stderr_eof_tx, stderr_eof_rx) = std::sync::mpsc::channel::<()>();
         {
-            let mut stdin = child.stdin.take().expect("stdin was piped");
-            let envelope = SummaryEnvelope::wrap(job.base_seed, job)?;
-            write_frame(&mut stdin, &envelope.encode()?)?;
+            let tail = std::sync::Arc::clone(&stderr_tail);
+            std::thread::spawn(move || {
+                let mut buf = [0u8; 4096];
+                loop {
+                    match stderr.read(&mut buf) {
+                        Ok(0) | Err(_) => break,
+                        Ok(n) => {
+                            let mut tail = tail.lock().expect("stderr tail lock");
+                            if tail.len() < 16 * 1024 {
+                                tail.push_str(&String::from_utf8_lossy(&buf[..n]));
+                                tail.truncate(16 * 1024);
+                            }
+                        }
+                    }
+                }
+                let _ = stderr_eof_tx.send(());
+            });
         }
-        let mut stdout = child.stdout.take().expect("stdout was piped");
+
         let mut reports = Vec::with_capacity(job.indices.len());
         let outcome = (|| -> Result<(), WorkerError> {
+            // One job per child: write it, close stdin so the child's
+            // serve loop terminates after this job.
+            {
+                let mut stdin = child.stdin.take().expect("stdin was piped");
+                let envelope = SummaryEnvelope::wrap(job.base_seed, job)?;
+                write_frame(&mut stdin, &envelope.encode()?)?;
+            }
+            let mut stdout = child.stdout.take().expect("stdout was piped");
             while let Some(frame) = read_frame(&mut stdout)? {
                 let envelope = SummaryEnvelope::decode(&frame)?;
                 if envelope.seed != job.base_seed {
@@ -327,26 +372,50 @@ impl Worker for SubprocessWorker {
             }
             Ok(())
         })();
-        let status = child.wait()?;
-        outcome?;
+
+        // Reap the child on *every* path. On a mid-stream failure we
+        // stop draining stdout, so the child could block forever on a
+        // full pipe — kill it first, then wait; otherwise just wait.
+        // Either way no zombie outlives this call.
+        if outcome.is_err() {
+            let _ = child.kill();
+        }
+        let status = child.wait();
+        // Wait briefly for the drain thread to see EOF so a
+        // well-behaved child's last words are all captured; if a
+        // leaked descendant still holds the pipe open (only a kill
+        // of the direct child can leave one behind), take the tail
+        // as-is and let the drain thread finish in the background.
+        let _ = stderr_eof_rx.recv_timeout(std::time::Duration::from_secs(2));
+        let stderr_tail = stderr_tail.lock().expect("stderr tail lock").clone();
+
+        outcome.map_err(|e| with_stderr(e, &stderr_tail))?;
+        let status = status?;
         if !status.success() {
-            return Err(WorkerError::Protocol(format!(
-                "worker process exited with {status}"
-            )));
+            return Err(with_stderr(
+                WorkerError::Protocol(format!("worker process exited with {status}")),
+                &stderr_tail,
+            ));
         }
         if reports.len() != job.indices.len() {
-            return Err(WorkerError::Protocol(format!(
-                "worker returned {} reports for {} communities",
-                reports.len(),
-                job.indices.len()
-            )));
+            return Err(with_stderr(
+                WorkerError::Protocol(format!(
+                    "worker returned {} reports for {} communities",
+                    reports.len(),
+                    job.indices.len()
+                )),
+                &stderr_tail,
+            ));
         }
         for (report, &index) in reports.iter().zip(&job.indices) {
             if report.index != index {
-                return Err(WorkerError::Protocol(format!(
-                    "worker returned report for community {} where {} was expected",
-                    report.index, index
-                )));
+                return Err(with_stderr(
+                    WorkerError::Protocol(format!(
+                        "worker returned report for community {} where {} was expected",
+                        report.index, index
+                    )),
+                    &stderr_tail,
+                ));
             }
         }
         Ok(reports)
@@ -411,16 +480,14 @@ mod tests {
         let mut solo = CommunityBuilder::new(job.config)
             .seed(seed_for_run(77, 3))
             .build();
-        let series = solo.run_sampled(job.ticks, 500, |c| {
-            c.mean_cooperative_reputation().unwrap_or(0.0)
-        });
+        let series = solo.run_sampled_with(job.ticks, 500, |c| c.mean_cooperative_reputation());
         assert_eq!(report.population, solo.population());
         assert_eq!(report.stats, *solo.stats());
         assert_eq!(
             report.mean_coop_rep.map(f64::to_bits),
             solo.mean_cooperative_reputation().map(f64::to_bits)
         );
-        assert_eq!(report.series, series.values());
+        assert_eq!(report.series, series);
         assert_eq!(
             report.histogram,
             solo.reputation_histogram(8).buckets().to_vec()

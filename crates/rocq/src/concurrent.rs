@@ -1,0 +1,386 @@
+//! [`ConcurrentEngine`]: a lock-per-partition concurrent facade over
+//! the arena engine, built for the serve layer's read-while-ingest
+//! workload.
+//!
+//! ## Layout
+//!
+//! The subject space is split by the engine's standard
+//! [`shard_of`](crate::engine::shard_of) hash into `P` partitions,
+//! each holding a full single-shard [`RocqEngine`] behind its own
+//! `RwLock`. A subject's entire state — replicas, credibility book,
+//! interaction counts, received-report counter — lives in exactly one
+//! partition, so:
+//!
+//! * `reputation()` / `snapshot()` / status reads take **one read
+//!   lock** on the subject's home partition and proceed concurrently
+//!   with each other *and* with `report_batch` ingest running on
+//!   other partitions;
+//! * `report_batch` groups the batch by home partition and
+//!   write-locks each touched partition in turn — never more than one
+//!   lock at a time, so the facade cannot deadlock.
+//!
+//! Membership is engine-wide (any member may report on any subject),
+//! so registration fans out: the home partition gets the subject
+//! state (`register_peer`), every other partition learns the peer as
+//! reporter-only ([`RocqEngine::register_reporter`]). Each partition
+//! keeps its own overlay ring over its own subjects.
+//!
+//! ## Consistency model
+//!
+//! Every individual subject is **linearizable**: all of its reads and
+//! writes go through its home partition's lock. Cross-subject reads
+//! (a histogram sweep, two `reputation()` calls) are *not* a
+//! consistent snapshot — a concurrent batch may be applied to
+//! partition 2 after partition 1 was read. This matches the paper's
+//! model, where score managers for different subjects are independent
+//! nodes with no global clock.
+//!
+//! ## Determinism
+//!
+//! Mutations applied in the same order produce bit-identical state —
+//! the property the serve layer's write-ahead journal replay relies
+//! on. Moreover, with the crash model off (`crash_prob == 0`,
+//! the serve default) replica placement never influences scores, so
+//! the facade's aggregates are bit-identical to a monolithic
+//! [`RocqEngine`] fed the same operation stream, pinned by the serve
+//! suite in `replend-tests`.
+
+use crate::engine::{shard_of, ReputationEngine, RocqEngine};
+use crate::inspect::SubjectSnapshot;
+use crate::params::RocqParams;
+use replend_types::hash::salted;
+use replend_types::{Feedback, PeerId, Reputation, ReputationDelta};
+use std::collections::HashMap;
+use std::sync::RwLock;
+
+/// One lockable partition: a single-shard engine plus the serve
+/// layer's per-subject received-report counters (kept here, under the
+/// same lock, so status reads are consistent with the scores).
+struct Partition {
+    engine: RocqEngine,
+    /// Reports *applied* per subject (reporter and subject both known
+    /// at apply time) — the interaction counts the status tiers are
+    /// derived from.
+    received: HashMap<PeerId, u64>,
+    /// Drain scratch: the facade has no delta consumer, so deltas are
+    /// discarded after every mutation to keep the long-running
+    /// service's buffers bounded (cleared, never freed).
+    delta_scratch: Vec<ReputationDelta>,
+}
+
+impl Partition {
+    fn discard_deltas(&mut self) {
+        self.engine.drain_deltas(&mut self.delta_scratch);
+        self.delta_scratch.clear();
+    }
+}
+
+/// The concurrent facade. All methods take `&self`; locking is
+/// internal and per-partition. See the module docs for the layout and
+/// consistency model.
+pub struct ConcurrentEngine {
+    partitions: Vec<RwLock<Partition>>,
+}
+
+impl ConcurrentEngine {
+    /// A facade over `partitions` single-shard engines. Partition `i`
+    /// rolls crash losses from `salted(seed, i)`, so distinct
+    /// partitions never share a roll stream.
+    ///
+    /// # Panics
+    /// If `params` fail validation or `num_sm` / `partitions` is zero.
+    pub fn new(params: RocqParams, num_sm: usize, partitions: usize, seed: u64) -> Self {
+        assert!(partitions > 0, "need at least one partition");
+        ConcurrentEngine {
+            partitions: (0..partitions)
+                .map(|i| {
+                    RwLock::new(Partition {
+                        engine: RocqEngine::new(params, num_sm, salted(seed, i as u64)),
+                        received: HashMap::new(),
+                        delta_scratch: Vec::new(),
+                    })
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of partitions (and of independent locks).
+    pub fn partitions(&self) -> usize {
+        self.partitions.len()
+    }
+
+    fn home(&self, peer: PeerId) -> &RwLock<Partition> {
+        &self.partitions[shard_of(peer, self.partitions.len())]
+    }
+
+    fn read(&self, peer: PeerId) -> std::sync::RwLockReadGuard<'_, Partition> {
+        self.home(peer).read().expect("partition lock poisoned")
+    }
+
+    /// Registers a subject with `initial` reputation: subject state in
+    /// its home partition, reporter-only membership everywhere else.
+    /// Idempotent, like [`ReputationEngine::register_peer`].
+    pub fn register_peer(&self, peer: PeerId, initial: Reputation) {
+        let home = shard_of(peer, self.partitions.len());
+        for (i, partition) in self.partitions.iter().enumerate() {
+            let mut p = partition.write().expect("partition lock poisoned");
+            if i == home {
+                p.engine.register_peer(peer, initial);
+                p.discard_deltas();
+            } else {
+                p.engine.register_reporter(peer);
+            }
+        }
+    }
+
+    /// Removes a subject everywhere: subject state from its home
+    /// partition, reporter-only membership from the rest.
+    pub fn remove_peer(&self, peer: PeerId) {
+        let home = shard_of(peer, self.partitions.len());
+        for (i, partition) in self.partitions.iter().enumerate() {
+            let mut p = partition.write().expect("partition lock poisoned");
+            if i == home {
+                p.engine.remove_peer(peer);
+                p.received.remove(&peer);
+                p.discard_deltas();
+            } else {
+                p.engine.remove_reporter(peer);
+            }
+        }
+    }
+
+    /// True when `peer` is a registered subject.
+    pub fn contains(&self, peer: PeerId) -> bool {
+        self.read(peer).engine.is_subject(peer)
+    }
+
+    /// Total registered subjects.
+    pub fn len(&self) -> usize {
+        self.partitions
+            .iter()
+            .map(|p| {
+                p.read()
+                    .expect("partition lock poisoned")
+                    .engine
+                    .subjects_len()
+            })
+            .sum()
+    }
+
+    /// True when no subject is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Delivers a batch of opinions: grouped by home partition, each
+    /// group applied under its partition's write lock (one lock at a
+    /// time), with per-element semantics identical to
+    /// [`ReputationEngine::report_batch`] on a monolithic engine.
+    pub fn report_batch(&self, batch: &[Feedback]) {
+        let n = self.partitions.len();
+        let mut groups: Vec<Vec<Feedback>> = vec![Vec::new(); n];
+        for f in batch {
+            groups[shard_of(f.subject, n)].push(*f);
+        }
+        for (partition, group) in self.partitions.iter().zip(&groups) {
+            if group.is_empty() {
+                continue;
+            }
+            let mut p = partition.write().expect("partition lock poisoned");
+            p.engine.report_batch(group);
+            // Count what was actually applied: both ends known. The
+            // membership set is engine-wide in every partition, so
+            // `contains` answers for reporters homed elsewhere too.
+            for f in group {
+                if p.engine.contains(f.reporter) && p.engine.is_subject(f.subject) {
+                    *p.received.entry(f.subject).or_insert(0) += 1;
+                }
+            }
+            p.discard_deltas();
+        }
+    }
+
+    /// Directly raises `subject`'s reputation (lending repayment).
+    pub fn credit(&self, subject: PeerId, amount: f64) {
+        let mut p = self.home(subject).write().expect("partition lock poisoned");
+        p.engine.credit(subject, amount);
+        p.discard_deltas();
+    }
+
+    /// Directly lowers `subject`'s reputation (lending stake).
+    pub fn debit(&self, subject: PeerId, amount: f64) {
+        let mut p = self.home(subject).write().expect("partition lock poisoned");
+        p.engine.debit(subject, amount);
+        p.discard_deltas();
+    }
+
+    /// The aggregate reputation of `subject` — one read lock, one O(1)
+    /// cached-aggregate probe.
+    pub fn reputation(&self, subject: PeerId) -> Option<Reputation> {
+        self.read(subject).engine.reputation(subject)
+    }
+
+    /// The full score-manager snapshot of `subject`, taken atomically
+    /// under its partition's read lock.
+    pub fn snapshot(&self, subject: PeerId) -> Option<SubjectSnapshot> {
+        self.read(subject).engine.snapshot(subject)
+    }
+
+    /// Reports applied to `subject` so far (`None` when unknown) —
+    /// the interaction count the serve layer's status tiers combine
+    /// with the reputation.
+    pub fn interactions(&self, subject: PeerId) -> Option<u64> {
+        let p = self.read(subject);
+        p.engine
+            .is_subject(subject)
+            .then(|| p.received.get(&subject).copied().unwrap_or(0))
+    }
+
+    /// Visits every subject with its cached aggregate, one partition
+    /// at a time (read-locked in index order — **not** a global
+    /// snapshot; see the module docs). Iteration order within a
+    /// partition is unspecified.
+    pub fn for_each_reputation(&self, mut f: impl FnMut(PeerId, Reputation)) {
+        for partition in &self.partitions {
+            partition
+                .read()
+                .expect("partition lock poisoned")
+                .engine
+                .for_each_reputation(&mut f);
+        }
+    }
+
+    /// Visits every subject with its cached aggregate *and* its
+    /// applied-report count — the pair the serve layer's status tiers
+    /// are derived from, read under one lock so they are mutually
+    /// consistent per subject. Same ordering caveats as
+    /// [`ConcurrentEngine::for_each_reputation`].
+    pub fn for_each_subject(&self, mut f: impl FnMut(PeerId, Reputation, u64)) {
+        for partition in &self.partitions {
+            let p = partition.read().expect("partition lock poisoned");
+            p.engine.for_each_reputation(|peer, rep| {
+                f(peer, rep, p.received.get(&peer).copied().unwrap_or(0));
+            });
+        }
+    }
+
+    /// Member-reputation bucket counts over `buckets` equal bins of
+    /// `[0, 1]` (the serve layer's histogram read; values of exactly
+    /// 1.0 land in the top bucket).
+    pub fn reputation_buckets(&self, buckets: usize) -> Vec<u64> {
+        let buckets = buckets.max(1);
+        let mut out = vec![0u64; buckets];
+        self.for_each_reputation(|_, r| {
+            let bin = ((r.value() * buckets as f64) as usize).min(buckets - 1);
+            out[bin] += 1;
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine(partitions: usize) -> ConcurrentEngine {
+        ConcurrentEngine::new(RocqParams::default(), 6, partitions, 42)
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one partition")]
+    fn zero_partitions_rejected() {
+        ConcurrentEngine::new(RocqParams::default(), 6, 0, 0);
+    }
+
+    #[test]
+    fn register_query_remove() {
+        let e = engine(4);
+        for p in 0..50u64 {
+            e.register_peer(PeerId(p), Reputation::new(0.5));
+        }
+        assert_eq!(e.len(), 50);
+        assert!(e.contains(PeerId(7)));
+        assert_eq!(e.interactions(PeerId(7)), Some(0));
+        assert!((e.reputation(PeerId(7)).unwrap().value() - 0.5).abs() < 1e-12);
+        assert_eq!(e.reputation(PeerId(99)), None);
+        assert_eq!(e.interactions(PeerId(99)), None);
+        e.remove_peer(PeerId(7));
+        assert!(!e.contains(PeerId(7)));
+        assert_eq!(e.len(), 49);
+    }
+
+    #[test]
+    fn cross_partition_reports_are_applied_and_counted() {
+        let e = engine(4);
+        for p in 0..40u64 {
+            e.register_peer(PeerId(p), Reputation::ONE);
+        }
+        e.register_peer(PeerId(100), Reputation::new(0.1));
+        // Reporters hash to all partitions; the subject lives in one.
+        let batch: Vec<Feedback> = (0..40u64)
+            .map(|r| Feedback::new(PeerId(r), PeerId(100), 1.0))
+            .collect();
+        for _ in 0..5 {
+            e.report_batch(&batch);
+        }
+        assert!(
+            e.reputation(PeerId(100)).unwrap().value() > 0.9,
+            "got {}",
+            e.reputation(PeerId(100)).unwrap()
+        );
+        assert_eq!(e.interactions(PeerId(100)), Some(200));
+        // Unknown reporters and unknown subjects are not counted.
+        e.report_batch(&[
+            Feedback::new(PeerId(999), PeerId(100), 0.0),
+            Feedback::new(PeerId(0), PeerId(998), 0.0),
+        ]);
+        assert_eq!(e.interactions(PeerId(100)), Some(200));
+    }
+
+    #[test]
+    fn credit_debit_and_snapshot() {
+        let e = engine(3);
+        e.register_peer(PeerId(1), Reputation::new(0.5));
+        e.debit(PeerId(1), 0.2);
+        assert!((e.reputation(PeerId(1)).unwrap().value() - 0.3).abs() < 1e-12);
+        e.credit(PeerId(1), 0.4);
+        assert!((e.reputation(PeerId(1)).unwrap().value() - 0.7).abs() < 1e-12);
+        let snap = e.snapshot(PeerId(1)).unwrap();
+        assert_eq!(snap.replicas.len(), 6);
+        assert_eq!(snap.combined(), e.reputation(PeerId(1)));
+    }
+
+    #[test]
+    fn buckets_cover_every_subject() {
+        let e = engine(4);
+        for p in 0..30u64 {
+            e.register_peer(PeerId(p), Reputation::new(p as f64 / 29.0));
+        }
+        let bins = e.reputation_buckets(10);
+        assert_eq!(bins.iter().sum::<u64>(), 30);
+        assert!(bins[9] >= 1, "reputation 1.0 lands in the top bucket");
+    }
+
+    #[test]
+    fn same_ops_same_bits_across_instances() {
+        let run = || {
+            let e = engine(4);
+            for p in 0..60u64 {
+                e.register_peer(PeerId(p), Reputation::new(0.4));
+            }
+            for round in 0..20u64 {
+                let batch: Vec<Feedback> = (0..60u64)
+                    .map(|r| Feedback::new(PeerId(r), PeerId((r + round) % 60), 1.0))
+                    .collect();
+                e.report_batch(&batch);
+            }
+            e.remove_peer(PeerId(3));
+            e.credit(PeerId(5), 0.1);
+            let mut state: Vec<(u64, u64)> = Vec::new();
+            e.for_each_reputation(|p, r| state.push((p.raw(), r.value().to_bits())));
+            state.sort_unstable();
+            state
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -700,6 +700,73 @@ impl RocqEngine {
             shard.apply_handoff(event, &params, seed);
         }
     }
+
+    /// Registers `peer` as a **reporter-only** member: its opinions
+    /// pass the membership gate of
+    /// [`ReputationEngine::report`]/[`report_batch`], but no subject
+    /// state is created and the peer does not join this engine's
+    /// overlay ring.
+    ///
+    /// This is the membership bridge of
+    /// [`ConcurrentEngine`](crate::concurrent::ConcurrentEngine):
+    /// each partition holds the subjects hashed to it, yet any member
+    /// may report on any subject, so every *other* partition learns
+    /// the peer as reporter-only. Must not be called for a peer that
+    /// is (or will become) a subject of *this* engine —
+    /// [`ReputationEngine::register_peer`] would then see the peer as
+    /// already registered and skip creating its subject state.
+    ///
+    /// [`report_batch`]: ReputationEngine::report_batch
+    pub fn register_reporter(&mut self, peer: PeerId) {
+        debug_assert!(
+            !self.shards[self.shard_of(peer)].index.contains_key(&peer),
+            "register_reporter on a peer that is a subject of this engine"
+        );
+        self.members.insert(peer);
+    }
+
+    /// Undoes [`RocqEngine::register_reporter`]: drops the peer from
+    /// the membership gate and forgets its interaction counts (the
+    /// same reporter-side cleanup [`ReputationEngine::remove_peer`]
+    /// performs). Must not be called for a subject of this engine —
+    /// use `remove_peer` there.
+    pub fn remove_reporter(&mut self, peer: PeerId) {
+        debug_assert!(
+            !self.shards[self.shard_of(peer)].index.contains_key(&peer),
+            "remove_reporter on a peer that is a subject of this engine"
+        );
+        if !self.members.remove(&peer) {
+            return;
+        }
+        for shard in &mut self.shards {
+            shard.interactions.forget(peer);
+        }
+    }
+
+    /// True when `peer` has subject state in this engine (stricter
+    /// than [`ReputationEngine::contains`], which also accepts
+    /// reporter-only members).
+    pub fn is_subject(&self, peer: PeerId) -> bool {
+        self.shards[self.shard_of(peer)].index.contains_key(&peer)
+    }
+
+    /// Number of registered subjects (reporter-only members are not
+    /// counted).
+    pub fn subjects_len(&self) -> usize {
+        self.shards.iter().map(|s| s.index.len()).sum()
+    }
+
+    /// Visits every registered subject with its cached aggregate
+    /// reputation. Iteration order is unspecified (it follows the
+    /// shard hash indexes) — callers needing a canonical order must
+    /// sort by `PeerId`.
+    pub fn for_each_reputation(&self, mut f: impl FnMut(PeerId, Reputation)) {
+        for shard in &self.shards {
+            for &h in shard.index.values() {
+                f(shard.peers[h.index()], shard.cached[h.index()]);
+            }
+        }
+    }
 }
 
 impl ReputationEngine for RocqEngine {

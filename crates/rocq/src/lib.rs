@@ -56,6 +56,7 @@
 //! layout, the invariants, and how to run the `hot_path` benches.
 
 pub mod baselines;
+pub mod concurrent;
 pub mod credibility;
 pub mod engine;
 pub mod inspect;
@@ -64,6 +65,7 @@ pub mod quality;
 pub mod reference;
 pub mod score;
 
+pub use concurrent::ConcurrentEngine;
 pub use engine::{shard_of, ReputationEngine, RocqEngine};
 pub use params::RocqParams;
 pub use reference::ReferenceEngine;

@@ -93,6 +93,35 @@ pub fn average_series(runs: &[TimeSeries]) -> Option<TimeSeries> {
     Some(out)
 }
 
+/// Averages aligned `Option`-valued sample runs element-wise over the
+/// *present* samples: at each index, absent samples (a cohort that was
+/// empty at that tick) are excluded from the mean instead of being
+/// conflated with `0.0`, and the averaged sample is `None` only when
+/// every run was absent there.
+///
+/// Returns `None` when `runs` is empty or lengths disagree (the same
+/// mis-alignment contract as [`average_series`]).
+pub fn average_present(runs: &[Vec<Option<f64>>]) -> Option<Vec<Option<f64>>> {
+    let first = runs.first()?;
+    if runs.iter().any(|r| r.len() != first.len()) {
+        return None;
+    }
+    Some(
+        (0..first.len())
+            .map(|i| {
+                let (mut sum, mut n) = (0.0, 0usize);
+                for r in runs {
+                    if let Some(v) = r[i] {
+                        sum += v;
+                        n += 1;
+                    }
+                }
+                (n > 0).then(|| sum / n as f64)
+            })
+            .collect(),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -101,6 +130,17 @@ mod tests {
     #[should_panic(expected = "interval must be positive")]
     fn zero_interval_rejected() {
         TimeSeries::new(0);
+    }
+
+    #[test]
+    fn average_present_skips_absent_samples() {
+        let a = vec![Some(1.0), None, None];
+        let b = vec![Some(3.0), Some(4.0), None];
+        let avg = average_present(&[a.clone(), b]).unwrap();
+        assert_eq!(avg, vec![Some(2.0), Some(4.0), None]);
+        // Misaligned lengths are rejected, like `average_series`.
+        assert!(average_present(&[a, vec![Some(0.0)]]).is_none());
+        assert!(average_present(&[]).is_none());
     }
 
     #[test]

@@ -50,6 +50,18 @@
 //! length followed by the encoded bytes. `read_frame` distinguishes
 //! a clean end-of-stream (`Ok(None)`) from a truncated frame (an
 //! error).
+//!
+//! ## Journalling
+//!
+//! [`JournalWriter`]/[`JournalReader`] reuse the same envelope +
+//! framing as an **append-only write-ahead log**: every record is a
+//! framed [`SummaryEnvelope`] (version-gated, seed-tagged), appended
+//! and flushed before the state change it describes is applied.
+//! A crash mid-append leaves a *torn tail* — a truncated final frame —
+//! which the reader reports as a clean end of the intact prefix
+//! ([`JournalReader::torn_tail`]) together with the byte offset of
+//! that prefix ([`JournalReader::consumed`]), so a restarting service
+//! can truncate the file and resume appending.
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -58,7 +70,12 @@ use std::io::{self, Read, Write};
 /// Version of the worker wire protocol. Bump on **any** encoding
 /// change of a boundary-crossing type (see the crate docs for the
 /// policy).
-pub const PROTOCOL_VERSION: u32 = 1;
+///
+/// History: v1 = the original job/report protocol; v2 = the report's
+/// sampled series carries `Option<f64>` per sample (empty cohorts are
+/// no longer conflated with a true zero mean) and the serve layer's
+/// journal records joined the boundary-crossing set.
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// Typed encode/decode failure.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -728,6 +745,163 @@ pub fn read_frame<R: Read>(reader: &mut R) -> io::Result<Option<Vec<u8>>> {
     Ok(Some(payload))
 }
 
+// ---------------------------------------------------------------------------
+// Write-ahead journal framing
+// ---------------------------------------------------------------------------
+
+/// A journal failure: the transport, the encoding, or a record that
+/// belongs to a different log.
+#[derive(Debug)]
+pub enum JournalError {
+    /// Reading or writing the underlying stream failed.
+    Io(io::Error),
+    /// A record failed to encode/decode — including the version gate
+    /// ([`WireError::VersionMismatch`]: the log was written by a
+    /// different protocol build and must not be half-interpreted).
+    Wire(WireError),
+    /// An intact record carried the wrong seed: the file is a journal,
+    /// but not *this* service's journal.
+    SeedMismatch {
+        /// The seed the reader was opened with.
+        expected: u64,
+        /// The seed found in the record's envelope.
+        found: u64,
+    },
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalError::Io(e) => write!(f, "journal I/O error: {e}"),
+            JournalError::Wire(e) => write!(f, "journal encoding error: {e}"),
+            JournalError::SeedMismatch { expected, found } => write!(
+                f,
+                "journal seed mismatch: this service uses seed {expected}, record carries {found}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+impl From<io::Error> for JournalError {
+    fn from(e: io::Error) -> Self {
+        JournalError::Io(e)
+    }
+}
+
+impl From<WireError> for JournalError {
+    fn from(e: WireError) -> Self {
+        JournalError::Wire(e)
+    }
+}
+
+/// Appends records to a write-ahead journal: each record is one
+/// framed, version-gated [`SummaryEnvelope`] tagged with the log's
+/// seed. [`JournalWriter::append`] flushes before returning — when it
+/// comes back `Ok`, the record is in the OS's hands, which is the
+/// write-*ahead* contract the serve layer relies on (append first,
+/// apply second).
+#[derive(Debug)]
+pub struct JournalWriter<W: Write> {
+    inner: W,
+    seed: u64,
+}
+
+impl<W: Write> JournalWriter<W> {
+    /// A writer appending records tagged with `seed` to `inner`
+    /// (typically a file opened in append mode).
+    pub fn new(inner: W, seed: u64) -> Self {
+        JournalWriter { inner, seed }
+    }
+
+    /// Appends one record and flushes.
+    pub fn append<T: ?Sized + Serialize>(&mut self, record: &T) -> Result<(), JournalError> {
+        let envelope = SummaryEnvelope::wrap(self.seed, record)?;
+        write_frame(&mut self.inner, &envelope.encode()?)?;
+        Ok(())
+    }
+
+    /// The underlying stream, for callers that need to sync or close.
+    pub fn get_mut(&mut self) -> &mut W {
+        &mut self.inner
+    }
+}
+
+/// Reads a write-ahead journal back, record by record, verifying the
+/// protocol version and seed of every envelope.
+///
+/// A truncated final frame (the signature of a crash mid-append) ends
+/// the iteration cleanly instead of erroring: [`JournalReader::next`]
+/// returns `Ok(None)`, [`JournalReader::torn_tail`] reports that the
+/// tail was torn, and [`JournalReader::consumed`] is the byte length
+/// of the intact prefix — truncate the file there before appending.
+/// A *full-length* frame that fails to decode is corruption, not a
+/// torn tail, and stays a hard error.
+#[derive(Debug)]
+pub struct JournalReader<R: Read> {
+    inner: R,
+    seed: u64,
+    consumed: u64,
+    torn: bool,
+}
+
+impl<R: Read> JournalReader<R> {
+    /// A reader over `inner` expecting records tagged with `seed`.
+    pub fn new(inner: R, seed: u64) -> Self {
+        JournalReader {
+            inner,
+            seed,
+            consumed: 0,
+            torn: false,
+        }
+    }
+
+    /// The next intact record, or `Ok(None)` at the end of the intact
+    /// prefix (clean EOF *or* torn tail — distinguish via
+    /// [`JournalReader::torn_tail`]).
+    ///
+    /// Not `Iterator::next`: the record type is chosen per call and
+    /// the fallible `Result<Option<_>>` shape is the point.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next<T: serde::de::DeserializeOwned>(&mut self) -> Result<Option<T>, JournalError> {
+        if self.torn {
+            return Ok(None);
+        }
+        let frame = match read_frame(&mut self.inner) {
+            Ok(None) => return Ok(None),
+            Ok(Some(frame)) => frame,
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => {
+                self.torn = true;
+                return Ok(None);
+            }
+            Err(e) => return Err(JournalError::Io(e)),
+        };
+        let envelope = SummaryEnvelope::decode(&frame)?;
+        if envelope.seed != self.seed {
+            return Err(JournalError::SeedMismatch {
+                expected: self.seed,
+                found: envelope.seed,
+            });
+        }
+        let record = envelope.open()?;
+        self.consumed += 4 + frame.len() as u64;
+        Ok(Some(record))
+    }
+
+    /// Bytes of intact records read so far (frame headers included) —
+    /// the length to truncate a torn journal to.
+    pub fn consumed(&self) -> u64 {
+        self.consumed
+    }
+
+    /// True when iteration stopped at a truncated final frame rather
+    /// than a clean end-of-stream.
+    pub fn torn_tail(&self) -> bool {
+        self.torn
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -897,5 +1071,83 @@ mod tests {
         let mut truncated = &stream[..2];
         let err = read_frame(&mut truncated).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn journal_round_trips_records_in_order() {
+        let mut log = Vec::new();
+        let mut writer = JournalWriter::new(&mut log, 9);
+        for i in 0..5u64 {
+            writer
+                .append(&Record {
+                    id: i,
+                    score: i as f64 * 0.25,
+                    tags: vec![i as u32],
+                    label: None,
+                    flag: i % 2 == 0,
+                })
+                .unwrap();
+        }
+        let mut reader = JournalReader::new(log.as_slice(), 9);
+        let mut ids = Vec::new();
+        while let Some(r) = reader.next::<Record>().unwrap() {
+            ids.push(r.id);
+        }
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+        assert!(!reader.torn_tail());
+        assert_eq!(reader.consumed(), log.len() as u64);
+    }
+
+    #[test]
+    fn journal_reader_stops_cleanly_at_a_torn_tail() {
+        let mut log = Vec::new();
+        {
+            let mut writer = JournalWriter::new(&mut log, 4);
+            writer.append(&1u64).unwrap();
+            writer.append(&2u64).unwrap();
+        }
+        let intact = log.len();
+        JournalWriter::new(&mut log, 4).append(&3u64).unwrap();
+        // Crash mid-append: the last frame is truncated.
+        log.truncate(intact + 7);
+
+        let mut reader = JournalReader::new(log.as_slice(), 4);
+        assert_eq!(reader.next::<u64>().unwrap(), Some(1));
+        assert_eq!(reader.next::<u64>().unwrap(), Some(2));
+        assert_eq!(reader.next::<u64>().unwrap(), None, "torn tail ends it");
+        assert!(reader.torn_tail());
+        assert_eq!(
+            reader.consumed(),
+            intact as u64,
+            "consumed points at the end of the intact prefix"
+        );
+        // The reader stays ended.
+        assert_eq!(reader.next::<u64>().unwrap(), None);
+    }
+
+    #[test]
+    fn journal_reader_rejects_foreign_and_stale_records() {
+        // Wrong seed: a hard error, not a silent skip.
+        let mut log = Vec::new();
+        JournalWriter::new(&mut log, 1).append(&7u64).unwrap();
+        let mut reader = JournalReader::new(log.as_slice(), 2);
+        assert!(matches!(
+            reader.next::<u64>(),
+            Err(JournalError::SeedMismatch {
+                expected: 2,
+                found: 1
+            })
+        ));
+
+        // Wrong protocol version: gated before the payload decodes.
+        let mut envelope = SummaryEnvelope::wrap(3, &7u64).unwrap();
+        envelope.version += 1;
+        let mut log = Vec::new();
+        write_frame(&mut log, &envelope.encode().unwrap()).unwrap();
+        let mut reader = JournalReader::new(log.as_slice(), 3);
+        assert!(matches!(
+            reader.next::<u64>(),
+            Err(JournalError::Wire(WireError::VersionMismatch { .. }))
+        ));
     }
 }

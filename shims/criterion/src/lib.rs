@@ -154,6 +154,30 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(id: &str, mut f: F) {
         });
 }
 
+/// Records an externally-timed measurement into the report — for
+/// harnesses that measure throughput or tail latency themselves (a
+/// sustained concurrent workload cannot be expressed as a `Bencher`
+/// closure). The record lands in the same registry, console line and
+/// JSON document as `bench_function` results: `iters` is the number
+/// of timed operations, `total_ns` their summed wall-clock, `mean_ns`
+/// the reported statistic (a mean — or a percentile, when the id says
+/// so).
+pub fn record_measurement(id: &str, iters: u64, total_ns: u128, mean_ns: f64) {
+    println!(
+        "{id:<60} {iters:>12} iters   mean {}",
+        fmt_time(mean_ns / 1e9)
+    );
+    RESULTS
+        .lock()
+        .expect("bench result registry poisoned")
+        .push(BenchRecord {
+            id: id.to_string(),
+            iters,
+            total_ns,
+            mean_ns,
+        });
+}
+
 /// One finished benchmark, kept for the optional JSON report.
 struct BenchRecord {
     id: String,

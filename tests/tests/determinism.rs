@@ -144,6 +144,93 @@ fn same_seed_stats_are_byte_identical_across_policies() {
     }
 }
 
+/// The write-ahead-journal guarantee (ISSUE 6): a service restarted
+/// from its feedback journal replays to **byte-identical** engine
+/// state — every subject's reputation bit pattern and interaction
+/// count — and a torn trailing frame (a crash mid-append) is
+/// truncated away rather than corrupting the replay.
+#[test]
+fn journal_replay_restores_byte_identical_service_state() {
+    use replend_core::serve::{ReputationService, ServeConfig};
+    use replend_types::hash::{salted, splitmix64};
+    use replend_types::{Feedback, PeerId, Reputation};
+
+    fn fingerprint(service: &ReputationService) -> Vec<(u64, u64, u64)> {
+        let mut rows = Vec::new();
+        service.engine().for_each_subject(|peer, rep, received| {
+            rows.push((peer.raw(), rep.value().to_bits(), received));
+        });
+        rows.sort_unstable();
+        rows
+    }
+
+    let path = std::env::temp_dir().join(format!(
+        "replend-journal-determinism-{}.wal",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&path);
+
+    let config = ServeConfig {
+        partitions: 4,
+        seed: 7,
+        ..ServeConfig::default()
+    };
+
+    // Session one: a mixed op stream through every journalled mutator.
+    let (service, fresh) = ReputationService::open(config, &path).expect("open fresh journal");
+    assert_eq!(fresh.records, 0, "a fresh journal replays nothing");
+    for i in 0..64u64 {
+        service
+            .register_peer(PeerId(i), Reputation::new(0.5))
+            .unwrap();
+    }
+    for round in 0..40u64 {
+        let batch: Vec<Feedback> = (0..32u64)
+            .map(|i| {
+                let k = splitmix64(salted(7, round * 32 + i));
+                let reporter = PeerId(k % 64);
+                let subject = PeerId(splitmix64(k) % 64);
+                Feedback::new(reporter, subject, if k % 3 == 0 { 0.0 } else { 1.0 })
+            })
+            .collect();
+        service.report_batch(&batch).unwrap();
+    }
+    service.credit(PeerId(3), 0.25).unwrap();
+    service.debit(PeerId(4), 0.125).unwrap();
+    service.remove_peer(PeerId(63)).unwrap();
+    let ops = 64 + 40 + 3;
+    let before = fingerprint(&service);
+    drop(service);
+
+    // Session two: the journal alone must rebuild the exact state.
+    let (replayed, summary) = ReputationService::open(config, &path).expect("replay journal");
+    assert_eq!(summary.records, ops);
+    assert!(!summary.truncated_torn_tail);
+    assert_eq!(before, fingerprint(&replayed), "replay diverged bitwise");
+    drop(replayed);
+
+    // Crash mid-append: lop bytes off the final frame. Replay must
+    // truncate the torn tail and still land on a prefix-exact state.
+    let intact = summary.bytes;
+    let bytes = std::fs::read(&path).unwrap();
+    assert_eq!(bytes.len() as u64, intact);
+    std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+    let (torn, torn_summary) = ReputationService::open(config, &path).expect("recover torn tail");
+    assert!(torn_summary.truncated_torn_tail);
+    assert_eq!(torn_summary.records, ops - 1, "only the final op is lost");
+    assert!(torn_summary.bytes < intact);
+    // The truncated file reopens clean: the torn frame is gone.
+    let after_torn = fingerprint(&torn);
+    drop(torn);
+    let (clean, clean_summary) = ReputationService::open(config, &path).expect("reopen truncated");
+    assert!(!clean_summary.truncated_torn_tail);
+    assert_eq!(clean_summary.records, ops - 1);
+    assert_eq!(after_torn, fingerprint(&clean));
+    drop(clean);
+
+    let _ = std::fs::remove_file(&path);
+}
+
 /// The sharded-engine guarantee (ISSUE 3): partitioning the ROCQ
 /// subject store into 4 shards produces byte-identical run output to
 /// the single-shard engine under the same seed — stats bytes,

@@ -247,7 +247,7 @@ fn any_report() -> impl Strategy<Value = CommunityReport> {
         any_opt_f64(),
         any_opt_f64(),
         proptest::collection::vec(proptest::num::u64::ANY, 0..24),
-        proptest::collection::vec(proptest::num::f64::ANY, 0..24),
+        proptest::collection::vec(any_opt_f64(), 0..24),
     )
         .prop_map(
             |(index, population, stats, mean_coop_rep, mean_uncoop_rep, histogram, series)| {
