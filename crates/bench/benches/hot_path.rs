@@ -21,6 +21,19 @@
 //!   key index and inline assignment lists speed up).
 //! * `hot_path_reads/…` — steady-state snapshot reads: the O(1)
 //!   cached `reputation()` probe and the full replica snapshot.
+//! * `hot_path_refresh/report_kernel/…` — the fused per-feedback
+//!   report + credibility kernel in isolation: the PR 5 scalar walk
+//!   over the interleaved `ScoreState` layout (per-lane early return,
+//!   serial divide) vs. the PR 7 `report_span` over the split-array
+//!   slab (unrolled by 4, branchless selects, pipelined divides).
+//! * `hot_path_refresh/refresh_kernel/…` — the cached-aggregate
+//!   refresh kernel in isolation, scalar (one sequential sum per
+//!   subject over the interleaved `ScoreState` layout — the PR 5
+//!   shape) vs. vectorised (the split `r` array with eight
+//!   independent accumulator chains via `sum_spans` — the PR 7
+//!   shape), at each subject size × numSM ∈ {3, 6, 8}. Both walk
+//!   bit-identical summation orders; only memory traffic and
+//!   instruction-level parallelism differ.
 //!
 //! The `seed` layout is [`ReferenceEngine`] — the pre-arena
 //! `HashMap`-of-records engine preserved in `replend-rocq` — so the
@@ -34,6 +47,8 @@
 //! for the figure binaries.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use replend_rocq::score::ScoreState;
+use replend_rocq::slab::ScoreSlab;
 use replend_rocq::{shard_of, ReferenceEngine, ReputationEngine, RocqEngine, RocqParams};
 use replend_types::{Feedback, PeerId, Reputation};
 use std::hint::black_box;
@@ -231,11 +246,150 @@ fn bench_reads(c: &mut Criterion) {
     group.finish();
 }
 
+/// Replication factors exercised by the refresh-kernel bench —
+/// below, at and above the Table-1 default, covering odd (tail-heavy)
+/// and power-of-two strides.
+const REFRESH_NUM_SM: &[usize] = &[3, 6, 8];
+
+/// A slab of `lanes` score states with deterministic, non-trivial
+/// values (so the summed reputations aren't constant-folded).
+fn slab_of(lanes: usize) -> ScoreSlab {
+    let mut slab = ScoreSlab::new();
+    for i in 0..lanes as u64 {
+        let r = (i.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 40) as f64 / (1u64 << 24) as f64;
+        slab.push(ScoreState::new(Reputation::new(r), 1.0));
+    }
+    slab
+}
+
+/// Feedback-kernel parameters, shared by both layouts (loop-invariant
+/// in the engine, hoisted the same way here).
+const OPINION: f64 = 0.7;
+const QUALITY: f64 = 0.8;
+const GAMMA: f64 = 0.1;
+const THRESHOLD: f64 = 0.3;
+const WEIGHT_CAP: f64 = 40.0;
+
+fn bench_report_kernel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hot_path_refresh");
+    for &n in &sizes() {
+        for &sm in REFRESH_NUM_SM {
+            // Interleaved PR 5 layout + its verbatim scalar walk: the
+            // per-lane early return, the serial divide, the branchy
+            // credibility update.
+            let mut states: Vec<ScoreState> = Vec::with_capacity(n * sm);
+            {
+                let proto = slab_of(n * sm);
+                for i in 0..n * sm {
+                    states.push(proto.get(i));
+                }
+            }
+            let mut creds_a = vec![0.6f64; n * sm];
+            group.bench_function(format!("report_kernel/scalar/{n}subj/sm{sm}"), |b| {
+                b.iter(|| {
+                    for s in 0..n {
+                        let base = s * sm;
+                        for k in 0..sm {
+                            let cred = &mut creds_a[base + k];
+                            let c = *cred;
+                            let state = &mut states[base + k];
+                            let prev = state.reputation().value();
+                            let agreed = (OPINION - prev).abs() <= THRESHOLD;
+                            state.report(OPINION, c * QUALITY, WEIGHT_CAP);
+                            *cred = replend_rocq::credibility::credibility_update(c, agreed, GAMMA);
+                        }
+                    }
+                    black_box(states.len())
+                })
+            });
+            // Split-array PR 7 layout + the fused branchless kernel.
+            // Both sides mutate bit-identical state trajectories, so
+            // the compared work stays identical across iterations.
+            let mut slab = slab_of(n * sm);
+            let mut creds_b = vec![0.6f64; n * sm];
+            group.bench_function(format!("report_kernel/vector/{n}subj/sm{sm}"), |b| {
+                b.iter(|| {
+                    for s in 0..n {
+                        let base = s * sm;
+                        slab.report_span(
+                            base,
+                            sm,
+                            &mut creds_b[base..base + sm],
+                            OPINION,
+                            QUALITY,
+                            GAMMA,
+                            THRESHOLD,
+                            WEIGHT_CAP,
+                        );
+                    }
+                    black_box(slab.len())
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_refresh_kernel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hot_path_refresh");
+    for &n in &sizes() {
+        for &sm in REFRESH_NUM_SM {
+            let slab = slab_of(n * sm);
+            // Scalar: the PR 5 refresh — one sequential left-to-right
+            // sum per subject over the *interleaved* `ScoreState`
+            // layout PR 5 shipped, so every 8-byte reputation read
+            // drags its 8-byte evidence-mass neighbour through the
+            // cache (twice the traffic of the split `r` array).
+            let states: Vec<ScoreState> = (0..n * sm).map(|i| slab.get(i)).collect();
+            group.bench_function(format!("refresh_kernel/scalar/{n}subj/sm{sm}"), |b| {
+                b.iter(|| {
+                    let mut acc = 0.0;
+                    for s in 0..n {
+                        let span = &states[s * sm..(s + 1) * sm];
+                        acc += span.iter().map(|st| st.reputation().value()).sum::<f64>();
+                    }
+                    black_box(acc)
+                })
+            });
+            // Vectorised: the PR 7 refresh — eight subjects advance
+            // in lock-step as independent accumulator chains (the
+            // engine's chunking: 8, then 4, then scalar tail).
+            // Per-subject sums are bit-identical to the scalar walk.
+            group.bench_function(format!("refresh_kernel/vector/{n}subj/sm{sm}"), |b| {
+                b.iter(|| {
+                    let mut acc = 0.0;
+                    let mut s = 0;
+                    while s + 8 <= n {
+                        let bases: [usize; 8] = std::array::from_fn(|k| (s + k) * sm);
+                        let sums = slab.sum_spans(bases, sm);
+                        acc += sums.iter().sum::<f64>();
+                        s += 8;
+                    }
+                    while s + 4 <= n {
+                        let bases: [usize; 4] = std::array::from_fn(|k| (s + k) * sm);
+                        let sums = slab.sum_spans(bases, sm);
+                        acc += sums.iter().sum::<f64>();
+                        s += 4;
+                    }
+                    while s < n {
+                        acc += slab.sum_span(s * sm, sm);
+                        s += 1;
+                    }
+                    black_box(acc)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_report_batch,
     bench_critical_path,
     bench_churn,
-    bench_reads
+    bench_reads,
+    bench_report_kernel,
+    bench_refresh_kernel
 );
 criterion_main!(benches);

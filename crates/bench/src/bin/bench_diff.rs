@@ -15,6 +15,13 @@
 //! accidental O(n²) or a lost fast path). An empty id intersection is
 //! itself a failure: it means the diff compared nothing.
 //!
+//! Reports may carry a top-level `threads` count and `host` tag (the
+//! shim stamps both since PR 7). Differing host tags make the whole
+//! comparison apples-to-oranges, so the diff **refuses** unless
+//! `REPLEND_BENCH_ALLOW_CROSS_HOST=1` downgrades the refusal to a
+//! warning; a missing tag (older baselines) or a thread-count
+//! mismatch only warns.
+//!
 //! The parser is deliberately a scanner for the shim's own fixed
 //! one-record-per-line layout, not a general JSON reader — the
 //! workspace has no JSON dependency, and this tool only ever reads
@@ -23,15 +30,45 @@
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 
-/// Extracts `id -> mean_ns` from a schema-1 bench report.
-fn parse_report(text: &str, path: &str) -> BTreeMap<String, f64> {
+/// One parsed schema-1 bench report.
+struct Report {
+    /// `id -> mean_ns` of every benchmark in the document.
+    results: BTreeMap<String, f64>,
+    /// Top-level `threads` (absent in pre-PR-7 baselines).
+    threads: Option<u64>,
+    /// Top-level `host` tag (optional even in fresh reports).
+    host: Option<String>,
+}
+
+/// Extracts the results and provenance metadata from a schema-1
+/// bench report.
+fn parse_report(text: &str, path: &str) -> Report {
     assert!(
         text.contains("\"schema\": 1"),
         "{path}: not a schema-1 bench report"
     );
-    let mut out = BTreeMap::new();
+    let mut report = Report {
+        results: BTreeMap::new(),
+        threads: None,
+        host: None,
+    };
     for line in text.lines() {
         let Some(id_at) = line.find("\"id\": \"") else {
+            // Not a result line; maybe one of the top-level
+            // provenance fields (one key per line, like the results).
+            if let Some(at) = line.find("\"threads\": ") {
+                let raw = line[at + 11..].trim_end().trim_end_matches(',');
+                report.threads = Some(
+                    raw.parse()
+                        .unwrap_or_else(|e| panic!("{path}: bad threads {raw:?}: {e}")),
+                );
+            } else if let Some(at) = line.find("\"host\": \"") {
+                let rest = &line[at + 9..];
+                let end = rest
+                    .find('"')
+                    .unwrap_or_else(|| panic!("{path}: unterminated host in line {line:?}"));
+                report.host = Some(rest[..end].to_string());
+            }
             continue;
         };
         let rest = &line[id_at + 7..];
@@ -49,17 +86,52 @@ fn parse_report(text: &str, path: &str) -> BTreeMap<String, f64> {
         let mean: f64 = mean_raw
             .parse()
             .unwrap_or_else(|e| panic!("{path}: bad mean_ns {mean_raw:?}: {e}"));
-        if out.insert(id.to_string(), mean).is_some() {
+        if report.results.insert(id.to_string(), mean).is_some() {
             panic!("{path}: duplicate benchmark id {id:?}");
         }
     }
-    assert!(!out.is_empty(), "{path}: no benchmark results found");
-    out
+    assert!(
+        !report.results.is_empty(),
+        "{path}: no benchmark results found"
+    );
+    report
 }
 
-fn load(path: &str) -> BTreeMap<String, f64> {
+fn load(path: &str) -> Report {
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
     parse_report(&text, path)
+}
+
+/// Compares the provenance of the two reports. Returns `false` when
+/// the comparison must be refused (distinct host tags without the
+/// cross-host override).
+fn check_provenance(baseline: &Report, fresh: &Report) -> bool {
+    match (&baseline.host, &fresh.host) {
+        (Some(b), Some(f)) if b != f => {
+            let allowed = std::env::var("REPLEND_BENCH_ALLOW_CROSS_HOST").as_deref() == Ok("1");
+            if allowed {
+                eprintln!(
+                    "bench diff: WARNING: cross-host comparison ({b:?} vs {f:?}) \
+                     allowed by REPLEND_BENCH_ALLOW_CROSS_HOST"
+                );
+            } else {
+                eprintln!(
+                    "bench diff: baseline host {b:?} != fresh host {f:?}; numbers from \
+                     different machines are not comparable \
+                     (set REPLEND_BENCH_ALLOW_CROSS_HOST=1 to proceed anyway)"
+                );
+            }
+            allowed
+        }
+        (None, _) | (_, None) => {
+            eprintln!(
+                "bench diff: WARNING: host tag missing from at least one report; \
+                 cannot verify the numbers come from the same machine"
+            );
+            true
+        }
+        _ => true,
+    }
 }
 
 fn main() -> ExitCode {
@@ -78,6 +150,19 @@ fn main() -> ExitCode {
 
     let baseline = load(baseline_path);
     let fresh = load(fresh_path);
+    if !check_provenance(&baseline, &fresh) {
+        return ExitCode::FAILURE;
+    }
+    if let (Some(b), Some(f)) = (baseline.threads, fresh.threads) {
+        if b != f {
+            eprintln!(
+                "bench diff: WARNING: baseline measured with {b} thread(s), fresh with {f}; \
+                 pool-sensitive benchmarks are not directly comparable"
+            );
+        }
+    }
+    let baseline = baseline.results;
+    let fresh = fresh.results;
 
     let mut compared = 0usize;
     let mut regressions = Vec::new();
@@ -117,4 +202,53 @@ fn main() -> ExitCode {
     }
     println!("bench diff: {compared} shared benchmark(s) within the {tolerance}x band");
     ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TAGGED: &str = "{\n  \"schema\": 1,\n  \"threads\": 2,\n  \"host\": \"ci-runner\",\n  \
+         \"results\": [\n    {\"id\": \"a/b\", \"iters\": 10, \"total_ns\": 100, \
+         \"mean_ns\": 10.000}\n  ]\n}\n";
+    const UNTAGGED: &str = "{\n  \"schema\": 1,\n  \"results\": [\n    {\"id\": \"a/b\", \
+         \"iters\": 10, \"total_ns\": 100, \"mean_ns\": 12.000}\n  ]\n}\n";
+
+    #[test]
+    fn parses_provenance_when_present() {
+        let r = parse_report(TAGGED, "tagged");
+        assert_eq!(r.threads, Some(2));
+        assert_eq!(r.host.as_deref(), Some("ci-runner"));
+        assert_eq!(r.results["a/b"], 10.0);
+    }
+
+    #[test]
+    fn tolerates_pre_pr7_reports_without_provenance() {
+        let r = parse_report(UNTAGGED, "untagged");
+        assert_eq!(r.threads, None);
+        assert_eq!(r.host, None);
+        assert_eq!(r.results["a/b"], 12.0);
+    }
+
+    #[test]
+    fn provenance_check_warns_but_allows_missing_tags() {
+        let tagged = parse_report(TAGGED, "tagged");
+        let untagged = parse_report(UNTAGGED, "untagged");
+        assert!(check_provenance(&tagged, &untagged));
+        assert!(check_provenance(&untagged, &tagged));
+        assert!(check_provenance(&tagged, &tagged));
+    }
+
+    #[test]
+    fn provenance_check_refuses_distinct_hosts() {
+        // The override env var is process-global; this test only
+        // exercises the refusal path and assumes CI does not export
+        // REPLEND_BENCH_ALLOW_CROSS_HOST.
+        if std::env::var("REPLEND_BENCH_ALLOW_CROSS_HOST").is_ok() {
+            return;
+        }
+        let a = parse_report(TAGGED, "a");
+        let b = parse_report(&TAGGED.replace("ci-runner", "laptop"), "b");
+        assert!(!check_provenance(&a, &b));
+    }
 }

@@ -543,6 +543,14 @@ pub fn run_ingest_workload(
                     debug_assert_eq!(rep.is_some(), status.is_some());
                     local += 2;
                     probe = splitmix64(probe);
+                    // Publish periodically, not just at exit, so the
+                    // ingest thread can observe read progress while
+                    // this reader is still running (see the wait
+                    // below).
+                    if local >= 128 {
+                        reads.fetch_add(local, Ordering::Relaxed);
+                        local = 0;
+                    }
                 }
                 reads.fetch_add(local, Ordering::Relaxed);
             });
@@ -568,6 +576,17 @@ pub fn run_ingest_workload(
             }
             Ok(())
         })();
+        // A short ingest on a saturated host can finish before any
+        // reader thread gets a timeslice; the workload's contract is
+        // reads *against the live service*, so hold the service live
+        // until the readers have made progress (they publish every 64
+        // probes). Bounded: the OS preempts this yield loop in favour
+        // of the spawned readers.
+        if cfg.readers > 0 {
+            while reads.load(Ordering::Relaxed) == 0 {
+                std::thread::yield_now();
+            }
+        }
         stop.store(true, Ordering::Relaxed);
         *ingest_result.lock().expect("ingest result lock poisoned") = outcome.map(|()| applied);
     });

@@ -49,10 +49,13 @@
 //! log, the per-subject [`CredibilityBook`] (one hash probe yielding
 //! the reporter's credibility at **every** replica slot — the
 //! reference layout pays three probes per replica), and the
-//! contiguous `numSM`-strided [`ScoreState`] slab; the cache refresh
-//! then walks the same slab plus the `cached`/`touched_seq` arrays.
-//! Replica placement metadata (ring keys, hosts, re-homing counters)
-//! is cold and only touched by churn.
+//! contiguous `numSM`-strided score slab — since PR 7 a
+//! struct-of-arrays [`ScoreSlab`] walked by hand-unrolled multi-lane
+//! kernels (see the [`slab`](crate::slab) module docs for the layout
+//! and the determinism rule); the cache refresh then walks the same
+//! slab plus the `cached`/`touched_seq` arrays. Replica placement
+//! metadata (ring keys, hosts, re-homing counters) is cold and only
+//! touched by churn.
 //!
 //! ## Allocation-free steady state
 //!
@@ -72,10 +75,11 @@
 //! 4-shard engine is byte-identical to the same run on 1 shard, and
 //! both are byte-identical to the reference layout.
 
-use crate::credibility::{credibility_update, CredibilityBook};
+use crate::credibility::CredibilityBook;
 use crate::params::RocqParams;
 use crate::quality::{quality_from_count, InteractionLog};
 use crate::score::ScoreState;
+use crate::slab::ScoreSlab;
 use replend_dht::managers::replica_key;
 use replend_dht::ring::{HandoffEvent, Ring};
 use replend_types::arena::{Handle, InlineList, SlotAlloc, SlotAllocator};
@@ -170,8 +174,10 @@ pub const PARALLEL_BATCH_MIN: usize = 256;
 /// engine: the same rule as the pool itself (`RAYON_NUM_THREADS`
 /// when set and positive, otherwise `available_parallelism`), so the
 /// bypass decision below cannot disagree with the pool it is
-/// bypassing.
-fn pool_threads() -> usize {
+/// bypassing. Public so `replend calibrate` can stamp the measured
+/// host's effective pool size into the [`HostProfile`] it emits
+/// (`replend_types::HostProfile`).
+pub fn pool_threads() -> usize {
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -209,15 +215,6 @@ fn use_parallel_fanout(
 #[inline]
 pub fn shard_of(peer: PeerId, num_shards: usize) -> usize {
     (splitmix64(peer.raw()) % num_shards as u64) as usize
-}
-
-/// The replica-mean aggregate, with the same sum-then-divide
-/// arithmetic as `Reputation::mean` so the cache stays bit-identical
-/// to a per-query re-aggregation (no allocation on this hot path).
-#[inline]
-fn aggregate(states: &[ScoreState]) -> Reputation {
-    let sum: f64 = states.iter().map(|s| s.reputation().value()).sum();
-    Reputation::new(sum / states.len() as f64)
 }
 
 /// One `(subject handle, replica slot)` entry of the replica-key
@@ -305,9 +302,11 @@ struct EngineShard {
     /// Sequence number of the last batch that touched the subject
     /// (O(1) per-batch cache-refresh dedup).
     touched_seq: Vec<u64>,
-    /// Replica score states, `numSM` consecutive entries per handle —
-    /// the contiguous slab the report loop and cache refresh walk.
-    states: Vec<ScoreState>,
+    /// Replica score states as parallel `r`/`w` arrays, `numSM`
+    /// consecutive lanes per handle — the contiguous slab the
+    /// vectorised report and cache-refresh kernels walk (see
+    /// [`ScoreSlab`]).
+    slab: ScoreSlab,
     // ---- cold arrays, one entry per handle ----
     /// Handle → subject id (delta emission, crash rolls).
     peers: Vec<PeerId>,
@@ -345,7 +344,7 @@ impl EngineShard {
             alloc: SlotAllocator::new(),
             cached: Vec::new(),
             touched_seq: Vec::new(),
-            states: Vec::new(),
+            slab: ScoreSlab::new(),
             peers: Vec::new(),
             books: Vec::new(),
             meta: Vec::new(),
@@ -370,7 +369,7 @@ impl EngineShard {
         let EngineShard {
             key_index,
             cached,
-            states,
+            slab,
             peers,
             books,
             meta,
@@ -398,18 +397,18 @@ impl EngineShard {
                     // elsewhere; reset when this is the only replica.
                     match (0..sm).find(|&i| i != slot) {
                         Some(sibling) => {
-                            states[base + slot] = states[base + sibling];
+                            slab.copy_lane(base + slot, base + sibling);
                             books[subject.index()].copy_column(slot, sibling);
                         }
                         None => {
-                            states[base + slot] = ScoreState::new(Reputation::ZERO, 0.0);
+                            slab.set(base + slot, ScoreState::new(Reputation::ZERO, 0.0));
                             books[subject.index()].reset_column(slot);
                         }
                     }
                     // Recovery rewrote replica state: refresh the
                     // cached aggregate and surface the change.
                     let old = cached[subject.index()];
-                    let new = aggregate(&states[base..base + sm]);
+                    let new = slab.aggregate_span(base, sm);
                     cached[subject.index()] = new;
                     let delta = ReputationDelta {
                         subject: peer,
@@ -454,16 +453,19 @@ impl EngineShard {
         let q = quality_from_count(n, params.eta, params.min_quality);
         let book = &mut self.books[h.index()];
         let gamma = book.gamma();
-        for (state, cred) in self.states[base..base + self.num_sm]
-            .iter_mut()
-            .zip(book.row_mut(reporter).iter_mut())
-        {
-            let c = *cred;
-            let prev = state.reputation().value();
-            let agreed = (opinion - prev).abs() <= params.agreement_threshold;
-            state.report(opinion, c * q, params.weight_cap);
-            *cred = credibility_update(c, agreed, gamma);
-        }
+        // The fused multi-lane report + credibility kernel (see
+        // [`ScoreSlab::report_span`]) — bit-identical to the scalar
+        // per-replica walk it replaced.
+        self.slab.report_span(
+            base,
+            self.num_sm,
+            book.row_mut(reporter),
+            opinion,
+            q,
+            gamma,
+            params.agreement_threshold,
+            params.weight_cap,
+        );
         Some(h)
     }
 
@@ -471,8 +473,15 @@ impl EngineShard {
     /// it moved.
     fn refresh_cache(&mut self, h: Handle) {
         let base = h.index() * self.num_sm;
+        let new = self.slab.aggregate_span(base, self.num_sm);
+        self.finish_refresh(h, new);
+    }
+
+    /// Publishes a freshly computed aggregate: swaps the cache entry
+    /// and emits a delta when it moved.
+    #[inline]
+    fn finish_refresh(&mut self, h: Handle, new: Reputation) {
         let old = self.cached[h.index()];
-        let new = aggregate(&self.states[base..base + self.num_sm]);
         self.cached[h.index()] = new;
         let delta = ReputationDelta {
             subject: self.peers[h.index()],
@@ -481,6 +490,36 @@ impl EngineShard {
         };
         if !delta.is_noop() {
             self.deltas.push(delta);
+        }
+    }
+
+    /// Refreshes a run of touched subjects with the multi-chain
+    /// aggregate kernel: each chunk of eight handles advances eight
+    /// independent span sums in lockstep ([`ScoreSlab::sum_spans`]),
+    /// the remainder steps down through a four-chain chunk and then
+    /// the scalar refresh. Deltas are emitted in run order, so the
+    /// observable stream is identical to refreshing one handle at a
+    /// time.
+    fn refresh_run(&mut self, run: &[Handle]) {
+        let sm = self.num_sm;
+        let mut chunks = run.chunks_exact(8);
+        for chunk in &mut chunks {
+            let bases: [usize; 8] = std::array::from_fn(|k| chunk[k].index() * sm);
+            let sums = self.slab.sum_spans(bases, sm);
+            for (k, &h) in chunk.iter().enumerate() {
+                self.finish_refresh(h, Reputation::new(sums[k] / sm as f64));
+            }
+        }
+        let mut rest = chunks.remainder().chunks_exact(4);
+        for chunk in &mut rest {
+            let bases: [usize; 4] = std::array::from_fn(|k| chunk[k].index() * sm);
+            let sums = self.slab.sum_spans(bases, sm);
+            for (k, &h) in chunk.iter().enumerate() {
+                self.finish_refresh(h, Reputation::new(sums[k] / sm as f64));
+            }
+        }
+        for &h in rest.remainder() {
+            self.refresh_cache(h);
         }
     }
 
@@ -501,10 +540,12 @@ impl EngineShard {
                 self.touched.push(h);
             }
         }
-        for i in 0..self.touched.len() {
-            let h = self.touched[i];
-            self.refresh_cache(h);
-        }
+        // Borrow the first-touch list out of the shard for the
+        // refresh sweep (a pointer swap, not an allocation), so
+        // [`EngineShard::refresh_run`] can take `&mut self`.
+        let touched = std::mem::take(&mut self.touched);
+        self.refresh_run(&touched);
+        self.touched = touched;
     }
 
     /// Applies one batch feedback, returning the subject's handle
@@ -526,6 +567,32 @@ impl EngineShard {
             self.touched_seq[h.index()] = seq;
             h
         })
+    }
+
+    /// [`EngineShard::refresh_run`] over the serial batch path's
+    /// `(home shard, handle)` pairs — same multi-chain kernel, tags
+    /// ignored (the caller already grouped the run by home shard).
+    fn refresh_tagged_run(&mut self, run: &[(u32, Handle)]) {
+        let sm = self.num_sm;
+        let mut chunks = run.chunks_exact(8);
+        for chunk in &mut chunks {
+            let bases: [usize; 8] = std::array::from_fn(|k| chunk[k].1.index() * sm);
+            let sums = self.slab.sum_spans(bases, sm);
+            for (k, &(_, h)) in chunk.iter().enumerate() {
+                self.finish_refresh(h, Reputation::new(sums[k] / sm as f64));
+            }
+        }
+        let mut rest = chunks.remainder().chunks_exact(4);
+        for chunk in &mut rest {
+            let bases: [usize; 4] = std::array::from_fn(|k| chunk[k].1.index() * sm);
+            let sums = self.slab.sum_spans(bases, sm);
+            for (k, &(_, h)) in chunk.iter().enumerate() {
+                self.finish_refresh(h, Reputation::new(sums[k] / sm as f64));
+            }
+        }
+        for &(_, h) in rest.remainder() {
+            self.refresh_cache(h);
+        }
     }
 
     /// Live subjects homed in this shard (shard-balance tests).
@@ -674,8 +741,8 @@ impl RocqEngine {
                 .map(|slot| crate::inspect::ReplicaSnapshot {
                     slot,
                     host: shard.meta[base + slot].host,
-                    reputation: shard.states[base + slot].reputation(),
-                    evidence: shard.states[base + slot].weight(),
+                    reputation: shard.slab.get(base + slot).reputation(),
+                    evidence: shard.slab.get(base + slot).weight(),
                     known_reporters: known,
                 })
                 .collect(),
@@ -793,7 +860,7 @@ impl ReputationEngine for RocqEngine {
                     num_sm,
                 ));
                 for _ in 0..num_sm {
-                    shard.states.push(ScoreState::default());
+                    shard.slab.push(ScoreState::default());
                     shard.meta.push(ReplicaMeta::vacant());
                 }
                 h
@@ -815,7 +882,10 @@ impl ReputationEngine for RocqEngine {
         for slot in 0..num_sm {
             let key = replica_key(peer, slot);
             let host = self.ring.successor(key).expect("ring non-empty after join");
-            shard.states[base + slot] = ScoreState::new(initial, self.params.prior_weight);
+            shard.slab.set(
+                base + slot,
+                ScoreState::new(initial, self.params.prior_weight),
+            );
             shard.meta[base + slot] = ReplicaMeta {
                 key,
                 host,
@@ -826,7 +896,7 @@ impl ReputationEngine for RocqEngine {
                 slot: slot as u32,
             });
         }
-        shard.cached[h.index()] = aggregate(&shard.states[base..base + num_sm]);
+        shard.cached[h.index()] = shard.slab.aggregate_span(base, num_sm);
         shard.index.insert(peer, h);
         self.members.insert(peer);
     }
@@ -893,9 +963,7 @@ impl ReputationEngine for RocqEngine {
             return;
         };
         let base = h.index() * num_sm;
-        for state in &mut shard.states[base..base + num_sm] {
-            state.adjust(amount.abs());
-        }
+        shard.slab.adjust_span(base, num_sm, amount.abs());
         shard.refresh_cache(h);
     }
 
@@ -907,9 +975,7 @@ impl ReputationEngine for RocqEngine {
             return;
         };
         let base = h.index() * num_sm;
-        for state in &mut shard.states[base..base + num_sm] {
-            state.adjust(-amount.abs());
-        }
+        shard.slab.adjust_span(base, num_sm, -amount.abs());
         shard.refresh_cache(h);
     }
 
@@ -972,8 +1038,19 @@ impl ReputationEngine for RocqEngine {
                 serial_touched.push((home as u32, h));
             }
         }
-        for &(home, h) in serial_touched.iter() {
-            shards[home as usize].refresh_cache(h);
+        // Refresh runs of consecutive same-shard touches through the
+        // four-chain aggregate kernel (a single-shard engine is one
+        // run). Run order equals first-touch order, so the delta
+        // stream is identical to the old one-at-a-time sweep.
+        let mut i = 0;
+        while i < serial_touched.len() {
+            let home = serial_touched[i].0;
+            let mut j = i + 1;
+            while j < serial_touched.len() && serial_touched[j].0 == home {
+                j += 1;
+            }
+            shards[home as usize].refresh_tagged_run(&serial_touched[i..j]);
+            i = j;
         }
     }
 

@@ -64,8 +64,9 @@ pub mod params;
 pub mod quality;
 pub mod reference;
 pub mod score;
+pub mod slab;
 
 pub use concurrent::ConcurrentEngine;
-pub use engine::{shard_of, ReputationEngine, RocqEngine};
+pub use engine::{pool_threads, shard_of, ReputationEngine, RocqEngine};
 pub use params::RocqParams;
 pub use reference::ReferenceEngine;

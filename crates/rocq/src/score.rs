@@ -78,6 +78,22 @@ impl ScoreState {
     pub fn overwrite_from(&mut self, other: &ScoreState) {
         *self = *other;
     }
+
+    /// The raw `(r, w)` pair, bit-for-bit — the slab layout
+    /// ([`crate::slab::ScoreSlab`]) stores states as parallel `r`/`w`
+    /// arrays and must round-trip through this without any clamping
+    /// or renormalisation.
+    #[inline]
+    pub(crate) fn raw_parts(&self) -> (f64, f64) {
+        (self.r, self.w)
+    }
+
+    /// Rebuilds a state from raw parts (inverse of
+    /// [`ScoreState::raw_parts`]; no validation on purpose).
+    #[inline]
+    pub(crate) fn from_raw_parts(r: f64, w: f64) -> Self {
+        ScoreState { r, w }
+    }
 }
 
 impl Default for ScoreState {

@@ -1,0 +1,149 @@
+//! The host-calibration profile written by `replend calibrate` and
+//! loaded by `run` / `serve` / `worker`.
+//!
+//! PR 4 made the parallel fan-out threshold a config knob
+//! (`SimParams::parallel_batch_min`) with a hard-coded default guess;
+//! this type carries the *measured* answer for a concrete host: the
+//! batch size where fanning a report batch over the thread pool
+//! starts beating the serial sweep, and the shard count that won the
+//! sweep. The engine guarantees the knobs are byte-identity-safe
+//! (`RocqEngine` results are independent of shard count and
+//! threshold), so loading a profile can only change timing, never
+//! output — pinned by the knob-invariance tests in `replend-tests`
+//! and the byte-diff smoke step in CI.
+//!
+//! Precedence is **flags > profile > built-in defaults**: a profile
+//! only fills knobs the user did not set explicitly on the command
+//! line.
+
+use crate::error::ConfigError;
+use serde::{Deserialize, Serialize};
+
+/// Version stamp of the [`HostProfile`] payload. Bump on any field
+/// change; loaders reject other versions (the wire envelope pins the
+/// transport framing separately).
+pub const HOST_PROFILE_VERSION: u32 = 1;
+
+/// The sentinel [`HostProfile::parallel_batch_min`] meaning "the pool
+/// never beat the serial sweep on this host" (e.g. a single-core
+/// container): consumers set the engine threshold to `usize::MAX` so
+/// every batch stays serial.
+pub const POOL_NEVER_WINS: u64 = u64::MAX;
+
+/// Measured parallelism profile of one host.
+///
+/// Produced by `replend calibrate` (see `docs/calibrate.md` for the
+/// file format), consumed by `run`, `serve` and `worker` to pick
+/// engine defaults. All fields describe *this* host; comparing or
+/// reusing profiles across hosts is exactly the apples-to-oranges
+/// mistake the `host` tag exists to catch.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HostProfile {
+    /// Payload version, always [`HOST_PROFILE_VERSION`] when valid.
+    pub version: u32,
+    /// Effective thread-pool size at calibration time (the same rule
+    /// the engine's fan-out bypass uses: `RAYON_NUM_THREADS` when set,
+    /// otherwise `available_parallelism`).
+    pub threads: u32,
+    /// Smallest batch size where the pool beat the serial sweep, or
+    /// [`POOL_NEVER_WINS`] when it never did.
+    pub parallel_batch_min: u64,
+    /// Shard count that produced the best throughput in the sweep.
+    pub num_shards: u32,
+    /// Free-form host tag (e.g. the hostname) recorded at calibration
+    /// time, so loaders and bench tooling can flag cross-host reuse.
+    pub host: String,
+}
+
+impl HostProfile {
+    /// Validates the structural invariants a loader relies on.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.version != HOST_PROFILE_VERSION {
+            return Err(ConfigError::Inconsistent {
+                what: "host profile version is not supported",
+            });
+        }
+        if self.threads == 0 {
+            return Err(ConfigError::Inconsistent {
+                what: "host profile threads must be at least 1",
+            });
+        }
+        if self.num_shards == 0 {
+            return Err(ConfigError::Inconsistent {
+                what: "host profile num_shards must be at least 1",
+            });
+        }
+        if self.parallel_batch_min == 0 {
+            return Err(ConfigError::Inconsistent {
+                what: "host profile parallel_batch_min must be at least 1",
+            });
+        }
+        Ok(())
+    }
+
+    /// The engine threshold this profile prescribes:
+    /// [`POOL_NEVER_WINS`] (and anything above `usize::MAX`) saturates
+    /// to `usize::MAX`, i.e. "never fan out".
+    pub fn effective_batch_min(&self) -> usize {
+        usize::try_from(self.parallel_batch_min).unwrap_or(usize::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile() -> HostProfile {
+        HostProfile {
+            version: HOST_PROFILE_VERSION,
+            threads: 8,
+            parallel_batch_min: 512,
+            num_shards: 4,
+            host: "calibrated-host".to_string(),
+        }
+    }
+
+    #[test]
+    fn valid_profile_passes() {
+        assert_eq!(profile().validate(), Ok(()));
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let p = HostProfile {
+            version: HOST_PROFILE_VERSION + 1,
+            ..profile()
+        };
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn zero_fields_rejected() {
+        for p in [
+            HostProfile {
+                threads: 0,
+                ..profile()
+            },
+            HostProfile {
+                num_shards: 0,
+                ..profile()
+            },
+            HostProfile {
+                parallel_batch_min: 0,
+                ..profile()
+            },
+        ] {
+            assert!(p.validate().is_err(), "{p:?}");
+        }
+    }
+
+    #[test]
+    fn pool_never_wins_saturates() {
+        let p = HostProfile {
+            parallel_batch_min: POOL_NEVER_WINS,
+            ..profile()
+        };
+        assert_eq!(p.effective_batch_min(), usize::MAX);
+        assert_eq!(profile().effective_batch_min(), 512);
+    }
+}

@@ -77,11 +77,21 @@ use std::io::{self, Read, Write};
 /// journal records joined the boundary-crossing set.
 pub const PROTOCOL_VERSION: u32 = 2;
 
+/// The file-magic prefix of a host-calibration profile written by
+/// `replend calibrate` (see [`encode_profile`]): distinguishes a
+/// profile from arbitrary wire bytes before any decoding happens, so
+/// pointing `--profile` at the wrong file fails with a typed error
+/// instead of a garbage decode.
+pub const PROFILE_MAGIC: [u8; 4] = *b"RLPF";
+
 /// Typed encode/decode failure.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum WireError {
     /// Input ended before the value was fully decoded.
     Eof,
+    /// The input did not start with the expected file magic (e.g.
+    /// `--profile` pointed at something that is not a profile).
+    BadMagic,
     /// Decoding finished with this many input bytes left over.
     TrailingBytes(usize),
     /// A `bool` byte was neither 0 nor 1.
@@ -107,6 +117,7 @@ impl fmt::Display for WireError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             WireError::Eof => write!(f, "unexpected end of input"),
+            WireError::BadMagic => write!(f, "input does not start with the expected file magic"),
             WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after the value"),
             WireError::InvalidBool(b) => write!(f, "invalid bool byte {b:#04x}"),
             WireError::InvalidOptionTag(b) => write!(f, "invalid option tag {b:#04x}"),
@@ -709,6 +720,35 @@ impl SummaryEnvelope {
 }
 
 // ---------------------------------------------------------------------------
+// Host-profile files
+// ---------------------------------------------------------------------------
+
+/// Encodes a host-calibration profile for writing to disk:
+/// [`PROFILE_MAGIC`] followed by a version-gated [`SummaryEnvelope`]
+/// tagged with the calibration seed. Generic over the payload type so
+/// this crate keeps its serde-only dependency set (the concrete
+/// `HostProfile` lives in `replend-types`).
+pub fn encode_profile<T: ?Sized + Serialize>(seed: u64, profile: &T) -> Result<Vec<u8>, WireError> {
+    let envelope = SummaryEnvelope::wrap(seed, profile)?.encode()?;
+    let mut out = Vec::with_capacity(PROFILE_MAGIC.len() + envelope.len());
+    out.extend_from_slice(&PROFILE_MAGIC);
+    out.extend_from_slice(&envelope);
+    Ok(out)
+}
+
+/// Decodes a profile file produced by [`encode_profile`], checking
+/// the magic first and the protocol version second, before any
+/// payload bytes are interpreted. Returns the calibration seed with
+/// the decoded profile.
+pub fn decode_profile<T: serde::de::DeserializeOwned>(bytes: &[u8]) -> Result<(u64, T), WireError> {
+    let rest = bytes
+        .strip_prefix(&PROFILE_MAGIC[..])
+        .ok_or(WireError::BadMagic)?;
+    let envelope = SummaryEnvelope::decode(rest)?;
+    Ok((envelope.seed, envelope.open()?))
+}
+
+// ---------------------------------------------------------------------------
 // Stream framing
 // ---------------------------------------------------------------------------
 
@@ -1040,6 +1080,43 @@ mod tests {
         );
         assert!(matches!(
             stale.open::<Record>(),
+            Err(WireError::VersionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn profile_files_round_trip_and_gate_magic_and_version() {
+        let payload = Record {
+            id: 11,
+            score: 0.25,
+            tags: vec![4],
+            label: Some("host".into()),
+            flag: false,
+        };
+        let bytes = encode_profile(5, &payload).unwrap();
+        assert_eq!(&bytes[..4], b"RLPF");
+        let (seed, decoded) = decode_profile::<Record>(&bytes).unwrap();
+        assert_eq!(seed, 5);
+        assert_eq!(decoded, payload);
+
+        // Not a profile file at all.
+        assert_eq!(
+            decode_profile::<Record>(b"not a profile").unwrap_err(),
+            WireError::BadMagic
+        );
+        assert_eq!(
+            decode_profile::<Record>(b"RL").unwrap_err(),
+            WireError::BadMagic
+        );
+
+        // Right magic, wrong protocol version: rejected before the
+        // payload decodes.
+        let mut stale = SummaryEnvelope::wrap(5, &payload).unwrap();
+        stale.version += 1;
+        let mut file = PROFILE_MAGIC.to_vec();
+        file.extend_from_slice(&stale.encode().unwrap());
+        assert!(matches!(
+            decode_profile::<Record>(&file),
             Err(WireError::VersionMismatch { .. })
         ));
     }

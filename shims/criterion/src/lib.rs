@@ -204,10 +204,46 @@ fn escape_json(s: &str) -> String {
     out
 }
 
+/// The thread-pool size a benchmark in this process would run with —
+/// the same rule the workspace's rayon shim and engine fan-out use:
+/// `RAYON_NUM_THREADS` when set to a positive number, otherwise the
+/// host's available parallelism.
+fn effective_threads() -> usize {
+    if let Ok(raw) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = raw.parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// The optional host tag stamped into the JSON report so diff tooling
+/// can refuse apples-to-oranges cross-host comparisons:
+/// `REPLEND_BENCH_HOST`, then `HOSTNAME`, else absent.
+fn report_host() -> Option<String> {
+    for var in ["REPLEND_BENCH_HOST", "HOSTNAME"] {
+        if let Ok(v) = std::env::var(var) {
+            if !v.is_empty() {
+                return Some(v);
+            }
+        }
+    }
+    None
+}
+
 /// Writes all collected results to the file named by
 /// `REPLEND_BENCH_JSON` (no-op when the variable is unset). Called by
 /// the [`criterion_main!`] expansion after every group has run; also
 /// callable directly from a custom `main`.
+///
+/// Besides the per-benchmark `results`, the document records the
+/// effective `threads` of the run and (when the environment knows
+/// one) a `host` tag — both exist so baseline-diff tooling can detect
+/// numbers measured under different conditions.
 ///
 /// # Panics
 /// If the file cannot be written — a bench run asked for a report it
@@ -217,7 +253,12 @@ pub fn write_json_report() {
         return;
     };
     let results = RESULTS.lock().expect("bench result registry poisoned");
-    let mut doc = String::from("{\n  \"schema\": 1,\n  \"results\": [\n");
+    let mut doc = String::from("{\n  \"schema\": 1,\n");
+    doc.push_str(&format!("  \"threads\": {},\n", effective_threads()));
+    if let Some(host) = report_host() {
+        doc.push_str(&format!("  \"host\": \"{}\",\n", escape_json(&host)));
+    }
+    doc.push_str("  \"results\": [\n");
     for (i, r) in results.iter().enumerate() {
         let sep = if i + 1 == results.len() { "" } else { "," };
         doc.push_str(&format!(

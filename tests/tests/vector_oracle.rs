@@ -1,0 +1,271 @@
+//! ISSUE 7 vectorisation oracle: the multi-lane slab kernels of
+//! [`RocqEngine`] (unrolled report spans, four-chain cached-aggregate
+//! refresh) must be **byte-identical** to the scalar seed layout
+//! ([`ReferenceEngine`]) for every replication factor — especially
+//! the non-multiple-of-4 `numSM` values whose spans end in scalar
+//! remainder tails — and under the inputs that exercise the kernels'
+//! edge lanes:
+//!
+//! * `numSM ∈ {1, 2, 3, 4, 7, 8}`: below, at and above the unroll
+//!   width, odd and even, covering every tail length 0..=3;
+//! * zero-weight feedbacks (`min_quality = 0`, so a reporter's first
+//!   report carries weight exactly 0 and its lane must keep the old
+//!   bits through the branchless select);
+//! * crash-recovery column ops (the per-replica copy/reset path that
+//!   writes single lanes of the split `r`/`w` arrays mid-span).
+//!
+//! A separate knob-invariance test pins the `HostProfile` contract:
+//! knobs loaded from a wire-encoded profile (shard count, fan-out
+//! threshold) may change timing, never a single output bit.
+
+use proptest::prelude::*;
+use replend_rocq::{ReferenceEngine, ReputationEngine, RocqEngine, RocqParams};
+use replend_types::{
+    Feedback, HostProfile, PeerId, Reputation, ReputationDelta, HOST_PROFILE_VERSION,
+    POOL_NEVER_WINS,
+};
+
+/// Peer-id universe — small, so reports pile onto the same subjects.
+const POP: u64 = 32;
+
+/// Every replication factor the oracle sweeps: the unroll width (4),
+/// both sides of it, and both tail parities above it.
+const NUM_SM: &[usize] = &[1, 2, 3, 4, 7, 8];
+
+/// One decoded engine operation.
+#[derive(Clone, Debug)]
+enum Op {
+    Join(PeerId, f64),
+    Leave(PeerId),
+    Report(PeerId, PeerId, f64),
+    Batch(Vec<Feedback>),
+    Credit(PeerId, f64),
+    Debit(PeerId, f64),
+}
+
+/// Decodes raw generated tuples into operations (plain arithmetic so
+/// per-component shrinking stays meaningful).
+fn decode(raw: &[(u8, u64, u64, f64)]) -> Vec<Op> {
+    raw.iter()
+        .map(|&(sel, a, b, x)| {
+            let p = PeerId(a % POP);
+            let q = PeerId(b % POP);
+            match sel % 6 {
+                0 => Op::Join(p, x),
+                1 => Op::Leave(p),
+                2 => Op::Report(p, q, (a % 2) as f64),
+                3 => {
+                    let len = b % 24 + 1;
+                    Op::Batch(
+                        (0..len)
+                            .map(|j| {
+                                Feedback::new(
+                                    PeerId((a + j * 7) % POP),
+                                    PeerId((b + j * 3) % POP),
+                                    ((a + j) % 2) as f64,
+                                )
+                            })
+                            .collect(),
+                    )
+                }
+                4 => Op::Credit(p, x * 0.3),
+                _ => Op::Debit(p, x * 0.3),
+            }
+        })
+        .collect()
+}
+
+/// Everything observable through the trait: per-operation delta
+/// streams (bits) and the final reputation bits of every peer.
+type Observed = (Vec<Vec<(PeerId, u64, u64)>>, Vec<Option<u64>>);
+
+/// Drives `e` through a populate-report-vacate prelude and `ops`,
+/// draining deltas after every step.
+fn drive(e: &mut dyn ReputationEngine, ops: &[Op]) -> Observed {
+    let mut streams = Vec::new();
+    let mut buf: Vec<ReputationDelta> = Vec::new();
+    fn checkpoint(
+        e: &mut dyn ReputationEngine,
+        buf: &mut Vec<ReputationDelta>,
+        streams: &mut Vec<Vec<(PeerId, u64, u64)>>,
+    ) {
+        buf.clear();
+        e.drain_deltas(buf);
+        streams.push(
+            buf.iter()
+                .map(|d| (d.subject, d.old.value().to_bits(), d.new.value().to_bits()))
+                .collect(),
+        );
+    }
+    for p in 0..12u64 {
+        e.register_peer(PeerId(p), Reputation::ONE);
+    }
+    for r in 0..36u64 {
+        e.report(PeerId(r % 12), PeerId((r + 5) % 12), (r % 2) as f64);
+    }
+    for p in [1u64, 9, 4] {
+        e.remove_peer(PeerId(p));
+    }
+    checkpoint(e, &mut buf, &mut streams);
+    for op in ops {
+        match op {
+            Op::Join(p, initial) => e.register_peer(*p, Reputation::new(*initial)),
+            Op::Leave(p) => e.remove_peer(*p),
+            Op::Report(r, s, o) => e.report(*r, *s, *o),
+            Op::Batch(batch) => e.report_batch(batch),
+            Op::Credit(p, amt) => e.credit(*p, *amt),
+            Op::Debit(p, amt) => e.debit(*p, *amt),
+        }
+        checkpoint(e, &mut buf, &mut streams);
+    }
+    let reps = (0..POP)
+        .map(|p| e.reputation(PeerId(p)).map(|r| r.value().to_bits()))
+        .collect();
+    (streams, reps)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// The tentpole contract at every tail length: vectorised arena
+    /// engine == scalar reference, bit for bit, with the crash model
+    /// active (column copy/reset lanes included).
+    #[test]
+    fn vectorised_engine_matches_reference_at_every_num_sm(
+        raw in proptest::collection::vec(
+            (proptest::num::u8::ANY, proptest::num::u64::ANY,
+             proptest::num::u64::ANY, 0.0f64..1.0),
+            1..48),
+        crash in 0.0f64..1.0,
+    ) {
+        let ops = decode(&raw);
+        let params = RocqParams { crash_prob: crash, ..Default::default() };
+        for &sm in NUM_SM {
+            let mut arena = RocqEngine::sharded(params, sm, 1, 77);
+            let mut arena3 = RocqEngine::sharded(params, sm, 3, 77);
+            let mut seed = ReferenceEngine::sharded(params, sm, 1, 77);
+            let baseline = drive(&mut seed, &ops);
+            let vec1 = drive(&mut arena, &ops);
+            let vec3 = drive(&mut arena3, &ops);
+            prop_assert_eq!(
+                &baseline, &vec1,
+                "vectorised engine diverged from reference at numSM={}", sm
+            );
+            prop_assert_eq!(
+                &baseline, &vec3,
+                "vectorised engine (3 shards) diverged at numSM={}", sm
+            );
+        }
+    }
+
+    /// Zero-weight lanes: with `min_quality = 0` a reporter's first
+    /// report has quality 0 → weight exactly 0. The scalar reference
+    /// skips the mix via an early return; the vectorised kernel must
+    /// keep the identical old bits through its branchless select
+    /// (while still updating credibility) at every tail length.
+    #[test]
+    fn zero_weight_feedbacks_are_byte_identical(
+        raw in proptest::collection::vec(
+            (proptest::num::u8::ANY, proptest::num::u64::ANY,
+             proptest::num::u64::ANY, 0.0f64..1.0),
+            1..48),
+    ) {
+        let ops = decode(&raw);
+        let params = RocqParams { min_quality: 0.0, ..Default::default() };
+        for &sm in NUM_SM {
+            let mut arena = RocqEngine::sharded(params, sm, 1, 91);
+            let mut seed = ReferenceEngine::sharded(params, sm, 1, 91);
+            let baseline = drive(&mut seed, &ops);
+            let vectored = drive(&mut arena, &ops);
+            prop_assert_eq!(
+                &baseline, &vectored,
+                "zero-weight lanes diverged at numSM={}", sm
+            );
+        }
+    }
+
+    /// The `HostProfile` knob-invariance contract: an engine
+    /// configured from a wire-decoded profile (its shard count, its
+    /// fan-out threshold — including the POOL_NEVER_WINS saturation)
+    /// produces bit-identical output to the default configuration.
+    #[test]
+    fn loaded_host_profile_never_changes_results(
+        raw in proptest::collection::vec(
+            (proptest::num::u8::ANY, proptest::num::u64::ANY,
+             proptest::num::u64::ANY, 0.0f64..1.0),
+            1..48),
+        shards in 1u32..6,
+        batch_min in prop_oneof![1u64..2048, Just(POOL_NEVER_WINS)],
+    ) {
+        let ops = decode(&raw);
+        let profile = HostProfile {
+            version: HOST_PROFILE_VERSION,
+            threads: 1,
+            parallel_batch_min: batch_min,
+            num_shards: shards,
+            host: "oracle".to_string(),
+        };
+        // Round-trip through the wire format, exactly like `run`,
+        // `serve` and `worker` load it.
+        let bytes = replend_wire::encode_profile(0, &profile).unwrap();
+        let (_, loaded): (u64, HostProfile) = replend_wire::decode_profile(&bytes).unwrap();
+        loaded.validate().unwrap();
+
+        let params = RocqParams::default();
+        let mut plain = RocqEngine::sharded(params, 6, 1, 13);
+        let mut tuned = RocqEngine::sharded(params, 6, loaded.num_shards as usize, 13)
+            .with_parallel_batch_min(loaded.effective_batch_min());
+        let baseline = drive(&mut plain, &ops);
+        let profiled = drive(&mut tuned, &ops);
+        prop_assert_eq!(
+            &baseline, &profiled,
+            "profile knobs (shards={}, batch_min={}) changed engine output",
+            loaded.num_shards, loaded.parallel_batch_min
+        );
+    }
+}
+
+/// Deterministic (non-proptest) spot check: a crash-heavy churn storm
+/// at the tail-heavy numSM=7, vectorised vs reference — a fixed
+/// regression anchor that fails loudly without shrinking.
+#[test]
+fn crash_recovery_column_ops_stay_identical() {
+    let params = RocqParams {
+        crash_prob: 0.5,
+        ..Default::default()
+    };
+    for &sm in NUM_SM {
+        let mut arena = RocqEngine::sharded(params, sm, 1, 0xC0FFEE);
+        let mut seed = ReferenceEngine::sharded(params, sm, 1, 0xC0FFEE);
+        let ops: Vec<Op> = (0..120u64)
+            .map(|i| match i % 5 {
+                0 => Op::Join(PeerId(i % POP), 0.6),
+                1 => Op::Report(PeerId(i % POP), PeerId((i + 3) % POP), (i % 2) as f64),
+                2 => Op::Leave(PeerId((i * 3) % POP)),
+                3 => Op::Batch(
+                    (0..8)
+                        .map(|j| {
+                            Feedback::new(
+                                PeerId((i + j * 5) % POP),
+                                PeerId((i + j * 11) % POP),
+                                ((i + j) % 2) as f64,
+                            )
+                        })
+                        .collect(),
+                ),
+                _ => Op::Credit(PeerId(i % POP), 0.05),
+            })
+            .collect();
+        let baseline = drive(&mut seed, &ops);
+        let vectored = drive(&mut arena, &ops);
+        assert_eq!(
+            baseline, vectored,
+            "crash-recovery column ops diverged at numSM={sm}"
+        );
+        assert_eq!(
+            (arena.rehomings(), arena.crash_losses()),
+            (seed.rehomings(), seed.crash_losses()),
+            "churn counters diverged at numSM={sm}"
+        );
+    }
+}
