@@ -15,20 +15,30 @@
 //! * `service/read_mean_during_ingest/…` and
 //!   `service/read_p99_during_ingest/…` — reputation + status probe
 //!   latency (mean and 99th percentile) measured by reader threads
-//!   **while** the same ingest stream is being applied. This is the
-//!   tentpole number: reads on other partitions proceed during a
-//!   batch, so the tail stays bounded by one partition's batch slice,
-//!   not by the whole ingest.
+//!   **while** the same ingest stream is being applied. Since ISSUE 8
+//!   these probes are wait-free snapshot reads: they validate a
+//!   partition epoch instead of taking the partition `RwLock`.
 //! * `service/ingest_during_reads/…` — the write path's per-opinion
 //!   cost while those readers are hammering the service, so read
 //!   amplification of the ingest side is visible too.
+//! * `service/read_{mean,p99}_during_ingest_r{1,2,4,8}/…` — the
+//!   ISSUE-8 reader sweep: the same sustained-read measurement at
+//!   1, 2, 4 and 8 reader threads, pinning how the read path scales
+//!   with reader count instead of contending with ingest.
+//! * `service/contended1p/read_{mean,p99}_{snapshot,locked}/…` — the
+//!   worst case: a **single-partition** service (every read and every
+//!   write lands on the same partition) measured twice in the same
+//!   binary — once through the wait-free snapshot path, once through
+//!   the pre-ISSUE-8 locked path (`reputation_locked` /
+//!   `status_locked`). The snapshot/locked ratio is the tentpole
+//!   acceptance number: ≥2× better mean and P99 under contention.
 //!
 //! The sustained phases are timed as a whole workload rather than
 //! through `Bencher::iter` (a concurrent phase has no single closure
 //! to repeat), so results enter the report via the shim's
 //! [`record_measurement`]. On a single-core host the concurrency is
 //! interleaving, not parallelism — numbers are trend material there;
-//! the committed `BENCH_6.json` carries this host's full-size run.
+//! the committed `BENCH_8.json` carries this host's full-size run.
 //!
 //! `REPLEND_BENCH_SUBJECTS` (comma-separated counts) scales the
 //! subject sizes for CI smoke runs, exactly as in `hot_path`.
@@ -41,8 +51,16 @@ use std::hint::black_box;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
 
-/// Reader threads probing the live service in the concurrent phase.
+/// Reader threads probing the live service in the headline
+/// sustained-ingest phase (kept at the ISSUE-6 count so the
+/// `service/read_*_during_ingest` ids stay comparable to BENCH_6).
 const READERS: usize = 2;
+
+/// Reader counts swept in the ISSUE-8 scaling phase.
+const READER_SWEEP: &[usize] = &[1, 2, 4, 8];
+
+/// Reader threads in the contended single-partition phase.
+const CONTENDED_READERS: usize = 4;
 
 /// Ingest batches applied per measured phase.
 const ROUNDS: u64 = 20;
@@ -98,6 +116,86 @@ fn p99(samples: &mut [u64]) -> u64 {
     samples[(samples.len().saturating_sub(1)) * 99 / 100]
 }
 
+/// Which read entry points a sustained phase times.
+#[derive(Clone, Copy)]
+enum ReadPath {
+    /// Wait-free epoch-validated slab reads (the live path).
+    Snapshot,
+    /// The pre-ISSUE-8 partition-`RwLock` path, kept in the same
+    /// binary as the oracle/baseline.
+    Locked,
+}
+
+/// Runs one sustained phase: `readers` threads time every probe
+/// (reputation + status through `path`) while the full `ingest`
+/// stream is applied. Returns (ingest nanoseconds, probe samples).
+fn sustained_phase(
+    service: &ReputationService,
+    subjects: u64,
+    readers: usize,
+    ingest: &[Vec<Feedback>],
+    path: ReadPath,
+) -> (u128, Vec<u64>) {
+    let stop = AtomicBool::new(false);
+    let mut ingest_ns = 0u128;
+    let mut latencies: Vec<Vec<u64>> = Vec::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for t in 0..readers as u64 {
+            let (service, stop) = (&service, &stop);
+            handles.push(scope.spawn(move || {
+                let mut samples = Vec::with_capacity(1 << 16);
+                let mut k = salted(0xD1, t);
+                while !stop.load(Ordering::Relaxed) {
+                    k = splitmix64(k);
+                    let subject = PeerId(k % subjects);
+                    let start = Instant::now();
+                    match path {
+                        ReadPath::Snapshot => {
+                            black_box(service.reputation(subject));
+                            black_box(service.status(subject));
+                        }
+                        ReadPath::Locked => {
+                            black_box(service.reputation_locked(subject));
+                            black_box(service.status_locked(subject));
+                        }
+                    }
+                    samples.push(start.elapsed().as_nanos() as u64);
+                }
+                samples
+            }));
+        }
+        let start = Instant::now();
+        for batch in ingest {
+            service.report_batch(batch).expect("in-memory ingest");
+            // Give interleaved readers a scheduling slot between
+            // batches on single-core hosts; a no-op with real cores.
+            std::thread::yield_now();
+        }
+        ingest_ns = start.elapsed().as_nanos();
+        stop.store(true, Ordering::Relaxed);
+        latencies = handles
+            .into_iter()
+            .map(|h| h.join().expect("reader thread panicked"))
+            .collect();
+    });
+    let samples: Vec<u64> = latencies.into_iter().flatten().collect();
+    assert!(
+        !samples.is_empty(),
+        "reader threads recorded no probes during ingest"
+    );
+    (ingest_ns, samples)
+}
+
+/// Records the mean and P99 of one sustained phase's probe samples
+/// under `{prefix}_mean…` / `{prefix}_p99…`-shaped ids.
+fn record_read_stats(mean_id: &str, p99_id: &str, mut samples: Vec<u64>) {
+    let reads = samples.len() as u64;
+    let total: u128 = samples.iter().map(|&ns| ns as u128).sum();
+    record_measurement(mean_id, reads, total, total as f64 / reads as f64);
+    record_measurement(p99_id, reads, total, p99(&mut samples) as f64);
+}
+
 fn bench_service(subjects: u64) {
     let config = ServeConfig {
         seed: 0xBE6C,
@@ -135,76 +233,97 @@ fn bench_service(subjects: u64) {
         elapsed.as_nanos() as f64 / opinions as f64,
     );
 
-    // Sustained phase: the same ingest stream again, now with reader
-    // threads timing every reputation + status probe against the live
-    // service.
+    // Headline sustained phase (BENCH_6-comparable ids).
     let noisy = batches(subjects, 2);
-    let stop = AtomicBool::new(false);
-    let mut ingest_ns = 0u128;
-    let mut latencies: Vec<Vec<u64>> = Vec::new();
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for t in 0..READERS as u64 {
-            let (service, stop) = (&service, &stop);
-            handles.push(scope.spawn(move || {
-                let mut samples = Vec::with_capacity(1 << 16);
-                let mut k = salted(0xD1, t);
-                while !stop.load(Ordering::Relaxed) {
-                    k = splitmix64(k);
-                    let subject = PeerId(k % subjects);
-                    let start = Instant::now();
-                    black_box(service.reputation(subject));
-                    black_box(service.status(subject));
-                    samples.push(start.elapsed().as_nanos() as u64);
-                }
-                samples
-            }));
-        }
-        let start = Instant::now();
-        for batch in &noisy {
-            service.report_batch(batch).expect("in-memory ingest");
-            // Give interleaved readers a scheduling slot between
-            // batches on single-core hosts; a no-op with real cores.
-            std::thread::yield_now();
-        }
-        ingest_ns = start.elapsed().as_nanos();
-        stop.store(true, Ordering::Relaxed);
-        latencies = handles
-            .into_iter()
-            .map(|h| h.join().expect("reader thread panicked"))
-            .collect();
-    });
-
+    let (ingest_ns, samples) =
+        sustained_phase(&service, subjects, READERS, &noisy, ReadPath::Snapshot);
     record_measurement(
         &format!("service/ingest_during_reads/{subjects}subj"),
         opinions,
         ingest_ns,
         ingest_ns as f64 / opinions as f64,
     );
-    let mut all: Vec<u64> = latencies.into_iter().flatten().collect();
-    assert!(
-        !all.is_empty(),
-        "reader threads recorded no probes during ingest"
-    );
-    let reads = all.len() as u64;
-    let total: u128 = all.iter().map(|&ns| ns as u128).sum();
-    record_measurement(
+    record_read_stats(
         &format!("service/read_mean_during_ingest/{subjects}subj"),
-        reads,
-        total,
-        total as f64 / reads as f64,
-    );
-    record_measurement(
         &format!("service/read_p99_during_ingest/{subjects}subj"),
-        reads,
-        total,
-        p99(&mut all) as f64,
+        samples,
     );
+
+    // ISSUE-8 reader sweep: the same sustained measurement at rising
+    // reader counts, each over a fresh ingest stream.
+    for (i, &readers) in READER_SWEEP.iter().enumerate() {
+        let stream = batches(subjects, 3 + i as u64);
+        let (_, samples) =
+            sustained_phase(&service, subjects, readers, &stream, ReadPath::Snapshot);
+        record_read_stats(
+            &format!("service/read_mean_during_ingest_r{readers}/{subjects}subj"),
+            &format!("service/read_p99_during_ingest_r{readers}/{subjects}subj"),
+            samples,
+        );
+    }
+}
+
+/// The contended worst case: one partition, so every probe races the
+/// whole ingest stream, measured through both read paths in the same
+/// binary. A tenth of the headline size keeps the cold-start cheap
+/// while leaving the contention shape identical (all reads and writes
+/// on one lock / one slab).
+fn bench_contended_single_partition(subjects: u64) {
+    let subjects = (subjects / 10).max(1_000);
+    let config = ServeConfig {
+        seed: 0xBE6C,
+        partitions: 1,
+        ..ServeConfig::default()
+    };
+    let service = ReputationService::in_memory(config);
+    for s in 0..subjects {
+        service
+            .register_peer(PeerId(s), Reputation::new(0.5))
+            .expect("in-memory registration cannot fail");
+    }
+    let mut stats: Vec<(&str, f64, f64)> = Vec::new();
+    for (tag, path, seed) in [
+        ("snapshot", ReadPath::Snapshot, 11u64),
+        ("locked", ReadPath::Locked, 12u64),
+    ] {
+        let stream = batches(subjects, seed);
+        let (_, mut samples) =
+            sustained_phase(&service, subjects, CONTENDED_READERS, &stream, path);
+        let reads = samples.len() as u64;
+        let total: u128 = samples.iter().map(|&ns| ns as u128).sum();
+        let mean = total as f64 / reads as f64;
+        let tail = p99(&mut samples) as f64;
+        record_measurement(
+            &format!("service/contended1p/read_mean_{tag}/{subjects}subj"),
+            reads,
+            total,
+            mean,
+        );
+        record_measurement(
+            &format!("service/contended1p/read_p99_{tag}/{subjects}subj"),
+            reads,
+            total,
+            tail,
+        );
+        stats.push((tag, mean, tail));
+    }
+    // Human-readable summary line for the CI contended-partition
+    // smoke (the machine-readable numbers are in the JSON report).
+    if let [(_, snap_mean, snap_p99), (_, lock_mean, lock_p99)] = stats.as_slice() {
+        eprintln!(
+            "contended1p: snapshot mean {snap_mean:.0}ns p99 {snap_p99:.0}ns | \
+             locked mean {lock_mean:.0}ns p99 {lock_p99:.0}ns | \
+             speedup mean {:.2}x p99 {:.2}x",
+            lock_mean / snap_mean,
+            lock_p99 / snap_p99
+        );
+    }
 }
 
 fn main() {
     for subjects in sizes() {
         bench_service(subjects);
+        bench_contended_single_partition(subjects);
     }
     write_json_report();
 }

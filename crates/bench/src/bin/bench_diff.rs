@@ -1,10 +1,18 @@
-//! Diffs two machine-readable bench reports (the schema-1 JSON the
-//! criterion shim writes via `REPLEND_BENCH_JSON`) and fails when any
-//! shared benchmark regressed past a tolerance band.
+//! Diffs a fresh machine-readable bench report (the schema-1 JSON the
+//! criterion shim writes via `REPLEND_BENCH_JSON`) against one or
+//! more committed baselines and fails when any shared benchmark
+//! regressed past a tolerance band.
 //!
 //! ```text
-//! bench_diff BASELINE.json FRESH.json
+//! bench_diff FRESH.json BASELINE.json [BASELINE2.json ...] [--markdown OUT.md]
 //! ```
+//!
+//! The fresh report comes first; every following path is a baseline,
+//! each compared against the same fresh numbers in one invocation (so
+//! CI gates a bench against several committed baselines without
+//! re-running the tool). `--markdown OUT.md` additionally writes the
+//! full comparison as a markdown document — one table per baseline —
+//! for upload as a build artifact.
 //!
 //! Benchmarks are matched by id; ids present in only one file are
 //! listed but don't fail the diff (benches come and go across PRs).
@@ -12,8 +20,9 @@
 //! from `REPLEND_BENCH_TOLERANCE` (default 4.0 — CI smoke runs on
 //! shared single-core runners, so the band must absorb scheduler
 //! noise; it still catches order-of-magnitude cliffs like an
-//! accidental O(n²) or a lost fast path). An empty id intersection is
-//! itself a failure: it means the diff compared nothing.
+//! accidental O(n²) or a lost fast path). An empty id intersection
+//! with any baseline is itself a failure: it means that comparison
+//! compared nothing.
 //!
 //! Reports may carry a top-level `threads` count and `host` tag (the
 //! shim stamps both since PR 7). Differing host tags make the whole
@@ -134,12 +143,136 @@ fn check_provenance(baseline: &Report, fresh: &Report) -> bool {
     }
 }
 
+/// One comparison row: a benchmark id with its numbers on both sides
+/// (either may be missing — `gone` / `new`).
+struct Row {
+    id: String,
+    base: Option<f64>,
+    fresh: Option<f64>,
+}
+
+impl Row {
+    fn ratio(&self) -> Option<f64> {
+        Some(self.fresh? / self.base?)
+    }
+}
+
+/// The outcome of diffing one baseline against the fresh report.
+struct Diff {
+    rows: Vec<Row>,
+    /// Ids present on both sides.
+    compared: usize,
+    /// Ids whose ratio exceeded the tolerance.
+    regressions: Vec<String>,
+}
+
+/// Diffs `fresh` against one `baseline` (pure; printing and exit
+/// codes are `main`'s business).
+fn diff_reports(fresh: &Report, baseline: &Report, tolerance: f64) -> Diff {
+    let mut diff = Diff {
+        rows: Vec::new(),
+        compared: 0,
+        regressions: Vec::new(),
+    };
+    for (id, base) in &baseline.results {
+        let new = fresh.results.get(id).copied();
+        if let Some(new) = new {
+            diff.compared += 1;
+            if new / base > tolerance {
+                diff.regressions.push(id.clone());
+            }
+        }
+        diff.rows.push(Row {
+            id: id.clone(),
+            base: Some(*base),
+            fresh: new,
+        });
+    }
+    for (id, new) in &fresh.results {
+        if !baseline.results.contains_key(id) {
+            diff.rows.push(Row {
+                id: id.clone(),
+                base: None,
+                fresh: Some(*new),
+            });
+        }
+    }
+    diff
+}
+
+fn fmt_ns(v: Option<f64>) -> String {
+    v.map_or_else(|| "-".to_string(), |v| format!("{v:.1}"))
+}
+
+/// Renders every comparison as one markdown document — a table per
+/// baseline — for upload as a CI artifact.
+fn render_markdown(fresh_path: &str, tolerance: f64, diffs: &[(String, Diff)]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "# Bench summary\n\nFresh report: `{fresh_path}` · tolerance {tolerance}x\n"
+    ));
+    for (baseline_path, diff) in diffs {
+        out.push_str(&format!(
+            "\n## vs `{baseline_path}`\n\n\
+             | id | baseline ns | fresh ns | ratio | |\n\
+             |---|---:|---:|---:|---|\n"
+        ));
+        for row in &diff.rows {
+            let (ratio, flag) = match (row.ratio(), row.base, row.fresh) {
+                (Some(r), _, _) => (
+                    format!("{r:.2}x"),
+                    if r > tolerance { "**REGRESSED**" } else { "" },
+                ),
+                (None, Some(_), None) => ("-".to_string(), "gone"),
+                _ => ("-".to_string(), "new"),
+            };
+            out.push_str(&format!(
+                "| `{}` | {} | {} | {} | {} |\n",
+                row.id,
+                fmt_ns(row.base),
+                fmt_ns(row.fresh),
+                ratio,
+                flag
+            ));
+        }
+        out.push_str(&format!(
+            "\n{} shared benchmark(s), {} regression(s).\n",
+            diff.compared,
+            diff.regressions.len()
+        ));
+    }
+    out
+}
+
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let [baseline_path, fresh_path] = args.as_slice() else {
-        eprintln!("usage: bench_diff BASELINE.json FRESH.json");
+    let mut paths: Vec<String> = Vec::new();
+    let mut markdown: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--markdown" {
+            match args.next() {
+                Some(path) => markdown = Some(path),
+                None => {
+                    eprintln!("bench diff: --markdown requires a path");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else {
+            paths.push(arg);
+        }
+    }
+    let [fresh_path, baseline_paths @ ..] = paths.as_slice() else {
+        eprintln!(
+            "usage: bench_diff FRESH.json BASELINE.json [BASELINE2.json ...] [--markdown OUT.md]"
+        );
         return ExitCode::FAILURE;
     };
+    if baseline_paths.is_empty() {
+        eprintln!(
+            "usage: bench_diff FRESH.json BASELINE.json [BASELINE2.json ...] [--markdown OUT.md]"
+        );
+        return ExitCode::FAILURE;
+    }
     let tolerance: f64 = match std::env::var("REPLEND_BENCH_TOLERANCE") {
         Ok(raw) => raw
             .parse()
@@ -148,60 +281,84 @@ fn main() -> ExitCode {
     };
     assert!(tolerance >= 1.0, "tolerance below 1.0 rejects everything");
 
-    let baseline = load(baseline_path);
     let fresh = load(fresh_path);
-    if !check_provenance(&baseline, &fresh) {
-        return ExitCode::FAILURE;
-    }
-    if let (Some(b), Some(f)) = (baseline.threads, fresh.threads) {
-        if b != f {
+    let mut failed = false;
+    let mut diffs: Vec<(String, Diff)> = Vec::new();
+    for baseline_path in baseline_paths {
+        let baseline = load(baseline_path);
+        if !check_provenance(&baseline, &fresh) {
+            failed = true;
+        }
+        if let (Some(b), Some(f)) = (baseline.threads, fresh.threads) {
+            if b != f {
+                eprintln!(
+                    "bench diff: WARNING: {baseline_path} measured with {b} thread(s), fresh \
+                     with {f}; pool-sensitive benchmarks are not directly comparable"
+                );
+            }
+        }
+        let diff = diff_reports(&fresh, &baseline, tolerance);
+
+        println!(
+            "bench diff: {baseline_path} -> {fresh_path} (tolerance {tolerance}x)\n\
+             {:<60} {:>14} {:>14} {:>8}",
+            "id", "baseline ns", "fresh ns", "ratio"
+        );
+        for row in &diff.rows {
+            match (row.ratio(), row.base, row.fresh) {
+                (Some(ratio), Some(base), Some(new)) => {
+                    let flag = if ratio > tolerance { "REGRESSED" } else { "" };
+                    println!(
+                        "{:<60} {base:>14.1} {new:>14.1} {ratio:>7.2}x {flag}",
+                        row.id
+                    );
+                }
+                (_, Some(base), None) => {
+                    println!("{:<60} {base:>14.1} {:>14} {:>8}", row.id, "-", "gone");
+                }
+                (_, None, Some(new)) => {
+                    println!("{:<60} {:>14} {new:>14.1} {:>8}", row.id, "-", "new");
+                }
+                _ => unreachable!("a row always has at least one side"),
+            }
+        }
+        if diff.compared == 0 {
             eprintln!(
-                "bench diff: WARNING: baseline measured with {b} thread(s), fresh with {f}; \
-                 pool-sensitive benchmarks are not directly comparable"
+                "bench diff: no benchmark ids shared with {baseline_path} — nothing was compared"
+            );
+            failed = true;
+        }
+        if !diff.regressions.is_empty() {
+            eprintln!(
+                "bench diff: {} benchmark(s) regressed past {tolerance}x vs {baseline_path}: {}",
+                diff.regressions.len(),
+                diff.regressions.join(", ")
+            );
+            failed = true;
+        } else if diff.compared > 0 {
+            println!(
+                "bench diff: {} shared benchmark(s) within the {tolerance}x band vs {baseline_path}",
+                diff.compared
             );
         }
+        diffs.push((baseline_path.clone(), diff));
     }
-    let baseline = baseline.results;
-    let fresh = fresh.results;
 
-    let mut compared = 0usize;
-    let mut regressions = Vec::new();
-    println!(
-        "bench diff: {baseline_path} -> {fresh_path} (tolerance {tolerance}x)\n\
-         {:<60} {:>14} {:>14} {:>8}",
-        "id", "baseline ns", "fresh ns", "ratio"
-    );
-    for (id, base) in &baseline {
-        let Some(new) = fresh.get(id) else {
-            println!("{id:<60} {base:>14.1} {:>14} {:>8}", "-", "gone");
-            continue;
-        };
-        let ratio = new / base;
-        let flag = if ratio > tolerance { "REGRESSED" } else { "" };
-        println!("{id:<60} {base:>14.1} {new:>14.1} {ratio:>7.2}x {flag}");
-        compared += 1;
-        if ratio > tolerance {
-            regressions.push(id.clone());
+    if let Some(path) = markdown {
+        let doc = render_markdown(fresh_path, tolerance, &diffs);
+        if let Err(e) = std::fs::write(&path, doc) {
+            eprintln!("bench diff: cannot write {path}: {e}");
+            failed = true;
+        } else {
+            println!("bench diff: markdown summary written to {path}");
         }
     }
-    for id in fresh.keys().filter(|id| !baseline.contains_key(*id)) {
-        println!("{id:<60} {:>14} {:>14.1} {:>8}", "-", fresh[id], "new");
-    }
 
-    if compared == 0 {
-        eprintln!("bench diff: no shared benchmark ids — nothing was compared");
-        return ExitCode::FAILURE;
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
     }
-    if !regressions.is_empty() {
-        eprintln!(
-            "bench diff: {} benchmark(s) regressed past {tolerance}x: {}",
-            regressions.len(),
-            regressions.join(", ")
-        );
-        return ExitCode::FAILURE;
-    }
-    println!("bench diff: {compared} shared benchmark(s) within the {tolerance}x band");
-    ExitCode::SUCCESS
 }
 
 #[cfg(test)]
@@ -237,6 +394,67 @@ mod tests {
         assert!(check_provenance(&tagged, &untagged));
         assert!(check_provenance(&untagged, &tagged));
         assert!(check_provenance(&tagged, &tagged));
+    }
+
+    #[test]
+    fn diff_classifies_shared_gone_new_and_regressed() {
+        let fresh = parse_report(
+            "{\n  \"schema\": 1,\n  \"results\": [\n\
+             {\"id\": \"a\", \"iters\": 1, \"total_ns\": 1, \"mean_ns\": 10.0},\n\
+             {\"id\": \"b\", \"iters\": 1, \"total_ns\": 1, \"mean_ns\": 500.0},\n\
+             {\"id\": \"c\", \"iters\": 1, \"total_ns\": 1, \"mean_ns\": 7.0}\n]\n}\n",
+            "fresh",
+        );
+        let baseline = parse_report(
+            "{\n  \"schema\": 1,\n  \"results\": [\n\
+             {\"id\": \"a\", \"iters\": 1, \"total_ns\": 1, \"mean_ns\": 10.0},\n\
+             {\"id\": \"b\", \"iters\": 1, \"total_ns\": 1, \"mean_ns\": 10.0},\n\
+             {\"id\": \"d\", \"iters\": 1, \"total_ns\": 1, \"mean_ns\": 10.0}\n]\n}\n",
+            "base",
+        );
+        let diff = diff_reports(&fresh, &baseline, 4.0);
+        assert_eq!(diff.compared, 2);
+        assert_eq!(diff.regressions, vec!["b".to_string()]);
+        // a, b, d (baseline order) then c (fresh-only).
+        let kinds: Vec<(&str, bool, bool)> = diff
+            .rows
+            .iter()
+            .map(|r| (r.id.as_str(), r.base.is_some(), r.fresh.is_some()))
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![
+                ("a", true, true),
+                ("b", true, true),
+                ("d", true, false),
+                ("c", false, true),
+            ]
+        );
+    }
+
+    #[test]
+    fn markdown_renders_one_table_per_baseline() {
+        let fresh = parse_report(TAGGED, "fresh");
+        let base = parse_report(&TAGGED.replace("10.000", "2.000"), "base");
+        let diffs = vec![
+            ("base1.json".to_string(), diff_reports(&fresh, &base, 4.0)),
+            ("base2.json".to_string(), diff_reports(&fresh, &fresh, 4.0)),
+        ];
+        let doc = render_markdown("fresh.json", 4.0, &diffs);
+        assert!(doc.contains("# Bench summary"), "{doc}");
+        assert!(doc.contains("## vs `base1.json`"), "{doc}");
+        assert!(doc.contains("## vs `base2.json`"), "{doc}");
+        // 10.0 vs baseline 2.0 = 5x > 4x tolerance.
+        assert!(doc.contains("**REGRESSED**"), "{doc}");
+        assert!(doc.contains("| `a/b` | 2.0 | 10.0 | 5.00x |"), "{doc}");
+        assert!(
+            doc.contains("1 shared benchmark(s), 1 regression(s)."),
+            "{doc}"
+        );
+        assert!(
+            doc.contains("1 shared benchmark(s), 0 regression(s)."),
+            "{doc}"
+        );
     }
 
     #[test]

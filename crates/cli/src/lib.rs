@@ -11,6 +11,7 @@
 //!             [--histogram N] [--shards N] [--communities K]
 //! replend serve [--subjects N] [--rounds N] [--batch N] [--readers N]
 //!               [--partitions N] [--num-sm N] [--seed N] [--journal PATH]
+//!               [--journal-sync always|batch:N]
 //!               [--min-observations N] [--throttle-below F] [--ban-below F]
 //! replend calibrate [--budget-ms N] [--subjects N] [--num-sm N] [--seed N]
 //!                   [--out PATH]
@@ -37,7 +38,7 @@
 
 use replend_core::community::CommunityBuilder;
 use replend_core::serve::{
-    run_ingest_workload, ReputationService, ServeConfig, StatusPolicy, WorkloadConfig,
+    run_ingest_workload, ReputationService, ServeConfig, StatusPolicy, SyncPolicy, WorkloadConfig,
 };
 use replend_core::worker::Worker;
 use replend_core::{BootstrapPolicy, CommunityCluster, EngineKind, SubprocessWorker};
@@ -126,6 +127,8 @@ pub struct ServeArgs {
     pub seed: u64,
     /// Write-ahead feedback journal (`None` = in-memory only).
     pub journal: Option<PathBuf>,
+    /// Journal flush policy: every record, or group-committed.
+    pub journal_sync: SyncPolicy,
     /// Observations before the status policy trusts a reputation.
     pub min_observations: u64,
     /// Throttle subjects below this reputation.
@@ -153,6 +156,7 @@ impl Default for ServeArgs {
             num_sm: config.num_sm,
             seed: 0,
             journal: None,
+            journal_sync: config.journal_sync,
             min_observations: config.policy.min_observations,
             throttle_below: config.policy.throttle_below,
             ban_below: config.policy.ban_below,
@@ -180,6 +184,7 @@ impl ServeArgs {
             partitions: self.partitions,
             seed: self.seed,
             policy: self.policy(),
+            journal_sync: self.journal_sync,
             ..ServeConfig::default()
         }
     }
@@ -302,6 +307,25 @@ fn parse_positive(flag: &str, value: Option<&str>) -> Result<usize, UsageError> 
         return Err(UsageError(format!("{flag} must be at least 1")));
     }
     Ok(n)
+}
+
+/// Parses `--journal-sync`: `always`, or `batch:N` with `N >= 2`
+/// (batch:1 is just `always` — asking for it is a sign of confusion,
+/// so it gets the named error too).
+fn parse_sync_policy(raw: &str) -> Result<SyncPolicy, UsageError> {
+    if raw == "always" {
+        return Ok(SyncPolicy::Always);
+    }
+    if let Some(n) = raw.strip_prefix("batch:") {
+        if let Ok(n) = n.parse::<usize>() {
+            if n >= 2 {
+                return Ok(SyncPolicy::Batch(n));
+            }
+        }
+    }
+    Err(UsageError(format!(
+        "--journal-sync must be \"always\" or \"batch:N\" with N >= 2, got {raw:?}"
+    )))
 }
 
 fn parse_policy(raw: &str) -> Result<BootstrapPolicy, UsageError> {
@@ -432,6 +456,11 @@ pub fn parse_args(args: &[&str]) -> Result<Command, UsageError> {
                         out.journal = Some(PathBuf::from(raw));
                         i += 2;
                     }
+                    "--journal-sync" => {
+                        let raw: String = parse_value(flag, value)?;
+                        out.journal_sync = parse_sync_policy(&raw)?;
+                        i += 2;
+                    }
                     "--min-observations" => {
                         out.min_observations = parse_value(flag, value)?;
                         i += 2;
@@ -450,6 +479,29 @@ pub fn parse_args(args: &[&str]) -> Result<Command, UsageError> {
             if out.subjects == 0 {
                 return Err(UsageError("--subjects must be at least 1".into()));
             }
+            // Threshold mistakes are caught here, at parse time, with
+            // the flag names the user typed — not later from
+            // `StatusPolicy::validate` deep in the service.
+            if !(0.0..=1.0).contains(&out.throttle_below) {
+                return Err(UsageError(format!(
+                    "--throttle-below must lie in [0, 1], got {}",
+                    out.throttle_below
+                )));
+            }
+            if !(0.0..=1.0).contains(&out.ban_below) {
+                return Err(UsageError(format!(
+                    "--ban-below must lie in [0, 1], got {}",
+                    out.ban_below
+                )));
+            }
+            if out.ban_below >= out.throttle_below {
+                return Err(UsageError(format!(
+                    "--ban-below ({}) must be strictly below --throttle-below ({})",
+                    out.ban_below, out.throttle_below
+                )));
+            }
+            // Backstop: any policy invariant the flag checks above
+            // don't cover.
             out.policy()
                 .validate()
                 .map_err(|e| UsageError(format!("invalid status policy: {e}")))?;
@@ -663,6 +715,11 @@ pub fn usage() -> String {
      \x20 --seed N            engine + workload seed (default 0)\n\
      \x20 --journal PATH      write-ahead feedback journal; replayed on start,\n\
      \x20                     so a restart lands on byte-identical state\n\
+     \x20 --journal-sync M    journal flush policy: \"always\" (flush every\n\
+     \x20                     record before applying it; default) or \"batch:N\"\n\
+     \x20                     (group commit: flush every N appends; identical\n\
+     \x20                     bytes and replay state, up to N-1 applied ops\n\
+     \x20                     lost on a crash)\n\
      \x20 --min-observations N  observations before the policy trusts a\n\
      \x20                     reputation (default 10)\n\
      \x20 --throttle-below F  throttle subjects below this reputation (default 0.5)\n\
@@ -788,10 +845,15 @@ fn run_serve(args: &ServeArgs) -> Result<String, CliError> {
     );
     match (&args.journal, replayed) {
         (Some(path), Some(summary)) => {
+            let sync = match args.journal_sync {
+                SyncPolicy::Always => "always".to_string(),
+                SyncPolicy::Batch(n) => format!("batch:{n}"),
+            };
             let _ = writeln!(
                 out,
-                "  journal: {} (replayed {} op(s), {} byte(s){})",
+                "  journal: {} (sync {}, replayed {} op(s), {} byte(s){})",
                 path.display(),
+                sync,
                 summary.records,
                 summary.bytes,
                 if summary.truncated_torn_tail {
@@ -1538,6 +1600,7 @@ mod tests {
             "--readers",
             "--partitions",
             "--journal",
+            "--journal-sync",
             "--min-observations",
             "--throttle-below",
             "--ban-below",
@@ -1585,6 +1648,8 @@ mod tests {
             "7",
             "--journal",
             "/tmp/feedback.wal",
+            "--journal-sync",
+            "batch:16",
             "--min-observations",
             "5",
             "--throttle-below",
@@ -1603,6 +1668,7 @@ mod tests {
         assert_eq!(args.num_sm, 3);
         assert_eq!(args.seed, 7);
         assert_eq!(args.journal, Some(PathBuf::from("/tmp/feedback.wal")));
+        assert_eq!(args.journal_sync, SyncPolicy::Batch(16));
         assert_eq!(args.min_observations, 5);
         assert!((args.throttle_below - 0.6).abs() < 1e-12);
         assert!((args.ban_below - 0.3).abs() < 1e-12);
@@ -1614,10 +1680,54 @@ mod tests {
         assert!(parse_args(&["serve", "--subjects", "0"]).is_err());
         assert!(parse_args(&["serve", "--partitions", "0"]).is_err());
         assert!(parse_args(&["serve", "--batch", "0"]).is_err());
-        // ban > throttle inverts the tiers; must die at parse time.
+    }
+
+    #[test]
+    fn serve_threshold_mistakes_die_at_parse_time_with_flag_names() {
+        // Inverted tiers: named after the flags, not the policy field.
         let err =
             parse_args(&["serve", "--throttle-below", "0.1", "--ban-below", "0.4"]).unwrap_err();
-        assert!(err.to_string().contains("status policy"), "{err}");
+        assert!(
+            err.to_string()
+                .contains("--ban-below (0.4) must be strictly below --throttle-below (0.1)"),
+            "{err}"
+        );
+        // Equal thresholds make the throttle tier empty — also named.
+        let err =
+            parse_args(&["serve", "--throttle-below", "0.5", "--ban-below", "0.5"]).unwrap_err();
+        assert!(err.to_string().contains("strictly below"), "{err}");
+        // Out-of-range values name the offending flag.
+        let err = parse_args(&["serve", "--throttle-below", "1.5"]).unwrap_err();
+        assert!(
+            err.to_string()
+                .contains("--throttle-below must lie in [0, 1]"),
+            "{err}"
+        );
+        let err = parse_args(&["serve", "--ban-below", "-0.1"]).unwrap_err();
+        assert!(
+            err.to_string().contains("--ban-below must lie in [0, 1]"),
+            "{err}"
+        );
+        // In-range, correctly ordered values still parse.
+        assert!(parse_args(&["serve", "--throttle-below", "0.4", "--ban-below", "0.1"]).is_ok());
+    }
+
+    #[test]
+    fn serve_parses_journal_sync_policy() {
+        let parse = |raw: &str| match parse_args(&["serve", "--journal-sync", raw]) {
+            Ok(Command::Serve(args)) => Ok(args.journal_sync),
+            Ok(_) => unreachable!(),
+            Err(e) => Err(e),
+        };
+        assert_eq!(parse("always").unwrap(), SyncPolicy::Always);
+        assert_eq!(parse("batch:64").unwrap(), SyncPolicy::Batch(64));
+        for bad in ["batch:0", "batch:1", "batch:", "batch:x", "sometimes"] {
+            let err = parse(bad).unwrap_err();
+            assert!(
+                err.to_string().contains("--journal-sync must be"),
+                "{bad}: {err}"
+            );
+        }
     }
 
     #[test]

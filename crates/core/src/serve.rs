@@ -8,31 +8,43 @@
 //! `reputation()` / status probes from admission control, punctuated
 //! by feedback ingest. [`ReputationService`] serves that shape:
 //!
-//! * **Concurrent reads.** Subjects live in a
-//!   [`ConcurrentEngine`] — a lock-per-partition facade — so reads
-//!   take one partition read lock and proceed while ingest writes
-//!   other partitions. Every individual subject is linearizable;
-//!   cross-subject sweeps are not a consistent global snapshot (see
-//!   the `replend_rocq::concurrent` module docs).
+//! * **Wait-free reads.** Subjects live in a [`ConcurrentEngine`] —
+//!   a lock-per-partition facade whose hot read fields are published
+//!   through an epoch-versioned snapshot slab — so `reputation()` and
+//!   `status()` probes take **no lock at all**: they read the slab,
+//!   validate the partition epoch, and retry only if a batch
+//!   published mid-read. Every individual subject is linearizable and
+//!   every read observes exactly a pre-batch or post-batch state
+//!   (never a mix), bit-identical to what the locked path would
+//!   return; cross-subject sweeps are still not a consistent global
+//!   snapshot (see the `replend_rocq::concurrent` module docs).
 //! * **Status tiers.** [`StatusPolicy`] maps a subject's reputation
 //!   *and* its applied-report count to an operational
 //!   [`SubjectStatus`]: `Whitelisted` / `Throttled` / `Banned`. The
 //!   interaction floor keeps a newcomer with two low reports from
 //!   being banned on no evidence — below `min_observations` the
 //!   policy stays permissive and lets the lending protocol's own
-//!   stake bear the risk.
+//!   stake bear the risk. The common whitelist probe is served from a
+//!   per-subject tier memo keyed by the partition epoch: a repeat
+//!   `status()` at an unchanged epoch is a single load + compare.
 //! * **Write-ahead journal.** With a journal attached, every mutation
-//!   is appended (and flushed) to an append-only log of
-//!   length-prefixed `replend-wire` frames *before* it touches the
-//!   engine. A restarted service replays the log through the same
-//!   apply path and reaches byte-identical engine state — pinned by
-//!   the determinism suite. A torn final frame (crash mid-append) is
-//!   truncated on open; the lost operation was never applied, so the
-//!   truncation is exact, not lossy.
+//!   is appended to an append-only log of length-prefixed
+//!   `replend-wire` frames *before* it touches the engine. The
+//!   [`SyncPolicy`] picks the durability point: `Always` flushes
+//!   every record before applying it (the strict WAL contract);
+//!   `Batch(N)` group-commits — frames buffer in memory and hit the
+//!   file every `N` appends, trading up to `N - 1` applied-but-
+//!   unflushed operations on a crash for fewer syscalls, while the
+//!   byte stream (and therefore replay state) stays identical. A
+//!   restarted service replays the log through the same apply path
+//!   and reaches byte-identical engine state — pinned by the
+//!   determinism suite. A torn final frame is truncated on open;
+//!   under group commit a torn tail can only start at a flushed-batch
+//!   boundary, so the truncation is still exact.
 //!
 //! The one-writer/many-readers split is by construction: mutators
 //! serialize on the journal lock (a WAL has one tail), while readers
-//! share the engine's partition read locks. [`run_ingest_workload`]
+//! bypass locks entirely on the snapshot slab. [`run_ingest_workload`]
 //! is the service loop the `replend serve` subcommand and the service
 //! bench both drive: a deterministic synthetic ingest stream with
 //! reader threads hammering the read path the whole time.
@@ -42,6 +54,7 @@ use replend_rocq::inspect::SubjectSnapshot;
 use replend_rocq::RocqParams;
 use replend_types::hash::{salted, splitmix64};
 use replend_types::{Feedback, PeerId, Reputation};
+pub use replend_wire::SyncPolicy;
 use replend_wire::{JournalError, JournalReader, JournalWriter};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -70,6 +83,24 @@ impl SubjectStatus {
             SubjectStatus::Whitelisted => "whitelisted",
             SubjectStatus::Throttled => "throttled",
             SubjectStatus::Banned => "banned",
+        }
+    }
+
+    /// Dense tier code for the engine-side status memo (must stay
+    /// `< 4`: the memo packs it into two bits).
+    const fn tier(self) -> u8 {
+        match self {
+            SubjectStatus::Whitelisted => 0,
+            SubjectStatus::Throttled => 1,
+            SubjectStatus::Banned => 2,
+        }
+    }
+
+    const fn from_tier(tier: u8) -> SubjectStatus {
+        match tier {
+            0 => SubjectStatus::Whitelisted,
+            1 => SubjectStatus::Throttled,
+            _ => SubjectStatus::Banned,
         }
     }
 }
@@ -156,6 +187,10 @@ pub struct ServeConfig {
     pub seed: u64,
     /// The status-tier thresholds.
     pub policy: StatusPolicy,
+    /// When journal appends reach the file: every record
+    /// ([`SyncPolicy::Always`], the default) or group-committed in
+    /// batches ([`SyncPolicy::Batch`]). Ignored by in-memory services.
+    pub journal_sync: SyncPolicy,
 }
 
 impl Default for ServeConfig {
@@ -170,6 +205,7 @@ impl Default for ServeConfig {
             partitions: 8,
             seed: 0,
             policy: StatusPolicy::default(),
+            journal_sync: SyncPolicy::Always,
         }
     }
 }
@@ -237,8 +273,8 @@ pub struct ReplaySummary {
 
 /// The online reputation service. Mutators take `&self` and serialize
 /// on the journal lock; reads go straight to the concurrent engine's
-/// partition read locks, so the service can be shared across reader
-/// threads (`&ReputationService` is `Send + Sync`).
+/// lock-free snapshot slabs, so the service can be shared across
+/// reader threads (`&ReputationService` is `Send + Sync`).
 pub struct ReputationService {
     engine: ConcurrentEngine,
     policy: StatusPolicy,
@@ -297,7 +333,11 @@ impl ReputationService {
             file.set_len(summary.bytes)?;
         }
         file.seek(SeekFrom::Start(summary.bytes))?;
-        service.journal = Some(Mutex::new(JournalWriter::new(file, config.seed)));
+        service.journal = Some(Mutex::new(JournalWriter::with_policy(
+            file,
+            config.seed,
+            config.journal_sync,
+        )));
         Ok((service, summary))
     }
 
@@ -377,10 +417,17 @@ impl ReputationService {
         self.mutate(JournalOp::Debit { subject, amount })
     }
 
-    /// The aggregate reputation of `subject` — one partition read
-    /// lock, concurrent with ingest on other partitions.
+    /// The aggregate reputation of `subject` — a lock-free,
+    /// epoch-validated snapshot read; never waits on ingest.
     pub fn reputation(&self, subject: PeerId) -> Option<Reputation> {
         self.engine.reputation(subject)
+    }
+
+    /// [`ReputationService::reputation`] through the pre-PR-8 locked
+    /// path (one partition read lock). Bit-identical to the snapshot
+    /// read; kept as the oracle and contended-read bench baseline.
+    pub fn reputation_locked(&self, subject: PeerId) -> Option<Reputation> {
+        self.engine.reputation_locked(subject)
     }
 
     /// The subject's full score-manager snapshot.
@@ -388,13 +435,38 @@ impl ReputationService {
         self.engine.snapshot(subject)
     }
 
-    /// The subject's operational tier, from reputation + applied
-    /// report count read under one lock.
+    /// The subject's operational tier, from a coherent lock-free
+    /// `(reputation, interactions)` snapshot read. Served from the
+    /// per-subject tier memo when the partition epoch is unchanged
+    /// since the last probe — the common whitelist check is then a
+    /// single load + compare.
     pub fn status(&self, subject: PeerId) -> Option<SubjectStatus> {
-        let p = self.policy;
-        let reputation = self.engine.reputation(subject)?;
-        let observations = self.engine.interactions(subject)?;
-        Some(p.classify(reputation, observations))
+        let policy = self.policy;
+        let tier = self
+            .engine
+            .classify_read(subject, move |r, obs| policy.classify(r, obs).tier())?;
+        Some(SubjectStatus::from_tier(tier))
+    }
+
+    /// [`ReputationService::status`] through the locked path (no
+    /// memo): reputation and applied-report count read under one
+    /// partition read lock. Oracle and bench baseline.
+    pub fn status_locked(&self, subject: PeerId) -> Option<SubjectStatus> {
+        let policy = self.policy;
+        let tier = self
+            .engine
+            .classify_read_locked(subject, move |r, obs| policy.classify(r, obs).tier())?;
+        Some(SubjectStatus::from_tier(tier))
+    }
+
+    /// Forces any group-commit-buffered journal records onto the file
+    /// and flushes. A no-op for in-memory services and under
+    /// [`SyncPolicy::Always`].
+    pub fn sync_journal(&self) -> Result<(), ServeError> {
+        if let Some(journal) = &self.journal {
+            journal.lock().expect("journal lock poisoned").sync()?;
+        }
+        Ok(())
     }
 
     /// Registered subjects.
@@ -696,6 +768,81 @@ mod tests {
             "synthetic mix populates multiple tiers: {:?}",
             report.census
         );
+    }
+
+    #[test]
+    fn snapshot_and_locked_reads_agree_including_status_memo() {
+        let service = ReputationService::in_memory(config());
+        run_ingest_workload(
+            &service,
+            WorkloadConfig {
+                subjects: 120,
+                rounds: 8,
+                batch: 60,
+                readers: 0,
+                seed: 13,
+            },
+        )
+        .unwrap();
+        for s in 0..120u64 {
+            let subject = PeerId(s);
+            assert_eq!(
+                service.reputation(subject).map(|r| r.value().to_bits()),
+                service
+                    .reputation_locked(subject)
+                    .map(|r| r.value().to_bits()),
+            );
+            // Twice: the second probe is served from the tier memo
+            // and must not diverge.
+            assert_eq!(service.status(subject), service.status_locked(subject));
+            assert_eq!(service.status(subject), service.status_locked(subject));
+        }
+    }
+
+    #[test]
+    fn group_commit_restart_matches_always_sync() {
+        let dir = std::env::temp_dir().join(format!("replend-serve-gc-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let run = |name: &str, sync: SyncPolicy| {
+            let path = dir.join(name);
+            let _ = std::fs::remove_file(&path);
+            let cfg = ServeConfig {
+                journal_sync: sync,
+                ..config()
+            };
+            {
+                let (service, _) = ReputationService::open(cfg, &path).unwrap();
+                run_ingest_workload(
+                    &service,
+                    WorkloadConfig {
+                        subjects: 90,
+                        rounds: 6,
+                        batch: 50,
+                        readers: 0,
+                        seed: 21,
+                    },
+                )
+                .unwrap();
+                // Dropping the service's journal flushes the tail.
+            }
+            let (reopened, summary) = ReputationService::open(cfg, &path).unwrap();
+            assert!(!summary.truncated_torn_tail);
+            let mut state: Vec<(u64, u64, u64)> = Vec::new();
+            reopened
+                .engine()
+                .for_each_subject(|p, r, n| state.push((p.raw(), r.value().to_bits(), n)));
+            state.sort_unstable();
+            let bytes = std::fs::read(&path).unwrap();
+            let _ = std::fs::remove_file(&path);
+            (state, bytes)
+        };
+        let (always_state, always_bytes) = run("always.journal", SyncPolicy::Always);
+        let (batch_state, batch_bytes) = run("batch.journal", SyncPolicy::Batch(32));
+        // Group commit changes when bytes are flushed, never which
+        // bytes: identical log, identical replayed state.
+        assert_eq!(always_bytes, batch_bytes);
+        assert_eq!(always_state, batch_state);
+        let _ = std::fs::remove_dir(&dir);
     }
 
     #[test]

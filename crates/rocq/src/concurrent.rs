@@ -1,85 +1,119 @@
 //! [`ConcurrentEngine`]: a lock-per-partition concurrent facade over
-//! the arena engine, built for the serve layer's read-while-ingest
-//! workload.
+//! the arena engine with an epoch-versioned **wait-free read path**,
+//! built for the serve layer's read-while-ingest workload.
 //!
 //! ## Layout
 //!
 //! The subject space is split by the engine's standard
 //! [`shard_of`](crate::engine::shard_of) hash into `P` partitions,
 //! each holding a full single-shard [`RocqEngine`] behind its own
-//! `RwLock`. A subject's entire state — replicas, credibility book,
-//! interaction counts, received-report counter — lives in exactly one
-//! partition, so:
+//! `RwLock` **plus** a [`SnapshotSlab`] — an atomically readable copy
+//! of the two hot read fields (cached aggregate reputation and
+//! applied-report count) guarded by a seqlock-style epoch counter. A
+//! subject's entire state lives in exactly one partition, so:
 //!
-//! * `reputation()` / `snapshot()` / status reads take **one read
-//!   lock** on the subject's home partition and proceed concurrently
-//!   with each other *and* with `report_batch` ingest running on
-//!   other partitions;
+//! * `reputation()` / `interactions()` / status and census reads go
+//!   to the slab **without taking the partition lock at all**: they
+//!   load the epoch, read, and re-validate the epoch, retrying on a
+//!   torn window (see the [`snapshot`](crate::snapshot) module docs
+//!   for the protocol). Reads never wait for a batch to finish
+//!   applying — not even on their own partition.
 //! * `report_batch` groups the batch by home partition and
 //!   write-locks each touched partition in turn — never more than one
-//!   lock at a time, so the facade cannot deadlock.
+//!   lock at a time, so the facade cannot deadlock. After the engine
+//!   applies a group, the mutator opens one slab write (epoch odd),
+//!   copies the drained aggregate deltas and interaction increments
+//!   in, and publishes (epoch even) — so the slab jumps atomically
+//!   from the pre-batch to the post-batch state.
+//! * `snapshot()` (full replica state) and the `*_locked` read
+//!   variants still take the partition read lock; the locked path is
+//!   kept as the bit-identity oracle for the slab and as the bench
+//!   comparison baseline.
 //!
 //! Membership is engine-wide (any member may report on any subject),
 //! so registration fans out: the home partition gets the subject
 //! state (`register_peer`), every other partition learns the peer as
-//! reporter-only ([`RocqEngine::register_reporter`]). Each partition
-//! keeps its own overlay ring over its own subjects.
+//! reporter-only ([`RocqEngine::register_reporter`]).
 //!
 //! ## Consistency model
 //!
-//! Every individual subject is **linearizable**: all of its reads and
-//! writes go through its home partition's lock. Cross-subject reads
-//! (a histogram sweep, two `reputation()` calls) are *not* a
-//! consistent snapshot — a concurrent batch may be applied to
-//! partition 2 after partition 1 was read. This matches the paper's
-//! model, where score managers for different subjects are independent
-//! nodes with no global clock.
+//! Every individual subject is **linearizable**: all of its writes go
+//! through its home partition's lock, and a slab read observes
+//! exactly one published (pre- or post-mutation) state — never a mix
+//! of the two, pinned by the interleaving suite in `replend-tests`.
+//! Cross-subject reads (a histogram sweep, two `reputation()` calls)
+//! are *not* a consistent global snapshot across partitions — a
+//! concurrent batch may be applied to partition 2 after partition 1
+//! was read. Within one partition, a census sweep **is** coherent:
+//! [`ConcurrentEngine::for_each_subject`] retries the lock-free sweep
+//! a few times and falls back to the partition read lock (where a
+//! single attempt cannot fail) under sustained ingest.
 //!
 //! ## Determinism
 //!
 //! Mutations applied in the same order produce bit-identical state —
 //! the property the serve layer's write-ahead journal replay relies
-//! on. Moreover, with the crash model off (`crash_prob == 0`,
-//! the serve default) replica placement never influences scores, so
-//! the facade's aggregates are bit-identical to a monolithic
-//! [`RocqEngine`] fed the same operation stream, pinned by the serve
-//! suite in `replend-tests`.
+//! on. With the crash model off (`crash_prob == 0`, the serve
+//! default) the facade's aggregates are bit-identical to a monolithic
+//! [`RocqEngine`] fed the same operation stream, and the slab read
+//! path returns bit-identical values to the locked read path — both
+//! pinned by the serve suite in `replend-tests`.
 
 use crate::engine::{shard_of, ReputationEngine, RocqEngine};
 use crate::inspect::SubjectSnapshot;
 use crate::params::RocqParams;
+use crate::snapshot::SnapshotSlab;
 use replend_types::hash::salted;
 use replend_types::{Feedback, PeerId, Reputation, ReputationDelta};
-use std::collections::HashMap;
 use std::sync::RwLock;
 
-/// One lockable partition: a single-shard engine plus the serve
-/// layer's per-subject received-report counters (kept here, under the
-/// same lock, so status reads are consistent with the scores).
+/// Lock-free sweep attempts before a census falls back to the
+/// partition read lock. Ingest holds the slab's write window only for
+/// the post-batch sync, so a handful of retries almost always lands
+/// in a quiet window; the fallback bounds the worst case.
+const SWEEP_ATTEMPTS: usize = 4;
+
+/// One lockable partition: a single-shard engine plus the mutator-side
+/// scratch. The hot read fields live outside the lock, in the cell's
+/// [`SnapshotSlab`].
 struct Partition {
     engine: RocqEngine,
-    /// Reports *applied* per subject (reporter and subject both known
-    /// at apply time) — the interaction counts the status tiers are
-    /// derived from.
-    received: HashMap<PeerId, u64>,
-    /// Drain scratch: the facade has no delta consumer, so deltas are
-    /// discarded after every mutation to keep the long-running
-    /// service's buffers bounded (cleared, never freed).
+    /// Drain scratch for slab sync: cleared, never freed.
     delta_scratch: Vec<ReputationDelta>,
 }
 
-impl Partition {
-    fn discard_deltas(&mut self) {
-        self.engine.drain_deltas(&mut self.delta_scratch);
-        self.delta_scratch.clear();
+/// A partition cell: the lock-guarded mutable state side by side with
+/// the lock-free read slab. Slab writes happen only while holding the
+/// partition write lock, so slab readers race with at most one
+/// publisher.
+struct Cell {
+    lock: RwLock<Partition>,
+    slab: SnapshotSlab,
+}
+
+impl Cell {
+    /// Syncs every drained aggregate delta into the slab under one
+    /// epoch window. Callers hold the partition write lock.
+    fn publish_deltas(&self, p: &mut Partition) {
+        p.engine.drain_deltas(&mut p.delta_scratch);
+        if p.delta_scratch.is_empty() {
+            return;
+        }
+        let mut w = self.slab.write();
+        for d in &p.delta_scratch {
+            if let Some(slot) = w.slot_of(d.subject) {
+                w.set_reputation(slot, d.new.value().to_bits());
+            }
+        }
+        p.delta_scratch.clear();
     }
 }
 
 /// The concurrent facade. All methods take `&self`; locking is
-/// internal and per-partition. See the module docs for the layout and
-/// consistency model.
+/// internal and per-partition, and the hot reads take no lock. See
+/// the module docs for the layout and consistency model.
 pub struct ConcurrentEngine {
-    partitions: Vec<RwLock<Partition>>,
+    cells: Vec<Cell>,
 }
 
 impl ConcurrentEngine {
@@ -90,15 +124,30 @@ impl ConcurrentEngine {
     /// # Panics
     /// If `params` fail validation or `num_sm` / `partitions` is zero.
     pub fn new(params: RocqParams, num_sm: usize, partitions: usize, seed: u64) -> Self {
+        Self::with_read_epoch(params, num_sm, partitions, seed, 0)
+    }
+
+    /// [`ConcurrentEngine::new`] with the partitions' snapshot epochs
+    /// seeded at `epoch0` — the epoch protocol compares equality
+    /// only, and the interleaving suite uses this to drive reads
+    /// across the `u64` wraparound. `epoch0` must be even.
+    #[doc(hidden)]
+    pub fn with_read_epoch(
+        params: RocqParams,
+        num_sm: usize,
+        partitions: usize,
+        seed: u64,
+        epoch0: u64,
+    ) -> Self {
         assert!(partitions > 0, "need at least one partition");
         ConcurrentEngine {
-            partitions: (0..partitions)
-                .map(|i| {
-                    RwLock::new(Partition {
+            cells: (0..partitions)
+                .map(|i| Cell {
+                    lock: RwLock::new(Partition {
                         engine: RocqEngine::new(params, num_sm, salted(seed, i as u64)),
-                        received: HashMap::new(),
                         delta_scratch: Vec::new(),
-                    })
+                    }),
+                    slab: SnapshotSlab::with_epoch(epoch0),
                 })
                 .collect(),
         }
@@ -106,27 +155,48 @@ impl ConcurrentEngine {
 
     /// Number of partitions (and of independent locks).
     pub fn partitions(&self) -> usize {
-        self.partitions.len()
+        self.cells.len()
     }
 
-    fn home(&self, peer: PeerId) -> &RwLock<Partition> {
-        &self.partitions[shard_of(peer, self.partitions.len())]
+    /// The snapshot epoch of `subject`'s home partition (even when no
+    /// write is in flight). Exposed so the serve layer and tests can
+    /// key caches off it.
+    pub fn read_epoch(&self, subject: PeerId) -> u64 {
+        self.home(subject).slab.epoch()
+    }
+
+    fn home(&self, peer: PeerId) -> &Cell {
+        &self.cells[shard_of(peer, self.cells.len())]
     }
 
     fn read(&self, peer: PeerId) -> std::sync::RwLockReadGuard<'_, Partition> {
-        self.home(peer).read().expect("partition lock poisoned")
+        self.home(peer)
+            .lock
+            .read()
+            .expect("partition lock poisoned")
     }
 
     /// Registers a subject with `initial` reputation: subject state in
     /// its home partition, reporter-only membership everywhere else.
     /// Idempotent, like [`ReputationEngine::register_peer`].
     pub fn register_peer(&self, peer: PeerId, initial: Reputation) {
-        let home = shard_of(peer, self.partitions.len());
-        for (i, partition) in self.partitions.iter().enumerate() {
-            let mut p = partition.write().expect("partition lock poisoned");
+        let home = shard_of(peer, self.cells.len());
+        for (i, cell) in self.cells.iter().enumerate() {
+            let mut p = cell.lock.write().expect("partition lock poisoned");
+            let p = &mut *p;
             if i == home {
                 p.engine.register_peer(peer, initial);
-                p.discard_deltas();
+                // Engine value, not `initial`: re-registration keeps
+                // the existing score, and the slab must stay
+                // bit-identical to the engine either way.
+                let published = p.engine.reputation(peer).expect("registered subject");
+                {
+                    let mut w = cell.slab.write();
+                    let slot = w.insert(peer);
+                    w.set_reputation(slot, published.value().to_bits());
+                }
+                p.engine.drain_deltas(&mut p.delta_scratch);
+                p.delta_scratch.clear();
             } else {
                 p.engine.register_reporter(peer);
             }
@@ -136,35 +206,30 @@ impl ConcurrentEngine {
     /// Removes a subject everywhere: subject state from its home
     /// partition, reporter-only membership from the rest.
     pub fn remove_peer(&self, peer: PeerId) {
-        let home = shard_of(peer, self.partitions.len());
-        for (i, partition) in self.partitions.iter().enumerate() {
-            let mut p = partition.write().expect("partition lock poisoned");
+        let home = shard_of(peer, self.cells.len());
+        for (i, cell) in self.cells.iter().enumerate() {
+            let mut p = cell.lock.write().expect("partition lock poisoned");
+            let p = &mut *p;
             if i == home {
                 p.engine.remove_peer(peer);
-                p.received.remove(&peer);
-                p.discard_deltas();
+                cell.slab.write().remove(peer);
+                p.engine.drain_deltas(&mut p.delta_scratch);
+                p.delta_scratch.clear();
             } else {
                 p.engine.remove_reporter(peer);
             }
         }
     }
 
-    /// True when `peer` is a registered subject.
+    /// True when `peer` is a registered subject — a lock-free slab
+    /// probe.
     pub fn contains(&self, peer: PeerId) -> bool {
-        self.read(peer).engine.is_subject(peer)
+        self.home(peer).slab.contains(peer)
     }
 
-    /// Total registered subjects.
+    /// Total registered subjects (lock-free).
     pub fn len(&self) -> usize {
-        self.partitions
-            .iter()
-            .map(|p| {
-                p.read()
-                    .expect("partition lock poisoned")
-                    .engine
-                    .subjects_len()
-            })
-            .sum()
+        self.cells.iter().map(|c| c.slab.len()).sum()
     }
 
     /// True when no subject is registered.
@@ -175,92 +240,169 @@ impl ConcurrentEngine {
     /// Delivers a batch of opinions: grouped by home partition, each
     /// group applied under its partition's write lock (one lock at a
     /// time), with per-element semantics identical to
-    /// [`ReputationEngine::report_batch`] on a monolithic engine.
+    /// [`ReputationEngine::report_batch`] on a monolithic engine. The
+    /// slab publishes each partition's post-group state in a single
+    /// epoch window after the engine has applied it.
     pub fn report_batch(&self, batch: &[Feedback]) {
-        let n = self.partitions.len();
+        let n = self.cells.len();
         let mut groups: Vec<Vec<Feedback>> = vec![Vec::new(); n];
         for f in batch {
             groups[shard_of(f.subject, n)].push(*f);
         }
-        for (partition, group) in self.partitions.iter().zip(&groups) {
+        for (cell, group) in self.cells.iter().zip(&groups) {
             if group.is_empty() {
                 continue;
             }
-            let mut p = partition.write().expect("partition lock poisoned");
+            let mut p = cell.lock.write().expect("partition lock poisoned");
+            let p = &mut *p;
             p.engine.report_batch(group);
-            // Count what was actually applied: both ends known. The
-            // membership set is engine-wide in every partition, so
-            // `contains` answers for reporters homed elsewhere too.
-            for f in group {
-                if p.engine.contains(f.reporter) && p.engine.is_subject(f.subject) {
-                    *p.received.entry(f.subject).or_insert(0) += 1;
+            p.engine.drain_deltas(&mut p.delta_scratch);
+            // One epoch window covers the whole group: aggregate
+            // moves and interaction counts land together, so a read
+            // sees the pre-group or the post-group state, never a
+            // half-applied group.
+            {
+                let mut w = cell.slab.write();
+                for d in &p.delta_scratch {
+                    if let Some(slot) = w.slot_of(d.subject) {
+                        w.set_reputation(slot, d.new.value().to_bits());
+                    }
+                }
+                // Count what was actually applied: both ends known.
+                // The membership set is engine-wide in every
+                // partition, so `contains` answers for reporters
+                // homed elsewhere too.
+                for f in group {
+                    if p.engine.contains(f.reporter) {
+                        if let Some(slot) = w.slot_of(f.subject) {
+                            w.add_hits(slot, 1);
+                        }
+                    }
                 }
             }
-            p.discard_deltas();
+            p.delta_scratch.clear();
         }
     }
 
     /// Directly raises `subject`'s reputation (lending repayment).
     pub fn credit(&self, subject: PeerId, amount: f64) {
-        let mut p = self.home(subject).write().expect("partition lock poisoned");
+        let cell = self.home(subject);
+        let mut p = cell.lock.write().expect("partition lock poisoned");
+        let p = &mut *p;
         p.engine.credit(subject, amount);
-        p.discard_deltas();
+        cell.publish_deltas(p);
     }
 
     /// Directly lowers `subject`'s reputation (lending stake).
     pub fn debit(&self, subject: PeerId, amount: f64) {
-        let mut p = self.home(subject).write().expect("partition lock poisoned");
+        let cell = self.home(subject);
+        let mut p = cell.lock.write().expect("partition lock poisoned");
+        let p = &mut *p;
         p.engine.debit(subject, amount);
-        p.discard_deltas();
+        cell.publish_deltas(p);
     }
 
-    /// The aggregate reputation of `subject` — one read lock, one O(1)
-    /// cached-aggregate probe.
+    /// The aggregate reputation of `subject` — a lock-free,
+    /// epoch-validated slab read, bit-identical to
+    /// [`ConcurrentEngine::reputation_locked`].
     pub fn reputation(&self, subject: PeerId) -> Option<Reputation> {
+        self.home(subject)
+            .slab
+            .read(subject)
+            .map(|(bits, _)| Reputation::new(f64::from_bits(bits)))
+    }
+
+    /// The aggregate reputation of `subject` through the pre-PR-8
+    /// locked path: one partition read lock, one O(1) cached-aggregate
+    /// probe. Kept as the slab's bit-identity oracle and as the
+    /// contended-read bench baseline.
+    pub fn reputation_locked(&self, subject: PeerId) -> Option<Reputation> {
         self.read(subject).engine.reputation(subject)
     }
 
     /// The full score-manager snapshot of `subject`, taken atomically
-    /// under its partition's read lock.
+    /// under its partition's read lock (replica-level state does not
+    /// live in the read slab).
     pub fn snapshot(&self, subject: PeerId) -> Option<SubjectSnapshot> {
         self.read(subject).engine.snapshot(subject)
     }
 
     /// Reports applied to `subject` so far (`None` when unknown) —
     /// the interaction count the serve layer's status tiers combine
-    /// with the reputation.
+    /// with the reputation. Lock-free.
     pub fn interactions(&self, subject: PeerId) -> Option<u64> {
-        let p = self.read(subject);
-        p.engine
-            .is_subject(subject)
-            .then(|| p.received.get(&subject).copied().unwrap_or(0))
+        self.home(subject).slab.read(subject).map(|(_, hits)| hits)
     }
 
-    /// Visits every subject with its cached aggregate, one partition
-    /// at a time (read-locked in index order — **not** a global
-    /// snapshot; see the module docs). Iteration order within a
-    /// partition is unspecified.
+    /// The coherent `(reputation, interactions)` pair of `subject`
+    /// from one epoch window, classified by `classify` through the
+    /// slab's per-subject tier memo: a repeat probe at an unchanged
+    /// epoch is a single load + compare. `classify` must be a pure
+    /// function returning a tier `< 4`.
+    pub fn classify_read(
+        &self,
+        subject: PeerId,
+        classify: impl Fn(Reputation, u64) -> u8,
+    ) -> Option<u8> {
+        self.home(subject)
+            .slab
+            .read_classified(subject, |bits, hits| classify(Reputation::new(bits), hits))
+    }
+
+    /// The locked-path equivalent of [`ConcurrentEngine::classify_read`]
+    /// (no memo): reputation and interaction count read under one
+    /// partition read lock. Bench baseline and bit-identity oracle.
+    pub fn classify_read_locked(
+        &self,
+        subject: PeerId,
+        classify: impl Fn(Reputation, u64) -> u8,
+    ) -> Option<u8> {
+        let cell = self.home(subject);
+        let p = cell.lock.read().expect("partition lock poisoned");
+        let reputation = p.engine.reputation(subject)?;
+        // The partition read lock excludes slab writers, so a single
+        // coherent read cannot fail mid-window; `read` won't retry.
+        let (_, hits) = cell.slab.read(subject)?;
+        Some(classify(reputation, hits))
+    }
+
+    /// Visits every subject with its cached aggregate — the lock-free
+    /// census sweep minus the interaction counts. Same per-partition
+    /// coherence and ordering caveats as
+    /// [`ConcurrentEngine::for_each_subject`].
     pub fn for_each_reputation(&self, mut f: impl FnMut(PeerId, Reputation)) {
-        for partition in &self.partitions {
-            partition
-                .read()
-                .expect("partition lock poisoned")
-                .engine
-                .for_each_reputation(&mut f);
-        }
+        self.for_each_subject(|peer, rep, _| f(peer, rep));
     }
 
     /// Visits every subject with its cached aggregate *and* its
     /// applied-report count — the pair the serve layer's status tiers
-    /// are derived from, read under one lock so they are mutually
-    /// consistent per subject. Same ordering caveats as
-    /// [`ConcurrentEngine::for_each_reputation`].
+    /// are derived from. Each partition's sweep is **coherent** (one
+    /// epoch window): the lock-free attempt retries a few times under
+    /// ingest and then falls back to the partition read lock, where a
+    /// single attempt cannot fail. Partitions are visited in index
+    /// order; this is not a cross-partition snapshot. Iteration order
+    /// within a partition is unspecified.
     pub fn for_each_subject(&self, mut f: impl FnMut(PeerId, Reputation, u64)) {
-        for partition in &self.partitions {
-            let p = partition.read().expect("partition lock poisoned");
-            p.engine.for_each_reputation(|peer, rep| {
-                f(peer, rep, p.received.get(&peer).copied().unwrap_or(0));
-            });
+        let mut sweep: Vec<(u64, u64, u64)> = Vec::new();
+        for cell in &self.cells {
+            let mut coherent = false;
+            for _ in 0..SWEEP_ATTEMPTS {
+                if cell.slab.try_sweep(&mut sweep) {
+                    coherent = true;
+                    break;
+                }
+                std::thread::yield_now();
+            }
+            if !coherent {
+                // The read lock excludes every slab writer, so this
+                // attempt observes a quiescent slab.
+                let _p = cell.lock.read().expect("partition lock poisoned");
+                let ok = cell.slab.try_sweep(&mut sweep);
+                debug_assert!(ok, "sweep under the partition read lock cannot tear");
+            }
+            for &(peer, bits, hits) in &sweep {
+                f(PeerId(peer), Reputation::new(f64::from_bits(bits)), hits);
+            }
         }
     }
 
@@ -382,5 +524,68 @@ mod tests {
             state
         };
         assert_eq!(run(), run());
+    }
+
+    /// The snapshot read path and the locked read path are the same
+    /// numbers down to the bit, for every subject, after a mixed op
+    /// stream — the slab is a copy of the engine's hot fields, not a
+    /// reimplementation.
+    #[test]
+    fn snapshot_reads_match_locked_reads_bit_for_bit() {
+        let e = engine(4);
+        for p in 0..80u64 {
+            e.register_peer(PeerId(p), Reputation::new(p as f64 / 80.0));
+        }
+        for round in 0..15u64 {
+            let batch: Vec<Feedback> = (0..80u64)
+                .map(|r| {
+                    Feedback::new(
+                        PeerId(r),
+                        PeerId((r * 7 + round) % 80),
+                        if (r + round) % 3 == 0 { 0.0 } else { 1.0 },
+                    )
+                })
+                .collect();
+            e.report_batch(&batch);
+        }
+        e.credit(PeerId(3), 0.2);
+        e.debit(PeerId(4), 0.3);
+        e.remove_peer(PeerId(5));
+        for p in 0..80u64 {
+            let snap = e.reputation(PeerId(p));
+            let locked = e.reputation_locked(PeerId(p));
+            assert_eq!(
+                snap.map(|r| r.value().to_bits()),
+                locked.map(|r| r.value().to_bits()),
+                "peer {p} diverged between slab and locked reads"
+            );
+            let tier = |r: Reputation, h: u64| u8::from(r.value() < 0.5) + u8::from(h > 100);
+            assert_eq!(
+                e.classify_read(PeerId(p), tier),
+                e.classify_read_locked(PeerId(p), tier),
+                "peer {p} classified differently between slab and locked reads"
+            );
+        }
+    }
+
+    /// The census sweep agrees with per-subject probes — one coherent
+    /// per-partition window, not a re-derivation.
+    #[test]
+    fn census_sweep_matches_point_reads() {
+        let e = engine(3);
+        for p in 0..45u64 {
+            e.register_peer(PeerId(p), Reputation::new(0.5));
+        }
+        let batch: Vec<Feedback> = (0..45u64)
+            .map(|r| Feedback::new(PeerId(r), PeerId((r + 1) % 45), 1.0))
+            .collect();
+        e.report_batch(&batch);
+        let mut seen = 0usize;
+        e.for_each_subject(|peer, rep, hits| {
+            seen += 1;
+            assert_eq!(Some(rep), e.reputation(peer));
+            assert_eq!(Some(hits), e.interactions(peer));
+        });
+        assert_eq!(seen, 45);
     }
 }

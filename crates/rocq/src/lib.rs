@@ -65,8 +65,10 @@ pub mod quality;
 pub mod reference;
 pub mod score;
 pub mod slab;
+pub mod snapshot;
 
 pub use concurrent::ConcurrentEngine;
 pub use engine::{pool_threads, shard_of, ReputationEngine, RocqEngine};
 pub use params::RocqParams;
 pub use reference::ReferenceEngine;
+pub use snapshot::SnapshotSlab;

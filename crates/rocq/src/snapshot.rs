@@ -1,0 +1,763 @@
+//! [`SnapshotSlab`]: the epoch-versioned read slab behind the
+//! concurrent facade's wait-free read path.
+//!
+//! ## Why it exists
+//!
+//! Before PR 8, every `reputation()` / `status()` probe against a
+//! [`ConcurrentEngine`](crate::ConcurrentEngine) partition took the
+//! partition's `RwLock` read guard — which meant a read landing on a
+//! partition mid-`report_batch` waited for the *whole* batch slice to
+//! apply. A read-dominated service wants the opposite: readers never
+//! wait on writers. This module moves the two hot read fields — the
+//! cached aggregate reputation and the applied-report (interaction)
+//! count — into a slab of plain atomics guarded by a seqlock-style
+//! **epoch counter**, so reads are lock-free loads with a retry rule
+//! and writers publish whole batches atomically.
+//!
+//! ## The epoch protocol
+//!
+//! Each slab carries one `AtomicU64` epoch. **Even** means stable,
+//! **odd** means a write is in progress:
+//!
+//! * A writer (always under the partition's write lock, so writers
+//!   are already mutually excluded) bumps the epoch to odd, mutates
+//!   the slab, then bumps it back to even — one `+2` step per
+//!   published state.
+//! * A reader loads the epoch (`e1`); if odd it retries. It then
+//!   performs its loads, and re-loads the epoch (`e2`). The read is
+//!   **coherent** iff `e1 == e2`: no write started, finished, or was
+//!   in flight between the two fences. Otherwise the reader retries
+//!   from scratch.
+//!
+//! A coherent read therefore observes *exactly* one published state —
+//! a pre-batch or post-batch snapshot, never a mix. Equality (not
+//! ordering) is compared, so the protocol survives epoch wraparound;
+//! the interleaving suite in `replend-tests` drives a slab seeded
+//! near `u64::MAX` across the wrap.
+//!
+//! ## Memory safety without the lock
+//!
+//! Everything a reader touches is an atomic or a pointer to storage
+//! that is **never freed while the slab is alive**:
+//!
+//! * The peer→slot index is an open-addressing table of
+//!   `(AtomicU64 key, AtomicU64 slot)` pairs; the per-slot value
+//!   arrays are parallel `AtomicU64` slabs. Torn *logical* states are
+//!   possible while a write is in flight, but every load is an atomic
+//!   load — no data race, no UB — and the epoch check discards the
+//!   result.
+//! * Growth never reallocates in place: the writer builds a bigger
+//!   table/array, publishes it through an `AtomicPtr`, and **retires**
+//!   the old allocation into a keep-alive list freed only on drop. A
+//!   reader holding a stale pointer reads stale-but-valid memory and
+//!   fails its epoch check. (The retired tail is bounded by geometric
+//!   growth: at most ~1× the final allocation size in total.)
+//! * A slot index obtained from a *newer* table than the value array
+//!   a reader happens to hold may be out of bounds; reads are
+//!   bounds-checked and out-of-range indices count as incoherent.
+//!
+//! Atomic orderings follow the classic seqlock recipe (cf.
+//! crossbeam's `SeqLock`): readers pair an `Acquire` epoch load with
+//! an `Acquire` fence before re-validating; writers pair a `Release`
+//! fence after the odd bump with a `Release` store to re-even.
+//!
+//! ## The tier memo
+//!
+//! `read_classified` layers a per-slot **status-tier memo** on top:
+//! a single `AtomicU64` packing `(epoch << 2) | (tier + 1)`. When the
+//! memo's epoch tag matches the current epoch the common whitelist
+//! probe is one load + compare; otherwise the caller's classifier
+//! runs on the coherent `(reputation, hits)` pair and the result is
+//! memoized for every later reader of the same epoch. Racing
+//! memoizers at the same epoch write the same value (classification
+//! is a pure function of slab state), and a memo tagged by a stale
+//! epoch simply misses. The tag keeps the low 62 bits of the epoch —
+//! a false hit would need two reads exactly `2^62` publishes apart.
+
+use replend_types::PeerId;
+use std::sync::atomic::{fence, AtomicPtr, AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+/// Slot value meaning "probe chain ends here" in the index table.
+const EMPTY: u64 = 0;
+/// Slot value meaning "a key was removed here; keep probing".
+const TOMBSTONE: u64 = 1;
+/// Occupied table slots store `slot_index + SLOT_BASE`.
+const SLOT_BASE: u64 = 2;
+
+/// The low 62 bits of the epoch, as packed into a tier memo word.
+const MEMO_EPOCH_MASK: u64 = u64::MAX >> 2;
+
+/// Open-addressing peer→slot index with linear probing. Published via
+/// `AtomicPtr`; rebuilt (never mutated in place) when load exceeds
+/// 3/4, dropping tombstones.
+struct Table {
+    /// Capacity mask (`capacity - 1`; capacity is a power of two).
+    mask: usize,
+    /// Peer ids; meaningful only where `slots` is occupied.
+    keys: Box<[AtomicU64]>,
+    /// `EMPTY`, `TOMBSTONE`, or `slot + SLOT_BASE`.
+    slots: Box<[AtomicU64]>,
+}
+
+impl Table {
+    fn with_capacity(capacity: usize) -> Table {
+        debug_assert!(capacity.is_power_of_two());
+        Table {
+            mask: capacity - 1,
+            keys: (0..capacity).map(|_| AtomicU64::new(0)).collect(),
+            slots: (0..capacity).map(|_| AtomicU64::new(EMPTY)).collect(),
+        }
+    }
+
+    /// First probe index for `peer` — the same splitmix64 mix the
+    /// engine's shard routing uses.
+    fn start(&self, peer: u64) -> usize {
+        replend_types::hash::splitmix64(peer) as usize & self.mask
+    }
+
+    /// Looks `peer` up. Callers must validate the epoch afterwards: a
+    /// concurrent rebuild can make this return `None` or a stale slot.
+    /// The probe count is bounded by the capacity, so the scan
+    /// terminates even on a table observed mid-rebuild.
+    fn get(&self, peer: u64) -> Option<u32> {
+        let mut i = self.start(peer);
+        for _ in 0..=self.mask {
+            match self.slots[i].load(Ordering::Acquire) {
+                EMPTY => return None,
+                TOMBSTONE => {}
+                occupied => {
+                    if self.keys[i].load(Ordering::Acquire) == peer {
+                        return Some((occupied - SLOT_BASE) as u32);
+                    }
+                }
+            }
+            i = (i + 1) & self.mask;
+        }
+        None
+    }
+
+    /// Inserts `peer → slot` (writer-only; epoch is odd). Reuses the
+    /// first tombstone on the probe path. The key is stored before
+    /// the slot so a concurrent reader can never match a fresh slot
+    /// against a stale key (harmless anyway — the epoch check catches
+    /// it — but cheap to rule out).
+    fn insert(&self, peer: u64, slot: u32) {
+        let mut i = self.start(peer);
+        let mut reuse: Option<usize> = None;
+        loop {
+            match self.slots[i].load(Ordering::Relaxed) {
+                EMPTY => {
+                    let at = reuse.unwrap_or(i);
+                    self.keys[at].store(peer, Ordering::Relaxed);
+                    self.slots[at].store(slot as u64 + SLOT_BASE, Ordering::Release);
+                    return;
+                }
+                TOMBSTONE => {
+                    if reuse.is_none() {
+                        reuse = Some(i);
+                    }
+                }
+                _ => {
+                    if self.keys[i].load(Ordering::Relaxed) == peer {
+                        self.slots[i].store(slot as u64 + SLOT_BASE, Ordering::Release);
+                        return;
+                    }
+                }
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Removes `peer`, leaving a tombstone. Returns the slot it held.
+    fn remove(&self, peer: u64) -> Option<u32> {
+        let mut i = self.start(peer);
+        loop {
+            match self.slots[i].load(Ordering::Relaxed) {
+                EMPTY => return None,
+                TOMBSTONE => {}
+                occupied => {
+                    if self.keys[i].load(Ordering::Relaxed) == peer {
+                        self.slots[i].store(TOMBSTONE, Ordering::Release);
+                        return Some((occupied - SLOT_BASE) as u32);
+                    }
+                }
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+}
+
+/// Parallel per-slot value arrays. Published via `AtomicPtr`;
+/// replaced wholesale on growth.
+struct Values {
+    /// Slots allocated (array length).
+    cap: usize,
+    /// Cached aggregate reputation, as `f64` bit pattern.
+    rep: Box<[AtomicU64]>,
+    /// Applied-report (interaction) count.
+    hits: Box<[AtomicU64]>,
+    /// Slot → peer id, for coherent full-slab sweeps.
+    peer: Box<[AtomicU64]>,
+    /// 1 when the slot holds a live subject.
+    live: Box<[AtomicU64]>,
+    /// Status-tier memo: `(epoch << 2) | (tier + 1)`, 0 = no memo.
+    memo: Box<[AtomicU64]>,
+}
+
+impl Values {
+    fn with_capacity(cap: usize) -> Values {
+        let zeroed = || (0..cap).map(|_| AtomicU64::new(0)).collect();
+        Values {
+            cap,
+            rep: zeroed(),
+            hits: zeroed(),
+            peer: zeroed(),
+            live: zeroed(),
+            memo: zeroed(),
+        }
+    }
+}
+
+/// Writer-side bookkeeping: slot free list and the keep-alive lists
+/// of retired allocations. Only touched under the writer mutex.
+struct WriterState {
+    /// Slots released by removals, reused LIFO (newest first) — the
+    /// same recycling discipline as the engine arena's
+    /// `SlotAllocator`, so churn keeps the slab dense.
+    free: Vec<u32>,
+    /// High-water mark: slots handed out so far.
+    len: u32,
+    /// Live entries in the index table.
+    table_live: usize,
+    /// Live entries + tombstones in the index table.
+    table_used: usize,
+    /// Superseded tables, kept alive for stale readers. The boxes are
+    /// the very allocations stale readers still point into, so they
+    /// must be stored as boxes — moving the payload into the `Vec`
+    /// would free the published addresses.
+    #[allow(clippy::vec_box)]
+    retired_tables: Vec<Box<Table>>,
+    /// Superseded value arrays, kept alive for stale readers (same
+    /// box-identity requirement as `retired_tables`).
+    #[allow(clippy::vec_box)]
+    retired_values: Vec<Box<Values>>,
+}
+
+/// The epoch-versioned read slab. One per facade partition; all
+/// mutation happens through [`SnapshotSlab::write`] (the facade calls
+/// it under the partition's write lock, which also serializes the
+/// uncontended writer mutex inside).
+pub struct SnapshotSlab {
+    /// Seqlock epoch: even = stable, odd = write in flight.
+    epoch: AtomicU64,
+    table: AtomicPtr<Table>,
+    values: AtomicPtr<Values>,
+    /// Live subjects, for lock-free `len()`.
+    count: AtomicU64,
+    writer: Mutex<WriterState>,
+}
+
+// The raw pointers are owned allocations published for shared
+// reading; all access is atomic and retired storage outlives readers.
+unsafe impl Send for SnapshotSlab {}
+unsafe impl Sync for SnapshotSlab {}
+
+impl Default for SnapshotSlab {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Drop for SnapshotSlab {
+    fn drop(&mut self) {
+        // Retired allocations drop with the WriterState; the live
+        // ones are only reachable through the atomics.
+        unsafe {
+            drop(Box::from_raw(self.table.load(Ordering::Relaxed)));
+            drop(Box::from_raw(self.values.load(Ordering::Relaxed)));
+        }
+    }
+}
+
+impl SnapshotSlab {
+    /// An empty slab at epoch 0.
+    pub fn new() -> Self {
+        Self::with_epoch(0)
+    }
+
+    /// An empty slab starting at `initial_epoch` (must be even). The
+    /// protocol compares epochs for equality only, so a slab seeded
+    /// near `u64::MAX` exercises wraparound — this constructor exists
+    /// for exactly that test.
+    ///
+    /// # Panics
+    /// If `initial_epoch` is odd (odd means "write in flight").
+    pub fn with_epoch(initial_epoch: u64) -> Self {
+        assert!(initial_epoch % 2 == 0, "initial epoch must be even");
+        SnapshotSlab {
+            epoch: AtomicU64::new(initial_epoch),
+            table: AtomicPtr::new(Box::into_raw(Box::new(Table::with_capacity(16)))),
+            values: AtomicPtr::new(Box::into_raw(Box::new(Values::with_capacity(16)))),
+            count: AtomicU64::new(0),
+            writer: Mutex::new(WriterState {
+                free: Vec::new(),
+                len: 0,
+                table_live: 0,
+                table_used: 0,
+                retired_tables: Vec::new(),
+                retired_values: Vec::new(),
+            }),
+        }
+    }
+
+    /// The current epoch (even when no write is in flight).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Live subjects, lock-free.
+    pub fn len(&self) -> usize {
+        self.count.load(Ordering::Acquire) as usize
+    }
+
+    /// True when no subject is live.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Starts a write: bumps the epoch to odd and returns the guard
+    /// that mutates the slab and re-evens the epoch on drop. The
+    /// facade calls this under the partition write lock; the internal
+    /// mutex is a second line of defence, not a contention point.
+    pub fn write(&self) -> SlabWriter<'_> {
+        let state = self.writer.lock().expect("slab writer mutex poisoned");
+        let e = self.epoch.load(Ordering::Relaxed);
+        debug_assert!(e % 2 == 0, "write() while a write is in flight");
+        self.epoch.store(e.wrapping_add(1), Ordering::Relaxed);
+        // Order the odd bump before every data store below (seqlock
+        // writer fence).
+        fence(Ordering::Release);
+        SlabWriter { slab: self, state }
+    }
+
+    /// Begins one coherent read attempt: a stable (even) epoch plus
+    /// the table and value arrays current at that point.
+    fn begin_read(&self) -> Option<(u64, &Table, &Values)> {
+        let e1 = self.epoch.load(Ordering::Acquire);
+        if e1 % 2 != 0 {
+            return None;
+        }
+        // Safety: published pointers are valid until drop (retired
+        // allocations are kept alive), and `&self` outlives the call.
+        let table = unsafe { &*self.table.load(Ordering::Acquire) };
+        let values = unsafe { &*self.values.load(Ordering::Acquire) };
+        Some((e1, table, values))
+    }
+
+    /// Ends a read attempt: true iff no write intervened since
+    /// `begin_read` returned `e1` — i.e. the loads in between came
+    /// from exactly one published state.
+    fn validate_read(&self, e1: u64) -> bool {
+        // Order every data load above before the re-check (seqlock
+        // reader fence).
+        fence(Ordering::Acquire);
+        self.epoch.load(Ordering::Relaxed) == e1
+    }
+
+    /// The coherent `(reputation bits, interaction count)` of `peer`,
+    /// or `None` when it is not a live subject. Lock-free; retries
+    /// while a write is in flight.
+    pub fn read(&self, peer: PeerId) -> Option<(u64, u64)> {
+        loop {
+            let Some((e1, table, values)) = self.begin_read() else {
+                std::hint::spin_loop();
+                continue;
+            };
+            let found = table.get(peer.raw()).and_then(|slot| {
+                let slot = slot as usize;
+                if slot >= values.cap {
+                    // Newer table than value array: incoherent.
+                    return None;
+                }
+                Some((
+                    values.rep[slot].load(Ordering::Relaxed),
+                    values.hits[slot].load(Ordering::Relaxed),
+                ))
+            });
+            if self.validate_read(e1) {
+                return found;
+            }
+        }
+    }
+
+    /// True when `peer` is a live subject (coherent lookup).
+    pub fn contains(&self, peer: PeerId) -> bool {
+        self.read(peer).is_some()
+    }
+
+    /// The coherent status tier of `peer`, through the per-slot memo:
+    /// when the memo is tagged with the current epoch the answer is a
+    /// single extra load; otherwise `classify` runs on the coherent
+    /// `(reputation, hits)` pair and the result is memoized for this
+    /// epoch. `classify` must be a pure function of its inputs and
+    /// return a tier `< 4`.
+    pub fn read_classified(&self, peer: PeerId, classify: impl Fn(f64, u64) -> u8) -> Option<u8> {
+        loop {
+            let Some((e1, table, values)) = self.begin_read() else {
+                std::hint::spin_loop();
+                continue;
+            };
+            let probed = table.get(peer.raw()).and_then(|slot| {
+                let slot = slot as usize;
+                if slot >= values.cap {
+                    return None;
+                }
+                Some((
+                    slot,
+                    values.memo[slot].load(Ordering::Relaxed),
+                    values.rep[slot].load(Ordering::Relaxed),
+                    values.hits[slot].load(Ordering::Relaxed),
+                ))
+            });
+            if !self.validate_read(e1) {
+                continue;
+            }
+            let (slot, memo, rep, hits) = probed?;
+            let tag = (e1 & MEMO_EPOCH_MASK) << 2;
+            if memo != 0 && memo & !3 == tag {
+                return Some((memo & 3) as u8 - 1);
+            }
+            let tier = classify(f64::from_bits(rep), hits);
+            debug_assert!(tier < 4, "tier must fit the 2-bit memo field");
+            // Stale memoizations (a writer moved the epoch since the
+            // validate above) carry a stale tag and simply never hit.
+            values.memo[slot].store(tag | (tier as u64 + 1), Ordering::Relaxed);
+            return Some(tier);
+        }
+    }
+
+    /// One attempt at a coherent full-slab sweep into `out` as
+    /// `(peer, reputation bits, interaction count)` triples. Returns
+    /// false (with `out` cleared) when a write intervened. The facade
+    /// retries a few times and then falls back to sweeping under the
+    /// partition read lock, where a single attempt cannot fail.
+    pub fn try_sweep(&self, out: &mut Vec<(u64, u64, u64)>) -> bool {
+        out.clear();
+        let Some((e1, _table, values)) = self.begin_read() else {
+            return false;
+        };
+        for slot in 0..values.cap {
+            if values.live[slot].load(Ordering::Relaxed) == 1 {
+                out.push((
+                    values.peer[slot].load(Ordering::Relaxed),
+                    values.rep[slot].load(Ordering::Relaxed),
+                    values.hits[slot].load(Ordering::Relaxed),
+                ));
+            }
+        }
+        if self.validate_read(e1) {
+            true
+        } else {
+            out.clear();
+            false
+        }
+    }
+}
+
+/// Exclusive write session over a [`SnapshotSlab`]. The epoch is odd
+/// while the guard lives; dropping it publishes every mutation at
+/// once by re-evening the epoch.
+pub struct SlabWriter<'a> {
+    slab: &'a SnapshotSlab,
+    state: MutexGuard<'a, WriterState>,
+}
+
+impl Drop for SlabWriter<'_> {
+    fn drop(&mut self) {
+        let e = self.slab.epoch.load(Ordering::Relaxed);
+        debug_assert!(e % 2 == 1, "publishing without a write in flight");
+        // Publish: every store above happens-before the epoch turning
+        // even again.
+        self.slab.epoch.store(e.wrapping_add(1), Ordering::Release);
+    }
+}
+
+impl SlabWriter<'_> {
+    fn table(&self) -> &Table {
+        // Safety: current pointer, valid until drop; `&self` borrows
+        // the slab.
+        unsafe { &*self.slab.table.load(Ordering::Relaxed) }
+    }
+
+    fn values(&self) -> &Values {
+        unsafe { &*self.slab.values.load(Ordering::Relaxed) }
+    }
+
+    /// The slot `peer` occupies, if live.
+    pub fn slot_of(&self, peer: PeerId) -> Option<u32> {
+        self.table().get(peer.raw())
+    }
+
+    /// Ensures `peer` has a live slot and returns it. A fresh slot
+    /// starts with zero hits and a cleared memo; an existing slot is
+    /// returned untouched (idempotent, like engine registration).
+    pub fn insert(&mut self, peer: PeerId) -> u32 {
+        if let Some(slot) = self.table().get(peer.raw()) {
+            return slot;
+        }
+        let slot = match self.state.free.pop() {
+            Some(slot) => slot,
+            None => {
+                let slot = self.state.len;
+                self.state.len += 1;
+                slot
+            }
+        };
+        self.ensure_capacity(slot as usize + 1);
+        let values = self.values();
+        values.rep[slot as usize].store(0, Ordering::Relaxed);
+        values.hits[slot as usize].store(0, Ordering::Relaxed);
+        values.memo[slot as usize].store(0, Ordering::Relaxed);
+        values.peer[slot as usize].store(peer.raw(), Ordering::Relaxed);
+        values.live[slot as usize].store(1, Ordering::Relaxed);
+        self.maybe_grow_table();
+        self.table().insert(peer.raw(), slot);
+        self.state.table_live += 1;
+        self.state.table_used += 1;
+        self.slab.count.fetch_add(1, Ordering::AcqRel);
+        slot
+    }
+
+    /// Removes `peer`, releasing its slot to the LIFO free list.
+    pub fn remove(&mut self, peer: PeerId) {
+        let Some(slot) = self.table().remove(peer.raw()) else {
+            return;
+        };
+        let values = self.values();
+        values.live[slot as usize].store(0, Ordering::Relaxed);
+        values.memo[slot as usize].store(0, Ordering::Relaxed);
+        self.state.free.push(slot);
+        self.state.table_live -= 1;
+        self.slab.count.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    /// Sets the published reputation bits of `slot`.
+    pub fn set_reputation(&mut self, slot: u32, bits: u64) {
+        let values = self.values();
+        values.rep[slot as usize].store(bits, Ordering::Relaxed);
+        // Reputation moved: any memoized tier is for the old value.
+        values.memo[slot as usize].store(0, Ordering::Relaxed);
+    }
+
+    /// Adds `n` to the interaction count of `slot` (wrapping — the
+    /// counter is observational and must never abort a writer).
+    pub fn add_hits(&mut self, slot: u32, n: u64) {
+        let values = self.values();
+        let hits = values.hits[slot as usize].load(Ordering::Relaxed);
+        values.hits[slot as usize].store(hits.wrapping_add(n), Ordering::Relaxed);
+        values.memo[slot as usize].store(0, Ordering::Relaxed);
+    }
+
+    /// The current interaction count of `slot` (writer-side read; the
+    /// write lock makes it exact).
+    pub fn hits_of(&self, slot: u32) -> u64 {
+        self.values().hits[slot as usize].load(Ordering::Relaxed)
+    }
+
+    /// Grows the value arrays to hold at least `needed` slots,
+    /// publishing a fresh allocation and retiring the old one.
+    fn ensure_capacity(&mut self, needed: usize) {
+        let old = self.values();
+        if needed <= old.cap {
+            return;
+        }
+        let grown = Box::new(Values::with_capacity((old.cap * 2).max(needed)));
+        for i in 0..old.cap {
+            grown.rep[i].store(old.rep[i].load(Ordering::Relaxed), Ordering::Relaxed);
+            grown.hits[i].store(old.hits[i].load(Ordering::Relaxed), Ordering::Relaxed);
+            grown.peer[i].store(old.peer[i].load(Ordering::Relaxed), Ordering::Relaxed);
+            grown.live[i].store(old.live[i].load(Ordering::Relaxed), Ordering::Relaxed);
+            grown.memo[i].store(old.memo[i].load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        let retired = self
+            .slab
+            .values
+            .swap(Box::into_raw(grown), Ordering::AcqRel);
+        // Safety: we own the superseded allocation; stale readers may
+        // still hold the reference, so keep it alive until drop.
+        self.state
+            .retired_values
+            .push(unsafe { Box::from_raw(retired) });
+    }
+
+    /// Rebuilds the index table (dropping tombstones) when load
+    /// passes 3/4, publishing the rebuild and retiring the old table.
+    fn maybe_grow_table(&mut self) {
+        let old = self.table();
+        let capacity = old.mask + 1;
+        if (self.state.table_used + 1) * 4 < capacity * 3 {
+            return;
+        }
+        let target = ((self.state.table_live + 1) * 2)
+            .next_power_of_two()
+            .max(capacity);
+        let fresh = Box::new(Table::with_capacity(target));
+        let mut live = 0usize;
+        for i in 0..capacity {
+            let v = old.slots[i].load(Ordering::Relaxed);
+            if v >= SLOT_BASE {
+                fresh.insert(old.keys[i].load(Ordering::Relaxed), (v - SLOT_BASE) as u32);
+                live += 1;
+            }
+        }
+        self.state.table_used = live;
+        let retired = self.slab.table.swap(Box::into_raw(fresh), Ordering::AcqRel);
+        self.state
+            .retired_tables
+            .push(unsafe { Box::from_raw(retired) });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_read_remove_roundtrip() {
+        let slab = SnapshotSlab::new();
+        assert!(slab.is_empty());
+        {
+            let mut w = slab.write();
+            let a = w.insert(PeerId(7));
+            w.set_reputation(a, 0.5f64.to_bits());
+            w.add_hits(a, 3);
+        }
+        assert_eq!(slab.len(), 1);
+        assert_eq!(slab.read(PeerId(7)), Some((0.5f64.to_bits(), 3)));
+        assert_eq!(slab.read(PeerId(8)), None);
+        {
+            let mut w = slab.write();
+            w.remove(PeerId(7));
+        }
+        assert_eq!(slab.read(PeerId(7)), None);
+        assert!(slab.is_empty());
+    }
+
+    #[test]
+    fn epoch_advances_by_two_per_write() {
+        let slab = SnapshotSlab::new();
+        let e0 = slab.epoch();
+        drop(slab.write());
+        assert_eq!(slab.epoch(), e0 + 2);
+    }
+
+    #[test]
+    fn slots_recycle_lifo_and_reset_state() {
+        let slab = SnapshotSlab::new();
+        {
+            let mut w = slab.write();
+            assert_eq!(w.insert(PeerId(1)), 0);
+            assert_eq!(w.insert(PeerId(2)), 1);
+            w.set_reputation(0, 1.0f64.to_bits());
+            w.add_hits(0, 99);
+            w.remove(PeerId(1));
+            // LIFO: the freed slot 0 is reused, with cleared fields.
+            assert_eq!(w.insert(PeerId(3)), 0);
+        }
+        assert_eq!(slab.read(PeerId(1)), None);
+        assert_eq!(slab.read(PeerId(3)), Some((0, 0)));
+    }
+
+    #[test]
+    fn growth_preserves_published_values() {
+        let slab = SnapshotSlab::new();
+        {
+            let mut w = slab.write();
+            for p in 0..500u64 {
+                let slot = w.insert(PeerId(p));
+                w.set_reputation(slot, (p as f64 / 500.0).to_bits());
+                w.add_hits(slot, p);
+            }
+        }
+        assert_eq!(slab.len(), 500);
+        for p in 0..500u64 {
+            assert_eq!(
+                slab.read(PeerId(p)),
+                Some(((p as f64 / 500.0).to_bits(), p)),
+                "peer {p} lost after growth"
+            );
+        }
+    }
+
+    #[test]
+    fn sweep_sees_every_live_subject_once() {
+        let slab = SnapshotSlab::new();
+        {
+            let mut w = slab.write();
+            for p in 0..100u64 {
+                let slot = w.insert(PeerId(p));
+                w.set_reputation(slot, (p as f64).to_bits());
+            }
+            w.remove(PeerId(50));
+        }
+        let mut out = Vec::new();
+        assert!(slab.try_sweep(&mut out));
+        assert_eq!(out.len(), 99);
+        out.sort_unstable();
+        assert!(out.iter().all(|&(p, _, _)| p != 50));
+    }
+
+    #[test]
+    fn memo_caches_within_an_epoch_and_invalidates_across() {
+        use std::sync::atomic::AtomicUsize;
+        let slab = SnapshotSlab::new();
+        {
+            let mut w = slab.write();
+            let s = w.insert(PeerId(1));
+            w.set_reputation(s, 0.9f64.to_bits());
+            w.add_hits(s, 20);
+        }
+        let calls = AtomicUsize::new(0);
+        let classify = |r: f64, _h: u64| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            u8::from(r < 0.5)
+        };
+        assert_eq!(slab.read_classified(PeerId(1), classify), Some(0));
+        assert_eq!(slab.read_classified(PeerId(1), classify), Some(0));
+        assert_eq!(calls.load(Ordering::Relaxed), 1, "second read memo-hits");
+        {
+            let mut w = slab.write();
+            let s = w.slot_of(PeerId(1)).unwrap();
+            w.set_reputation(s, 0.1f64.to_bits());
+        }
+        assert_eq!(slab.read_classified(PeerId(1), classify), Some(1));
+        assert_eq!(calls.load(Ordering::Relaxed), 2, "new epoch reclassifies");
+    }
+
+    #[test]
+    fn wraparound_epoch_still_validates_by_equality() {
+        let slab = SnapshotSlab::with_epoch(u64::MAX - 3);
+        {
+            let mut w = slab.write();
+            let s = w.insert(PeerId(5));
+            w.set_reputation(s, 0.25f64.to_bits());
+        }
+        assert_eq!(slab.epoch(), u64::MAX - 1);
+        assert_eq!(slab.read(PeerId(5)), Some((0.25f64.to_bits(), 0)));
+        {
+            let mut w = slab.write();
+            let s = w.slot_of(PeerId(5)).unwrap();
+            w.add_hits(s, 1);
+        }
+        // Wrapped past u64::MAX back to an even epoch.
+        assert_eq!(slab.epoch(), 0);
+        assert_eq!(slab.read(PeerId(5)), Some((0.25f64.to_bits(), 1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be even")]
+    fn odd_initial_epoch_rejected() {
+        SnapshotSlab::with_epoch(1);
+    }
+}

@@ -836,35 +836,123 @@ impl From<WireError> for JournalError {
     }
 }
 
+/// When a [`JournalWriter`] pushes buffered record frames to the
+/// underlying stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SyncPolicy {
+    /// Flush after every appended record — the strict write-ahead
+    /// contract: when `append` returns `Ok`, the record is in the
+    /// OS's hands before the mutation is applied.
+    Always,
+    /// Group commit: buffer encoded frames in memory and flush once
+    /// every `N` appends. Relaxes durability — up to `N - 1` applied
+    /// records can be lost on a crash — but never ordering: the
+    /// stream carries the exact same bytes in the exact same order,
+    /// so replay state is unchanged and a torn tail can only start at
+    /// a flushed-batch boundary. `Batch(0)` and `Batch(1)` behave
+    /// like [`SyncPolicy::Always`].
+    Batch(usize),
+}
+
+impl SyncPolicy {
+    /// Appends between forced flushes (≥ 1).
+    fn every(self) -> usize {
+        match self {
+            SyncPolicy::Always => 1,
+            SyncPolicy::Batch(n) => n.max(1),
+        }
+    }
+}
+
 /// Appends records to a write-ahead journal: each record is one
 /// framed, version-gated [`SummaryEnvelope`] tagged with the log's
-/// seed. [`JournalWriter::append`] flushes before returning — when it
-/// comes back `Ok`, the record is in the OS's hands, which is the
-/// write-*ahead* contract the serve layer relies on (append first,
-/// apply second).
+/// seed. Under [`SyncPolicy::Always`] (the default), every
+/// [`JournalWriter::append`] flushes before returning; under
+/// [`SyncPolicy::Batch`], frames accumulate in an in-memory tail and
+/// hit the stream in groups — byte-identical content either way.
+/// Dropping the writer flushes the tail best-effort; call
+/// [`JournalWriter::sync`] to observe the result.
 #[derive(Debug)]
 pub struct JournalWriter<W: Write> {
     inner: W,
     seed: u64,
+    /// Encoded-but-unflushed frames, in append order.
+    tail: Vec<u8>,
+    /// Records currently buffered in `tail`.
+    pending: usize,
+    every: usize,
 }
 
 impl<W: Write> JournalWriter<W> {
     /// A writer appending records tagged with `seed` to `inner`
-    /// (typically a file opened in append mode).
+    /// (typically a file opened in append mode), flushing every
+    /// record ([`SyncPolicy::Always`]).
     pub fn new(inner: W, seed: u64) -> Self {
-        JournalWriter { inner, seed }
+        Self::with_policy(inner, seed, SyncPolicy::Always)
     }
 
-    /// Appends one record and flushes.
+    /// A writer with an explicit [`SyncPolicy`].
+    pub fn with_policy(inner: W, seed: u64, policy: SyncPolicy) -> Self {
+        JournalWriter {
+            inner,
+            seed,
+            tail: Vec::new(),
+            pending: 0,
+            every: policy.every(),
+        }
+    }
+
+    /// Appends one record; flushes when the policy's batch is full.
     pub fn append<T: ?Sized + Serialize>(&mut self, record: &T) -> Result<(), JournalError> {
         let envelope = SummaryEnvelope::wrap(self.seed, record)?;
-        write_frame(&mut self.inner, &envelope.encode()?)?;
+        let bytes = envelope.encode()?;
+        let len = u32::try_from(bytes.len()).map_err(|_| {
+            JournalError::Io(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "frame exceeds 4 GiB",
+            ))
+        })?;
+        self.tail.extend_from_slice(&len.to_le_bytes());
+        self.tail.extend_from_slice(&bytes);
+        self.pending += 1;
+        if self.pending >= self.every {
+            self.sync()?;
+        }
         Ok(())
     }
 
+    /// Forces the buffered tail onto the stream and flushes. A no-op
+    /// under [`SyncPolicy::Always`] outside `append` (the tail is
+    /// always empty there).
+    pub fn sync(&mut self) -> Result<(), JournalError> {
+        if !self.tail.is_empty() {
+            self.inner.write_all(&self.tail)?;
+            self.tail.clear();
+        }
+        self.pending = 0;
+        self.inner.flush()?;
+        Ok(())
+    }
+
+    /// Records buffered in memory but not yet flushed to the stream.
+    pub fn pending(&self) -> usize {
+        self.pending
+    }
+
     /// The underlying stream, for callers that need to sync or close.
+    /// Call [`JournalWriter::sync`] first if buffered records must
+    /// reach the stream before you touch it.
     pub fn get_mut(&mut self) -> &mut W {
         &mut self.inner
+    }
+}
+
+impl<W: Write> Drop for JournalWriter<W> {
+    fn drop(&mut self) {
+        // Best-effort: a clean shutdown should not lose the buffered
+        // tail just because the policy batched. Errors are invisible
+        // here — callers that care must `sync()` explicitly.
+        let _ = self.sync();
     }
 }
 
@@ -1153,17 +1241,19 @@ mod tests {
     #[test]
     fn journal_round_trips_records_in_order() {
         let mut log = Vec::new();
-        let mut writer = JournalWriter::new(&mut log, 9);
-        for i in 0..5u64 {
-            writer
-                .append(&Record {
-                    id: i,
-                    score: i as f64 * 0.25,
-                    tags: vec![i as u32],
-                    label: None,
-                    flag: i % 2 == 0,
-                })
-                .unwrap();
+        {
+            let mut writer = JournalWriter::new(&mut log, 9);
+            for i in 0..5u64 {
+                writer
+                    .append(&Record {
+                        id: i,
+                        score: i as f64 * 0.25,
+                        tags: vec![i as u32],
+                        label: None,
+                        flag: i % 2 == 0,
+                    })
+                    .unwrap();
+            }
         }
         let mut reader = JournalReader::new(log.as_slice(), 9);
         let mut ids = Vec::new();
@@ -1173,6 +1263,105 @@ mod tests {
         assert_eq!(ids, vec![0, 1, 2, 3, 4]);
         assert!(!reader.torn_tail());
         assert_eq!(reader.consumed(), log.len() as u64);
+    }
+
+    #[test]
+    fn group_commit_buffers_until_the_batch_boundary() {
+        let mut log = Vec::new();
+        {
+            let mut writer = JournalWriter::with_policy(&mut log, 9, SyncPolicy::Batch(3));
+            writer.append(&1u64).unwrap();
+            writer.append(&2u64).unwrap();
+            assert_eq!(writer.pending(), 2);
+            assert!(writer.get_mut().is_empty(), "nothing flushed mid-batch");
+            writer.append(&3u64).unwrap();
+            assert_eq!(writer.pending(), 0, "third append completed the batch");
+            assert!(!writer.get_mut().is_empty());
+            let flushed = writer.get_mut().len();
+            writer.append(&4u64).unwrap();
+            assert_eq!(
+                writer.get_mut().len(),
+                flushed,
+                "fourth append buffers again"
+            );
+            // Drop flushes the partial batch best-effort.
+        }
+        let mut reader = JournalReader::new(log.as_slice(), 9);
+        let mut seen = Vec::new();
+        while let Some(r) = reader.next::<u64>().unwrap() {
+            seen.push(r);
+        }
+        assert_eq!(seen, vec![1, 2, 3, 4]);
+        assert!(!reader.torn_tail());
+    }
+
+    #[test]
+    fn sync_policies_produce_byte_identical_logs() {
+        // The reference stream: one hand-framed envelope per record,
+        // exactly what the pre-group-commit writer produced.
+        let records: Vec<u64> = (0..10).collect();
+        let mut reference = Vec::new();
+        for r in &records {
+            let envelope = SummaryEnvelope::wrap(5, r).unwrap();
+            write_frame(&mut reference, &envelope.encode().unwrap()).unwrap();
+        }
+        for policy in [
+            SyncPolicy::Always,
+            SyncPolicy::Batch(1),
+            SyncPolicy::Batch(3),
+            SyncPolicy::Batch(64),
+        ] {
+            let mut log = Vec::new();
+            {
+                let mut writer = JournalWriter::with_policy(&mut log, 5, policy);
+                for r in &records {
+                    writer.append(r).unwrap();
+                }
+                writer.sync().unwrap();
+            }
+            assert_eq!(log, reference, "{policy:?} changed the bytes on disk");
+        }
+    }
+
+    #[test]
+    fn torn_tails_at_every_record_boundary_replay_the_intact_prefix() {
+        // A group-committed log, flushed in full; then simulate a
+        // crash at every possible boundary (clean cut at a record
+        // edge, and a few torn cuts inside the following frame) and
+        // require the reader to hand back exactly the intact prefix.
+        let records: Vec<u64> = (100..107).collect();
+        let mut log = Vec::new();
+        let mut boundaries = vec![0u64];
+        {
+            let mut writer = JournalWriter::with_policy(&mut log, 8, SyncPolicy::Batch(3));
+            for r in &records {
+                writer.append(r).unwrap();
+                writer.sync().unwrap();
+                boundaries.push(writer.get_mut().len() as u64);
+            }
+        }
+        for (i, &boundary) in boundaries.iter().enumerate() {
+            let next = boundaries.get(i + 1).copied().unwrap_or(boundary);
+            // Clean cut at the boundary, then torn cuts within the
+            // next frame (header bytes and payload bytes).
+            let mut cuts = vec![boundary];
+            for torn in [1, 3, 5] {
+                if boundary + torn < next {
+                    cuts.push(boundary + torn);
+                }
+            }
+            for cut in cuts {
+                let truncated = &log[..cut as usize];
+                let mut reader = JournalReader::new(truncated, 8);
+                let mut seen = Vec::new();
+                while let Some(r) = reader.next::<u64>().unwrap() {
+                    seen.push(r);
+                }
+                assert_eq!(seen, records[..i], "cut at {cut} changed the prefix");
+                assert_eq!(reader.consumed(), boundary, "cut at {cut}");
+                assert_eq!(reader.torn_tail(), cut != boundary, "cut at {cut}");
+            }
+        }
     }
 
     #[test]

@@ -5,7 +5,8 @@
 //! census intact.
 
 use replend_core::serve::{
-    run_ingest_workload, ReputationService, ServeConfig, SubjectStatus, WorkloadConfig,
+    run_ingest_workload, JournalOp, ReputationService, ServeConfig, SubjectStatus, SyncPolicy,
+    WorkloadConfig,
 };
 use replend_rocq::{ConcurrentEngine, ReputationEngine, RocqEngine, RocqParams};
 use replend_types::hash::{salted, splitmix64};
@@ -179,4 +180,123 @@ fn journalled_workload_survives_restart_with_census_intact() {
     assert_eq!(replayed.status_census(), census);
 
     let _ = std::fs::remove_file(&path);
+}
+
+/// Issues `op` through the matching public mutator, so prefix replays
+/// in the torn-tail test go through exactly the live apply path.
+fn issue(service: &ReputationService, op: &JournalOp) {
+    match op {
+        JournalOp::Register { peer, initial } => service
+            .register_peer(*peer, Reputation::new(*initial))
+            .unwrap(),
+        JournalOp::Remove { peer } => service.remove_peer(*peer).unwrap(),
+        JournalOp::Batch { batch } => service.report_batch(batch).unwrap(),
+        JournalOp::Credit { subject, amount } => service.credit(*subject, *amount).unwrap(),
+        JournalOp::Debit { subject, amount } => service.debit(*subject, *amount).unwrap(),
+    }
+}
+
+/// Sorted bitwise engine fingerprint.
+fn fingerprint(service: &ReputationService) -> Vec<(u64, u64, u64)> {
+    let mut state = Vec::new();
+    service
+        .engine()
+        .for_each_subject(|p, r, n| state.push((p.raw(), r.value().to_bits(), n)));
+    state.sort_unstable();
+    state
+}
+
+/// The group-commit replay contract: truncating a batch-synced
+/// journal at **every** record-boundary offset (clean cuts and torn
+/// cuts into the next frame) replays to exactly the state reached by
+/// serially applying the intact prefix of operations — group commit
+/// may lose a flushed-batch *suffix* on a crash, never reorder or
+/// half-apply.
+#[test]
+fn group_committed_journal_truncates_to_exact_prefix_state_at_every_boundary() {
+    let dir = std::env::temp_dir().join(format!("replend-serve-torn-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("batched.wal");
+    let _ = std::fs::remove_file(&path);
+
+    let config = ServeConfig {
+        partitions: 3,
+        seed: 31,
+        journal_sync: SyncPolicy::Batch(4),
+        ..ServeConfig::default()
+    };
+
+    // The op list, known to the test so prefixes can be re-applied.
+    const PEERS: u64 = 24;
+    let mut ops: Vec<JournalOp> = (0..PEERS)
+        .map(|p| JournalOp::Register {
+            peer: PeerId(p),
+            initial: 0.5,
+        })
+        .collect();
+    for (round, batch) in op_stream(63, PEERS, 6, 20).into_iter().enumerate() {
+        ops.push(JournalOp::Batch { batch });
+        match round % 3 {
+            0 => ops.push(JournalOp::Credit {
+                subject: PeerId(round as u64 % PEERS),
+                amount: 0.1,
+            }),
+            1 => ops.push(JournalOp::Debit {
+                subject: PeerId(round as u64 % PEERS),
+                amount: 0.2,
+            }),
+            _ => {}
+        }
+    }
+    ops.push(JournalOp::Remove { peer: PeerId(3) });
+
+    {
+        let (service, _) = ReputationService::open(config, &path).expect("fresh journal");
+        for op in &ops {
+            issue(&service, op);
+        }
+        // Drop flushes the partial group-commit batch.
+    }
+    let log = std::fs::read(&path).unwrap();
+
+    // Per-record boundaries, from the journal's own reader.
+    let mut boundaries = vec![0u64];
+    {
+        let mut reader = replend_wire::JournalReader::new(log.as_slice(), config.seed);
+        while reader.next::<JournalOp>().unwrap().is_some() {
+            boundaries.push(reader.consumed());
+        }
+    }
+    assert_eq!(boundaries.len(), ops.len() + 1, "one boundary per op");
+
+    for (i, &boundary) in boundaries.iter().enumerate() {
+        // Expected state: the intact prefix applied serially.
+        let expected = ReputationService::in_memory(config);
+        for op in &ops[..i] {
+            issue(&expected, op);
+        }
+        let next = boundaries.get(i + 1).copied().unwrap_or(boundary);
+        let mut cuts = vec![boundary];
+        if boundary + 2 < next {
+            cuts.push(boundary + 2); // torn mid-frame
+        }
+        for cut in cuts {
+            let torn_path = dir.join("cut.wal");
+            std::fs::write(&torn_path, &log[..cut as usize]).unwrap();
+            let (recovered, summary) =
+                ReputationService::open(config, &torn_path).expect("recovery");
+            assert_eq!(summary.records, i as u64, "cut at {cut}");
+            assert_eq!(summary.bytes, boundary, "cut at {cut}");
+            assert_eq!(summary.truncated_torn_tail, cut != boundary, "cut at {cut}");
+            assert_eq!(
+                fingerprint(&recovered),
+                fingerprint(&expected),
+                "cut at {cut}: replay diverged from the serial prefix"
+            );
+            let _ = std::fs::remove_file(&torn_path);
+        }
+    }
+
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_dir(&dir);
 }
