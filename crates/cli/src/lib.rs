@@ -76,8 +76,34 @@ pub enum Command {
     /// Measure this host's serial-vs-pool crossover and write a
     /// wire-encoded [`HostProfile`].
     Calibrate(CalibrateArgs),
+    /// Data-driven attack scenarios (`replend scenario …`).
+    Scenario(ScenarioCmd),
     /// Print usage.
     Help,
+}
+
+/// Subcommands of `replend scenario`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ScenarioCmd {
+    /// List the shipped scenarios.
+    List,
+    /// Run a `.scn` scenario file and write its metrics CSV.
+    Run {
+        /// The scenario file.
+        file: PathBuf,
+        /// Engine shard-count override (byte-identical output).
+        shards: Option<usize>,
+        /// Where to write the metrics CSV (default
+        /// `results/scenario_<name>.csv`).
+        out: Option<PathBuf>,
+    },
+    /// Write a builtin scenario's canonical `.scn` bytes.
+    Export {
+        /// Builtin scenario name.
+        name: String,
+        /// Where to write it (default `examples/scenarios/<name>.scn`).
+        out: Option<PathBuf>,
+    },
 }
 
 /// Options of `replend calibrate`.
@@ -507,6 +533,7 @@ pub fn parse_args(args: &[&str]) -> Result<Command, UsageError> {
                 .map_err(|e| UsageError(format!("invalid status policy: {e}")))?;
             Ok(Command::Serve(out))
         }
+        Some("scenario") => parse_scenario_args(&args[1..]),
         Some("run") => {
             let mut out = RunArgs::default();
             let mut i = 1;
@@ -649,6 +676,78 @@ pub fn parse_args(args: &[&str]) -> Result<Command, UsageError> {
     }
 }
 
+/// Parses `replend scenario …` (the part after `scenario`).
+fn parse_scenario_args(args: &[&str]) -> Result<Command, UsageError> {
+    match args.first().copied() {
+        Some("list") => match args.get(1) {
+            None => Ok(Command::Scenario(ScenarioCmd::List)),
+            Some(extra) => Err(UsageError(format!(
+                "scenario list takes no arguments, got {extra:?}"
+            ))),
+        },
+        Some("run") => {
+            let file = args
+                .get(1)
+                .filter(|a| !a.starts_with("--"))
+                .ok_or_else(|| UsageError("scenario run needs a .scn file".into()))?;
+            let mut shards = None;
+            let mut out = None;
+            let mut i = 2;
+            while i < args.len() {
+                let flag = args[i];
+                let value = args.get(i + 1).copied();
+                match flag {
+                    "--shards" => {
+                        shards = Some(parse_positive(flag, value)?);
+                        i += 2;
+                    }
+                    "--out" => {
+                        let raw: String = parse_value(flag, value)?;
+                        out = Some(PathBuf::from(raw));
+                        i += 2;
+                    }
+                    other => return Err(UsageError(format!("unknown flag {other:?}"))),
+                }
+            }
+            Ok(Command::Scenario(ScenarioCmd::Run {
+                file: PathBuf::from(file),
+                shards,
+                out,
+            }))
+        }
+        Some("export") => {
+            let name = args
+                .get(1)
+                .filter(|a| !a.starts_with("--"))
+                .ok_or_else(|| UsageError("scenario export needs a builtin name".into()))?;
+            let mut out = None;
+            let mut i = 2;
+            while i < args.len() {
+                let flag = args[i];
+                let value = args.get(i + 1).copied();
+                match flag {
+                    "--out" => {
+                        let raw: String = parse_value(flag, value)?;
+                        out = Some(PathBuf::from(raw));
+                        i += 2;
+                    }
+                    other => return Err(UsageError(format!("unknown flag {other:?}"))),
+                }
+            }
+            Ok(Command::Scenario(ScenarioCmd::Export {
+                name: name.to_string(),
+                out,
+            }))
+        }
+        other => Err(UsageError(match other {
+            Some(sub) => format!(
+                "unknown scenario subcommand {sub:?}; try list, run <file>, or export <name>"
+            ),
+            None => "scenario needs a subcommand: list, run <file>, or export <name>".into(),
+        })),
+    }
+}
+
 /// Usage text.
 pub fn usage() -> String {
     "replend — the reputation-lending community simulator\n\
@@ -666,6 +765,16 @@ pub fn usage() -> String {
      \x20 replend calibrate [OPTIONS]\n\
      \x20                         measure this host's serial-vs-pool crossover\n\
      \x20                         and write a host profile for --profile\n\
+     \x20 replend scenario list   list the shipped attack scenarios\n\
+     \x20 replend scenario run <file> [--shards N] [--out PATH]\n\
+     \x20                         run a .scn scenario file deterministically and\n\
+     \x20                         write its metrics CSV (default\n\
+     \x20                         results/scenario_<name>.csv; honours\n\
+     \x20                         $REPLEND_TICKS for reduced-scale smokes;\n\
+     \x20                         output is byte-identical for any --shards)\n\
+     \x20 replend scenario export <name> [--out PATH]\n\
+     \x20                         write a builtin scenario's canonical .scn\n\
+     \x20                         bytes (default examples/scenarios/<name>.scn)\n\
      \x20 replend help            this text\n\
      \n\
      RUN OPTIONS (defaults = Table 1, 50 000 ticks):\n\
@@ -774,6 +883,116 @@ pub fn execute(command: Command) -> Result<String, CliError> {
         }
         Command::Run(args) => run_simulation(&args),
         Command::Serve(args) => run_serve(&args),
+        Command::Scenario(cmd) => run_scenario(&cmd),
+    }
+}
+
+/// Executes `replend scenario …`. Malformed scenario files and
+/// unknown builtin names are [`CliError::Usage`] (the file is the
+/// "argument" here); I/O failures are [`CliError::Run`].
+fn run_scenario(cmd: &ScenarioCmd) -> Result<String, CliError> {
+    match cmd {
+        ScenarioCmd::List => {
+            let mut out = String::new();
+            let _ = writeln!(
+                out,
+                "shipped scenarios (examples/scenarios/<name>.scn; run with \
+                 `replend scenario run <file>`):"
+            );
+            for scenario in replend_scenario::builtins() {
+                let cohorts: Vec<&str> = scenario.cohorts.iter().map(|c| c.class.name()).collect();
+                let _ = writeln!(
+                    out,
+                    "  {:<22} {}\n{:24}seed {}, {} ticks{}",
+                    scenario.name,
+                    scenario.description,
+                    "",
+                    scenario.seed,
+                    scenario.horizon,
+                    if cohorts.is_empty() {
+                        String::new()
+                    } else {
+                        format!(", adversaries: {}", cohorts.join(", "))
+                    }
+                );
+            }
+            Ok(out)
+        }
+        ScenarioCmd::Run { file, shards, out } => {
+            let scenario = replend_scenario::load_scenario(file)
+                .map_err(CliError::Run)?
+                .map_err(|e| UsageError(format!("invalid scenario {}: {e}", file.display())))?;
+            let mut options = replend_scenario::capped_options(&scenario);
+            options.shards = *shards;
+            let runner = replend_scenario::ScenarioRunner::with_options(scenario, options)
+                .map_err(|e| UsageError(format!("invalid scenario {}: {e}", file.display())))?;
+            let outcome = runner.run_with(options);
+            let path = match out {
+                Some(path) => {
+                    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+                        std::fs::create_dir_all(parent).map_err(|e| {
+                            CliError::Run(format!("cannot create {}: {e}", parent.display()))
+                        })?;
+                    }
+                    std::fs::write(path, outcome.to_csv()).map_err(|e| {
+                        CliError::Run(format!("cannot write {}: {e}", path.display()))
+                    })?;
+                    path.clone()
+                }
+                None => replend_scenario::write_metrics_csv(&outcome)
+                    .map_err(|e| CliError::Run(format!("cannot write metrics CSV: {e}")))?,
+            };
+            let mut text = String::new();
+            let _ = writeln!(
+                text,
+                "scenario {}: {} ticks, {} metrics row(s), {} observation(s)",
+                outcome.name,
+                outcome.ticks_run,
+                outcome.rows.len(),
+                outcome.observations.len()
+            );
+            let pop = &outcome.final_population;
+            let _ = writeln!(
+                text,
+                "  final population: {} member(s) ({} cooperative, {} uncooperative)",
+                pop.members, pop.cooperative, pop.uncooperative
+            );
+            if outcome.partition_blocked > 0 {
+                let _ = writeln!(
+                    text,
+                    "  partitions blocked {} transaction(s)",
+                    outcome.partition_blocked
+                );
+            }
+            let _ = writeln!(text, "  wrote {}", path.display());
+            Ok(text)
+        }
+        ScenarioCmd::Export { name, out } => {
+            let scenario = replend_scenario::builtin(name).ok_or_else(|| {
+                UsageError(format!(
+                    "unknown builtin scenario {name:?}; shipped scenarios: {}",
+                    replend_scenario::BUILTIN_NAMES.join(", ")
+                ))
+            })?;
+            let bytes = replend_scenario::encode_scenario(&scenario)
+                .map_err(|e| CliError::Run(format!("cannot encode scenario {name}: {e}")))?;
+            let path = out
+                .clone()
+                .unwrap_or_else(|| replend_scenario::shipped_path(name));
+            if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+                std::fs::create_dir_all(parent).map_err(|e| {
+                    CliError::Run(format!("cannot create {}: {e}", parent.display()))
+                })?;
+            }
+            std::fs::write(&path, &bytes)
+                .map_err(|e| CliError::Run(format!("cannot write {}: {e}", path.display())))?;
+            Ok(format!(
+                "wrote {} ({} bytes, seed {})\n",
+                path.display(),
+                bytes.len(),
+                scenario.seed
+            ))
+        }
     }
 }
 
@@ -2058,5 +2277,231 @@ mod tests {
         let err = load_profile(&stale).unwrap_err();
         assert!(err.to_string().contains("invalid host profile"), "{err}");
         let _ = std::fs::remove_file(&stale);
+    }
+
+    // -- replend scenario ---------------------------------------------------
+
+    use replend_scenario::{Scenario, SCENARIO_MAGIC};
+
+    /// `.scn` bytes for an arbitrary payload, bypassing
+    /// `encode_scenario`'s validation — how a malformed file reaches
+    /// the CLI in the wild.
+    fn raw_scn<T: serde::Serialize>(seed: u64, payload: &T) -> Vec<u8> {
+        let envelope = replend_wire::SummaryEnvelope::wrap(seed, payload)
+            .unwrap()
+            .encode()
+            .unwrap();
+        let mut bytes = SCENARIO_MAGIC.to_vec();
+        bytes.extend_from_slice(&envelope);
+        bytes
+    }
+
+    fn scn_file(tag: &str, bytes: &[u8]) -> PathBuf {
+        let path =
+            std::env::temp_dir().join(format!("replend-cli-{tag}-{}.scn", std::process::id()));
+        std::fs::write(&path, bytes).unwrap();
+        path
+    }
+
+    fn tiny_scenario(name: &str) -> Scenario {
+        let config = Table1::paper_defaults()
+            .with_num_init(40)
+            .with_arrival_rate(0.02)
+            .with_num_trans(200);
+        let mut scenario = Scenario::baseline(name, config, 7, 200);
+        scenario.metrics_every = 50;
+        scenario
+    }
+
+    fn run_scn(path: &Path) -> Result<String, CliError> {
+        execute(parse_args(&["scenario", "run", path.to_str().unwrap()]).unwrap())
+    }
+
+    #[test]
+    fn scenario_subcommands_parse() {
+        assert_eq!(
+            parse_args(&["scenario", "list"]),
+            Ok(Command::Scenario(ScenarioCmd::List))
+        );
+        assert_eq!(
+            parse_args(&["scenario", "run", "a.scn", "--shards", "4", "--out", "m.csv"]),
+            Ok(Command::Scenario(ScenarioCmd::Run {
+                file: PathBuf::from("a.scn"),
+                shards: Some(4),
+                out: Some(PathBuf::from("m.csv")),
+            }))
+        );
+        assert_eq!(
+            parse_args(&["scenario", "export", "sybil_flood"]),
+            Ok(Command::Scenario(ScenarioCmd::Export {
+                name: "sybil_flood".to_string(),
+                out: None,
+            }))
+        );
+        assert!(parse_args(&["scenario"]).is_err());
+        assert!(parse_args(&["scenario", "frobnicate"]).is_err());
+        assert!(parse_args(&["scenario", "run"]).is_err(), "missing file");
+        assert!(parse_args(&["scenario", "run", "a.scn", "--shards", "0"]).is_err());
+        assert!(parse_args(&["scenario", "list", "extra"]).is_err());
+    }
+
+    #[test]
+    fn scenario_list_names_every_builtin() {
+        let text = execute(Command::Scenario(ScenarioCmd::List)).unwrap();
+        for name in replend_scenario::BUILTIN_NAMES {
+            assert!(text.contains(name), "list is missing {name}:\n{text}");
+        }
+    }
+
+    #[test]
+    fn scenario_run_writes_the_metrics_csv() {
+        let scenario = tiny_scenario("cli_tiny");
+        let bytes = replend_scenario::encode_scenario(&scenario).unwrap();
+        let scn = scn_file("tiny", &bytes);
+        let csv = std::env::temp_dir().join(format!("replend-cli-tiny-{}.csv", std::process::id()));
+        let text = execute(
+            parse_args(&[
+                "scenario",
+                "run",
+                scn.to_str().unwrap(),
+                "--out",
+                csv.to_str().unwrap(),
+            ])
+            .unwrap(),
+        )
+        .unwrap();
+        assert!(text.contains("scenario cli_tiny: 200 ticks"), "{text}");
+        assert!(text.contains("wrote "), "{text}");
+        let written = std::fs::read_to_string(&csv).unwrap();
+        assert!(written.starts_with("tick,members,"), "{written}");
+        assert_eq!(
+            written.lines().count(),
+            1 + 1 + 200 / 50,
+            "header + t0 + samples"
+        );
+        let _ = std::fs::remove_file(&scn);
+        let _ = std::fs::remove_file(&csv);
+    }
+
+    #[test]
+    fn scenario_run_missing_file_is_a_runtime_error_not_usage() {
+        let err = run_scn(Path::new("/nonexistent/attack.scn")).unwrap_err();
+        assert!(matches!(err, CliError::Run(_)), "{err:?}");
+        assert!(err.to_string().contains("cannot read scenario"), "{err}");
+    }
+
+    #[test]
+    fn scenario_run_rejects_an_unknown_adversary_class_by_name() {
+        // A file written by a newer replend whose seventh adversary
+        // class this build does not know. The mirror payload encodes
+        // field-for-field like `Scenario` (the wire format is
+        // positional), with the cohort class at variant index 6.
+        #[derive(serde::Serialize)]
+        enum FutureClass {
+            #[allow(dead_code)]
+            A,
+            #[allow(dead_code)]
+            B,
+            #[allow(dead_code)]
+            C,
+            #[allow(dead_code)]
+            D,
+            #[allow(dead_code)]
+            E,
+            #[allow(dead_code)]
+            F,
+            TimeTraveler {
+                at_tick: u64,
+            },
+        }
+        let base = tiny_scenario("future");
+        // Nested tuples: the wire format writes tuples and structs as
+        // prefix-free field concatenations, so this encodes exactly
+        // like `Scenario`.
+        let payload = (
+            (&base.name, &base.description, base.seed, base.horizon),
+            (base.metrics_every, &base.config, &base.policy, &base.status),
+            (
+                base.departure_rate,
+                &base.arrival_curve,
+                vec![(
+                    "cohort0".to_string(),
+                    FutureClass::TimeTraveler { at_tick: 0 },
+                )],
+                &base.faults,
+            ),
+        );
+        let path = scn_file("future-class", &raw_scn(base.seed, &payload));
+        let err = run_scn(&path).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err:?}");
+        let msg = err.to_string();
+        assert!(msg.contains("invalid variant index 6"), "{msg}");
+        assert!(
+            msg.contains("CollusionRing") && msg.contains("Freeriders"),
+            "the error must name the known adversary classes: {msg}"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn scenario_run_rejects_out_of_range_fractions_by_name() {
+        let mut scenario = tiny_scenario("badfrac");
+        scenario.faults = vec![replend_scenario::FaultEvent {
+            at_tick: 10,
+            action: replend_scenario::FaultAction::KillFraction { fraction: 1.5 },
+        }];
+        let path = scn_file("bad-fraction", &raw_scn(scenario.seed, &scenario));
+        let err = run_scn(&path).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err:?}");
+        assert!(
+            err.to_string()
+                .contains("kill-fraction must lie in [0, 1], got 1.5"),
+            "{err}"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn scenario_run_rejects_faults_past_the_horizon_by_name() {
+        let mut scenario = tiny_scenario("latefault");
+        scenario.faults = vec![replend_scenario::FaultEvent {
+            at_tick: 9_999,
+            action: replend_scenario::FaultAction::Heal,
+        }];
+        let path = scn_file("late-fault", &raw_scn(scenario.seed, &scenario));
+        let err = run_scn(&path).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err:?}");
+        assert!(
+            err.to_string()
+                .contains("heal scheduled at tick 9999, at or past the horizon 200"),
+            "{err}"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn scenario_export_unknown_name_lists_the_builtins() {
+        let err = execute(Command::Scenario(ScenarioCmd::Export {
+            name: "frobnicate".to_string(),
+            out: None,
+        }))
+        .unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err:?}");
+        assert!(err.to_string().contains("churn_storm"), "{err}");
+    }
+
+    #[test]
+    fn scenario_export_round_trips_through_run() {
+        let out =
+            std::env::temp_dir().join(format!("replend-cli-export-{}.scn", std::process::id()));
+        let text = execute(Command::Scenario(ScenarioCmd::Export {
+            name: "sybil_flood".to_string(),
+            out: Some(out.clone()),
+        }))
+        .unwrap();
+        assert!(text.contains("wrote "), "{text}");
+        let decoded = replend_scenario::decode_scenario(&std::fs::read(&out).unwrap()).unwrap();
+        assert_eq!(decoded, replend_scenario::builtin("sybil_flood").unwrap());
+        let _ = std::fs::remove_file(&out);
     }
 }

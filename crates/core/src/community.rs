@@ -184,6 +184,8 @@ impl CommunityBuilder {
             stats: CommunityStats::default(),
             log: EventLog::new(self.log_capacity),
             delta_buf: Vec::new(),
+            partition: None,
+            partition_blocked: 0,
         };
         community.found_population();
         community
@@ -208,6 +210,12 @@ pub struct Community {
     log: EventLog,
     /// Scratch buffer for draining engine deltas (reused per tick).
     delta_buf: Vec<ReputationDelta>,
+    /// Active network partition: peers can only transact within their
+    /// `id % groups` group. `None` (the default) is fully connected.
+    partition: Option<u32>,
+    /// Transactions dropped because requester and respondent sat on
+    /// opposite sides of the partition.
+    partition_blocked: u64,
 }
 
 impl Community {
@@ -686,6 +694,10 @@ impl Community {
         let Some(victim) = self.topology.sample_uniform(&mut self.rng, None) else {
             return;
         };
+        self.remove_member(victim);
+    }
+
+    fn remove_member(&mut self, victim: PeerId) {
         self.log
             .record(self.clock, Event::Departed { peer: victim });
         self.topology.remove_peer(victim);
@@ -695,6 +707,72 @@ impl Community {
         self.sync_engine_deltas();
         self.table.depart(victim);
         self.stats.departures += 1;
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection (scenario harness hooks)
+    // ------------------------------------------------------------------
+
+    /// Scripted departure of a specific member — the scenario
+    /// harness's kill/churn fault hook. Identical bookkeeping to a
+    /// Poisson departure, minus the uniform sampling (and therefore
+    /// RNG-neutral: injecting one does not perturb the random
+    /// stream of the surrounding simulation).
+    pub fn depart_member(&mut self, id: PeerId) -> Result<(), ProtocolError> {
+        if self.table.get(id).is_none() {
+            return Err(ProtocolError::UnknownPeer(id));
+        }
+        if !self.table.is_member(id) {
+            return Err(ProtocolError::NotAdmitted(id));
+        }
+        self.remove_member(id);
+        Ok(())
+    }
+
+    /// Flips a member's behaviour in place (oscillating and
+    /// reputation-milking adversaries): the peer keeps its identity,
+    /// reputation and topology position but starts serving — or
+    /// freeriding — according to the opposite profile from the next
+    /// transaction on. Returns the new behaviour. RNG-neutral.
+    pub fn flip_behavior(&mut self, id: PeerId) -> Result<Behavior, ProtocolError> {
+        if self.table.get(id).is_none() {
+            return Err(ProtocolError::UnknownPeer(id));
+        }
+        if !self.table.is_member(id) {
+            return Err(ProtocolError::NotAdmitted(id));
+        }
+        Ok(self.table.flip_behavior(id))
+    }
+
+    /// Installs (or, with `None`, heals) a network partition into
+    /// `groups` components: peer `p` belongs to component
+    /// `p.raw() % groups`, and transactions whose requester and
+    /// respondent land in different components are dropped before any
+    /// service decision. Groups of 0 or 1 mean "connected" and are
+    /// normalised to `None`.
+    pub fn set_partition(&mut self, groups: Option<u32>) {
+        self.partition = groups.filter(|&g| g >= 2);
+    }
+
+    /// The active partition group count, if any.
+    pub fn partition(&self) -> Option<u32> {
+        self.partition
+    }
+
+    /// Transactions dropped by the active partition so far.
+    pub fn partition_blocked(&self) -> u64 {
+        self.partition_blocked
+    }
+
+    /// Re-rates the Poisson arrival process from the current tick on
+    /// (scenario arrival curves). The process is memoryless, so the
+    /// pending next-arrival instant is simply redrawn at the new
+    /// rate.
+    ///
+    /// # Panics
+    /// If `rate` is negative or not finite.
+    pub fn set_arrival_rate(&mut self, rate: f64) {
+        self.arrivals.set_rate(rate, self.clock, &mut self.rng);
     }
 
     // ------------------------------------------------------------------
@@ -712,6 +790,12 @@ impl Community {
         let Some(respondent) = self.topology.sample(&mut self.rng, Some(requester)) else {
             return;
         };
+        if let Some(groups) = self.partition {
+            if requester.raw() % groups as u64 != respondent.raw() % groups as u64 {
+                self.partition_blocked += 1;
+                return;
+            }
+        }
         let requester_rep = self
             .engine
             .reputation(requester)

@@ -332,6 +332,42 @@ impl PeerTable {
         self.records[id.index()].record_transaction()
     }
 
+    /// Flips a member's behaviour (the scenario harness's
+    /// oscillating/milking adversaries), moving its tracked reputation
+    /// between the per-behaviour accumulators so the O(1) aggregates
+    /// stay exact. The histogram and member index are untouched — the
+    /// peer neither moves nor changes reputation, only allegiance.
+    /// Returns the new behaviour.
+    ///
+    /// # Panics
+    /// If the peer is not a member (a protocol bug).
+    pub fn flip_behavior(&mut self, id: PeerId) -> Behavior {
+        let i = id.index();
+        assert!(
+            self.records[i].status.is_member() && self.member_pos[i] != NOT_MEMBER,
+            "behaviour flip of non-member {id:?}"
+        );
+        let rep = self.tracked[i];
+        let flipped = match self.records[i].profile.behavior {
+            Behavior::Cooperative => {
+                self.pop.cooperative -= 1;
+                self.coop.remove(rep);
+                self.pop.uncooperative += 1;
+                self.uncoop.insert(rep);
+                Behavior::Uncooperative
+            }
+            Behavior::Uncooperative => {
+                self.pop.uncooperative -= 1;
+                self.uncoop.remove(rep);
+                self.pop.cooperative += 1;
+                self.coop.insert(rep);
+                Behavior::Cooperative
+            }
+        };
+        self.records[i].profile.behavior = flipped;
+        flipped
+    }
+
     /// Applies a drained batch of engine deltas in order — the
     /// community's per-tick delta plumbing. One call per
     /// `drain_deltas` keeps the loop next to the accumulator state it

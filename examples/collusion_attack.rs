@@ -6,103 +6,28 @@
 //!
 //! The defence is the stake: every introduction locks up `introAmt`
 //! of the mole's reputation, every failed audit burns it, and once
-//! the mole drops below `minIntro` it cannot vouch for anyone. This
-//! example scripts exactly that attack and reports how far the mole
-//! gets. It also demonstrates the §2 *duplicate introduction* attack
-//! and its detection by the score managers.
+//! the mole drops below `minIntro` it cannot vouch for anyone.
+//!
+//! The attack script itself now lives in data: this example is a thin
+//! wrapper that loads the shipped `collusion_legacy.scn` scenario
+//! (whose `CollusionRing` cohort performs exactly the community calls
+//! this file used to hard-code, including the §2 duplicate-
+//! introduction probe) and prints the legacy report — byte-for-byte
+//! the old output, as pinned by the parity tests.
 //!
 //! ```sh
 //! cargo run --release --example collusion_attack
 //! ```
 
-use replend_core::community::CommunityBuilder;
-use replend_core::peer::PeerStatus;
-use replend_types::{PeerProfile, Reputation, Table1};
+use replend_scenario::{load_scenario, report, shipped_path, ScenarioRunner};
 
 fn main() {
-    let config = Table1::paper_defaults()
-        .with_num_init(300)
-        .with_arrival_rate(0.0) // background arrivals off: scripted attack only
-        .with_num_trans(200_000);
-    let mut community = CommunityBuilder::new(config).seed(99).build();
-    let wait = community.config().lending.wait_period;
-
-    // Phase 1: the mole joins through a legitimate introduction and
-    // behaves honestly (it is, mechanically, a cooperative peer).
-    let mole = community
-        .arrival_with_chosen_introducer(
-            PeerProfile::cooperative(replend_types::IntroducerPolicy::Naive),
-            replend_types::PeerId(0),
-        )
-        .expect("founder 0 is a member");
-    community.run(wait + 1);
-    assert!(community.peer(mole).unwrap().status.is_member());
-    println!(
-        "mole admitted with reputation {:.3}",
-        community.reputation(mole).unwrap().value()
-    );
-
-    // Let the mole build reputation through honest participation.
-    community.run(40_000);
-    let mole_rep = community.reputation(mole).unwrap();
-    println!(
-        "after honest phase, mole reputation = {:.3}",
-        mole_rep.value()
-    );
-
-    // Phase 2: the mole starts vouching for its malicious friends,
-    // one at a time.
-    let min_intro = community.config().lending.min_intro();
-    let mut admitted = 0usize;
-    let mut refused = 0usize;
-    for wave in 0..20 {
-        match community.arrival_with_chosen_introducer(PeerProfile::uncooperative(), mole) {
-            Ok(friend) => {
-                community.run(wait + 1);
-                match community.peer(friend).unwrap().status {
-                    PeerStatus::Member => admitted += 1,
-                    _ => refused += 1,
-                }
-            }
-            Err(_) => refused += 1,
-        }
-        // Give audits a chance to fire between waves.
-        community.run(3_000);
-        let rep = community.reputation(mole).unwrap().value();
-        if rep < min_intro {
-            println!(
-                "wave {:>2}: mole reputation {:.3} fell below minIntro = {:.2} — vouching power gone",
-                wave + 1, rep, min_intro
-            );
-            break;
-        }
-    }
-    println!(
-        "colluders admitted: {admitted}, refused: {refused}; mole reputation now {:.3}",
-        community.reputation(mole).unwrap().value()
-    );
-    println!(
-        "each failed audit burned introAmt = {}; the attack is self-limiting\n",
-        community.config().lending.intro_amt
-    );
-
-    // Phase 3: the duplicate-introduction attack (§2): an admitted
-    // colluder solicits a *second* introduction to double-collect
-    // starting credit. The newcomer's score managers see two grants
-    // for the same peer, zero its reputation and flag it.
-    let greedy = community
-        .arrival_with_chosen_introducer(
-            PeerProfile::cooperative(replend_types::IntroducerPolicy::Naive),
-            replend_types::PeerId(1),
-        )
-        .expect("founder 1 is a member");
-    community.run(wait + 1);
-    assert!(community.peer(greedy).unwrap().status.is_member());
-    community
-        .solicit_duplicate_introduction(greedy, replend_types::PeerId(2))
-        .expect("both are members");
-    community.run(wait + 1);
-    assert_eq!(community.peer(greedy).unwrap().status, PeerStatus::Flagged);
-    assert_eq!(community.reputation(greedy), Some(Reputation::ZERO));
-    println!("duplicate-introduction attack: peer {greedy:?} flagged malicious, reputation zeroed");
+    let path = shipped_path("collusion_legacy");
+    let scenario = load_scenario(&path)
+        .expect("shipped scenario file readable")
+        .expect("shipped scenario file well-formed");
+    let outcome = ScenarioRunner::new(scenario.clone())
+        .expect("shipped scenario valid")
+        .run();
+    print!("{}", report::collusion_report(&scenario, &outcome));
 }

@@ -2,64 +2,41 @@
 //! motivating scenario (§1 cites KaZaA, where setting the
 //! participation level to "Master" made freeriding one click away).
 //!
-//! We simulate a swarm where **half** of all newcomers are
-//! freeriders, with and without the introduction requirement, and
-//! watch what each approach does to the community composition and to
-//! the service experienced by honest peers.
+//! A swarm where **half** of all newcomers are freeriders runs with
+//! and without the introduction requirement; the report shows what
+//! each approach does to the community composition and to the service
+//! experienced by honest peers.
+//!
+//! The swarm configurations now live in data: this example is a thin
+//! wrapper that runs the shipped `file_sharing_open.scn` and
+//! `file_sharing_lending.scn` scenarios and prints the legacy
+//! report — byte-for-byte the old output, as pinned by the parity
+//! tests.
 //!
 //! ```sh
 //! cargo run --release --example file_sharing
 //! ```
 
-use replend_core::community::CommunityBuilder;
-use replend_core::BootstrapPolicy;
-use replend_types::Table1;
+use replend_scenario::{load_scenario, report, shipped_path, ScenarioRunner};
 
-fn run_swarm(policy: BootstrapPolicy, label: &str) {
-    let config = Table1::paper_defaults()
-        .with_num_init(300)
-        .with_arrival_rate(0.05) // a lively swarm: one join every 20 ticks
-        .with_f_uncoop(0.5) // heavy freerider pressure
-        .with_num_trans(60_000);
-    let mut swarm = CommunityBuilder::new(config)
-        .policy(policy)
-        .seed(777)
-        .build();
-    swarm.run(60_000);
-
-    let stats = swarm.stats();
-    let pop = swarm.population();
-    let leech_share = pop.uncooperative as f64 / pop.members.max(1) as f64;
-    println!("--- {label} ---");
-    println!(
-        "  swarm size {:>5}   seeders {:>5}   leechers {:>5}   leecher share {:>5.1}%",
-        pop.members,
-        pop.cooperative,
-        pop.uncooperative,
-        leech_share * 100.0
-    );
-    println!(
-        "  correct serve/deny decisions by honest peers: {:.2}%",
-        stats.success_rate().unwrap_or(0.0) * 100.0
-    );
-    println!(
-        "  freeriders admitted: {} of {} that tried",
-        stats.admitted_uncooperative, stats.arrived_uncooperative
-    );
-    println!(
-        "  honest peers admitted: {} of {} that tried\n",
-        stats.admitted_cooperative, stats.arrived_cooperative
-    );
+fn run_swarm(name: &str, label: &str) {
+    let scenario = load_scenario(&shipped_path(name))
+        .expect("shipped scenario file readable")
+        .expect("shipped scenario file well-formed");
+    let outcome = ScenarioRunner::new(scenario)
+        .expect("shipped scenario valid")
+        .run();
+    print!("{}", report::file_sharing_report(label, &outcome));
 }
 
 fn main() {
     println!("file-sharing swarm, 50% of newcomers are freeriders\n");
     run_swarm(
-        BootstrapPolicy::OpenAdmission { initial: 0.5 },
+        "file_sharing_open",
         "open swarm (no introductions — everyone joins)",
     );
     run_swarm(
-        BootstrapPolicy::ReputationLending,
+        "file_sharing_lending",
         "introduction-gated swarm (reputation lending)",
     );
     println!(

@@ -5,101 +5,42 @@
 //! > afresh"*
 //!
 //! — the exploit that breaks complaints-based trust, and the very
-//! reason the paper makes newcomers start at zero. This example plays
-//! a serial whitewasher against two communities:
+//! reason the paper makes newcomers start at zero. A serial
+//! whitewasher plays against two communities: **complaints-only**
+//! (every fresh identity fully trusted again) and **reputation
+//! lending** (every fresh identity needs a member to stake `introAmt`
+//! on it).
 //!
-//! * **complaints-only** — every fresh identity is fully trusted
-//!   again: the freerider keeps getting served;
-//! * **reputation lending** — every fresh identity needs a member to
-//!   stake `introAmt` on it, waits out `T`, and enters at 0.1; the
-//!   attacker's expected service per identity collapses, and the
-//!   introducers it burns lose their lending power.
+//! The campaign script now lives in data: this example is a thin
+//! wrapper that runs the shipped `whitewash_complaints.scn` and
+//! `whitewash_lending.scn` scenarios (whose `Whitewash` cohorts
+//! perform exactly the community calls this file used to hard-code)
+//! and prints the legacy report — byte-for-byte the old output, as
+//! pinned by the parity tests.
 //!
 //! ```sh
 //! cargo run --release --example whitewashing
 //! ```
 
-use replend_core::community::CommunityBuilder;
-use replend_core::peer::PeerStatus;
-use replend_core::BootstrapPolicy;
-use replend_types::{PeerId, PeerProfile, Table1};
+use replend_scenario::{
+    load_scenario, report, shipped_path, Scenario, ScenarioOutcome, ScenarioRunner,
+};
 
-/// One whitewashing campaign: the attacker cycles through `waves`
-/// fresh identities; each identity lives `life` ticks. Returns
-/// (identities admitted, mean reputation at identity end).
-fn campaign(policy: BootstrapPolicy, waves: usize, life: u64) -> (usize, f64) {
-    let config = Table1::paper_defaults()
-        .with_num_init(300)
-        .with_arrival_rate(0.0)
-        .with_num_trans(u64::MAX / 2);
-    let mut community = CommunityBuilder::new(config)
-        .policy(policy)
-        .seed(1312)
-        .build();
-    let wait = community.config().lending.wait_period;
-
-    let mut admitted = 0usize;
-    let mut rep_sum = 0.0;
-    let mut rep_n = 0usize;
-    for wave in 0..waves {
-        // A fresh identity each wave, always a freerider.
-        let identity = match policy {
-            BootstrapPolicy::ReputationLending => {
-                // Needs an introduction: ask a (rotating) founder.
-                let introducer = PeerId((wave as u64 * 7) % 300);
-                match community
-                    .arrival_with_chosen_introducer(PeerProfile::uncooperative(), introducer)
-                {
-                    Ok(id) => {
-                        community.run(wait + 1);
-                        id
-                    }
-                    Err(_) => continue,
-                }
-            }
-            _ => community.arrival_with_profile(PeerProfile::uncooperative()),
-        };
-        if community.peer(identity).unwrap().status == PeerStatus::Member {
-            admitted += 1;
-            community.run(life);
-            if let Some(r) = community.reputation(identity) {
-                rep_sum += r.value();
-                rep_n += 1;
-            }
-        }
-    }
-    (
-        admitted,
-        if rep_n > 0 {
-            rep_sum / rep_n as f64
-        } else {
-            0.0
-        },
-    )
+fn campaign(name: &str) -> (Scenario, ScenarioOutcome) {
+    let scenario = load_scenario(&shipped_path(name))
+        .expect("shipped scenario file readable")
+        .expect("shipped scenario file well-formed");
+    let outcome = ScenarioRunner::new(scenario.clone())
+        .expect("shipped scenario valid")
+        .run();
+    (scenario, outcome)
 }
 
 fn main() {
-    let waves = 20;
-    let life = 10_000;
-    println!("serial whitewasher: {waves} fresh identities, {life} ticks each\n");
-
-    let (c_admitted, c_rep) = campaign(BootstrapPolicy::ComplaintsOnly, waves, life);
-    println!(
-        "complaints-only : {c_admitted:>2}/{waves} identities admitted, \
-         mean end-of-life reputation {c_rep:.3}"
+    let (c_scenario, c_outcome) = campaign("whitewash_complaints");
+    let (l_scenario, l_outcome) = campaign("whitewash_lending");
+    print!(
+        "{}",
+        report::whitewashing_report((&c_scenario, &c_outcome), (&l_scenario, &l_outcome))
     );
-    println!("                  every new identity starts fully trusted — whitewashing works\n");
-
-    let (l_admitted, l_rep) = campaign(BootstrapPolicy::ReputationLending, waves, life);
-    println!(
-        "lending         : {l_admitted:>2}/{waves} identities admitted, \
-         mean end-of-life reputation {l_rep:.3}"
-    );
-    println!(
-        "                  each identity costs an introducer introAmt up front and a\n\
-         \x20                 failed audit later; founders burned by earlier waves drop\n\
-         \x20                 below minIntro and refuse, so re-entry gets harder each time"
-    );
-
-    assert!(c_rep > l_rep, "lending must blunt whitewashing");
 }

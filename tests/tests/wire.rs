@@ -11,9 +11,15 @@
 
 use proptest::prelude::*;
 use proptest::strategy::Strategy;
+use replend_core::serve::StatusPolicy;
 use replend_core::stats::{CommunityStats, Population};
 use replend_core::{BootstrapPolicy, CommunityReport, CommunitySummary, EngineKind, WorkerJob};
 use replend_rocq::RocqParams;
+use replend_scenario::{
+    builtin, decode_scenario, encode_scenario, AdversaryClass, ArrivalPhase, CohortEvent,
+    CohortSpec, FaultAction, FaultEvent, MetricsRow, Observation, Scenario, ScenarioError,
+    ScenarioOutcome, SCENARIO_MAGIC,
+};
 use replend_sim::stats::Histogram;
 use replend_types::{
     Feedback, LendingParams, PeerId, Reputation, ReputationDelta, SimParams, SimTime, Table1,
@@ -298,6 +304,262 @@ fn any_histogram() -> impl Strategy<Value = Histogram> {
 }
 
 // ---------------------------------------------------------------------------
+// Strategies for the scenario-DSL boundary types (PR 9) — the `.scn`
+// file payload and the runner outcome both cross the wire, so they
+// get the same bit-identity treatment. The generators deliberately
+// produce *semantically invalid* scenarios too (NaN rates, faults
+// past the horizon): the wire layer must round-trip anything
+// representable; `Scenario::validate` is a separate, later gate.
+// ---------------------------------------------------------------------------
+
+fn any_label() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just(String::new()),
+        proptest::num::u64::ANY.prop_map(|v| format!("cohort-{v:x}")),
+        proptest::num::u64::ANY.prop_map(|v| format!("péer-✓-{v}")),
+    ]
+}
+
+fn any_arrival_phase() -> impl Strategy<Value = ArrivalPhase> {
+    (proptest::num::u64::ANY, proptest::num::f64::ANY)
+        .prop_map(|(at_tick, rate)| ArrivalPhase { at_tick, rate })
+}
+
+fn any_adversary_class() -> impl Strategy<Value = AdversaryClass> {
+    let u64s = proptest::num::u64::ANY;
+    let u32s = proptest::num::u32::ANY;
+    prop_oneof![
+        (u64s, u64s, u64s, u32s, u64s, proptest::bool::ANY).prop_map(
+            |(at_tick, introducer, honest_ticks, waves, wave_gap, duplicate_probe)| {
+                AdversaryClass::CollusionRing {
+                    at_tick,
+                    introducer,
+                    honest_ticks,
+                    waves,
+                    wave_gap,
+                    duplicate_probe,
+                }
+            }
+        ),
+        (u64s, u32s, u64s, u64s, proptest::bool::ANY).prop_map(
+            |(at_tick, waves, life, introducer_stride, depart_between_waves)| {
+                AdversaryClass::Whitewash {
+                    at_tick,
+                    waves,
+                    life,
+                    introducer_stride,
+                    depart_between_waves,
+                }
+            }
+        ),
+        (u64s, u32s, u32s).prop_map(|(at_tick, size, per_tick)| AdversaryClass::SybilFlood {
+            at_tick,
+            size,
+            per_tick,
+        }),
+        (u64s, u32s, u64s, u32s).prop_map(|(at_tick, size, period, flips)| {
+            AdversaryClass::Oscillator {
+                at_tick,
+                size,
+                period,
+                flips,
+            }
+        }),
+        (u64s, u32s, u64s).prop_map(|(at_tick, size, milk_after)| AdversaryClass::Milker {
+            at_tick,
+            size,
+            milk_after,
+        }),
+        (u64s, u32s, u64s).prop_map(|(at_tick, size, every)| AdversaryClass::Freeriders {
+            at_tick,
+            size,
+            every,
+        }),
+    ]
+}
+
+fn any_cohort_spec() -> impl Strategy<Value = CohortSpec> {
+    (any_label(), any_adversary_class()).prop_map(|(label, class)| CohortSpec { label, class })
+}
+
+fn any_fault_action() -> impl Strategy<Value = FaultAction> {
+    prop_oneof![
+        proptest::num::f64::ANY.prop_map(|fraction| FaultAction::KillFraction { fraction }),
+        proptest::num::u32::ANY.prop_map(|groups| FaultAction::Partition { groups }),
+        Just(FaultAction::Heal),
+        proptest::num::u32::ANY.prop_map(|cohort| FaultAction::FlipCohort { cohort }),
+        proptest::num::f64::ANY.prop_map(|rate| FaultAction::SetArrivalRate { rate }),
+    ]
+}
+
+fn any_fault_event() -> impl Strategy<Value = FaultEvent> {
+    (proptest::num::u64::ANY, any_fault_action())
+        .prop_map(|(at_tick, action)| FaultEvent { at_tick, action })
+}
+
+fn any_status_policy() -> impl Strategy<Value = StatusPolicy> {
+    (
+        proptest::num::u64::ANY,
+        proptest::num::f64::ANY,
+        proptest::num::f64::ANY,
+    )
+        .prop_map(
+            |(min_observations, throttle_below, ban_below)| StatusPolicy {
+                min_observations,
+                throttle_below,
+                ban_below,
+            },
+        )
+}
+
+fn any_scenario() -> impl Strategy<Value = Scenario> {
+    (
+        (
+            any_label(),
+            any_label(),
+            proptest::num::u64::ANY,
+            proptest::num::u64::ANY,
+            proptest::num::u64::ANY,
+        ),
+        (
+            any_table1(),
+            any_policy(),
+            any_status_policy(),
+            proptest::num::f64::ANY,
+        ),
+        (
+            proptest::collection::vec(any_arrival_phase(), 0..4),
+            proptest::collection::vec(any_cohort_spec(), 0..4),
+            proptest::collection::vec(any_fault_event(), 0..6),
+        ),
+    )
+        .prop_map(
+            |(
+                (name, description, seed, horizon, metrics_every),
+                (config, policy, status, departure_rate),
+                (arrival_curve, cohorts, faults),
+            )| Scenario {
+                name,
+                description,
+                seed,
+                horizon,
+                metrics_every,
+                config,
+                policy,
+                status,
+                departure_rate,
+                arrival_curve,
+                cohorts,
+                faults,
+            },
+        )
+}
+
+fn any_metrics_row() -> impl Strategy<Value = MetricsRow> {
+    let u = || proptest::num::u64::ANY;
+    (
+        (u(), u(), u(), u()),
+        (any_opt_f64(), any_opt_f64()),
+        (u(), u(), u()),
+        (any_opt_f64(), any_opt_f64()),
+    )
+        .prop_map(
+            |(
+                (tick, members, honest, adversaries),
+                (honest_mean, adversary_mean),
+                (whitelisted, throttled, banned),
+                (false_positive_rate, false_negative_rate),
+            )| MetricsRow {
+                tick,
+                members,
+                honest,
+                adversaries,
+                honest_mean,
+                adversary_mean,
+                whitelisted,
+                throttled,
+                banned,
+                false_positive_rate,
+                false_negative_rate,
+            },
+        )
+}
+
+fn any_cohort_event() -> impl Strategy<Value = CohortEvent> {
+    let f = proptest::num::f64::ANY;
+    let u32s = proptest::num::u32::ANY;
+    prop_oneof![
+        (proptest::bool::ANY, f)
+            .prop_map(|(member, reputation)| CohortEvent::MoleAdmitted { member, reputation }),
+        f.prop_map(|reputation| CohortEvent::HonestPhaseDone { reputation }),
+        (u32s, proptest::bool::ANY)
+            .prop_map(|(wave, admitted)| CohortEvent::WaveResolved { wave, admitted }),
+        (u32s, f)
+            .prop_map(|(wave, reputation)| CohortEvent::VouchingPowerLost { wave, reputation }),
+        (u32s, u32s, f).prop_map(|(admitted, refused, reputation)| CohortEvent::WavesDone {
+            admitted,
+            refused,
+            reputation,
+        }),
+        (
+            proptest::num::u64::ANY,
+            proptest::bool::ANY,
+            proptest::bool::ANY
+        )
+            .prop_map(
+                |(peer, flagged, reputation_zeroed)| CohortEvent::DuplicateProbe {
+                    peer,
+                    flagged,
+                    reputation_zeroed,
+                }
+            ),
+        (u32s, proptest::bool::ANY)
+            .prop_map(|(wave, admitted)| CohortEvent::IdentityResolved { wave, admitted }),
+        (u32s, any_opt_f64())
+            .prop_map(|(wave, reputation)| CohortEvent::IdentityRetired { wave, reputation }),
+        u32s.prop_map(|count| CohortEvent::CohortSpawned { count }),
+        u32s.prop_map(|members| CohortEvent::CohortFlipped { members }),
+        (any_fault_action(), u32s)
+            .prop_map(|(action, affected)| CohortEvent::FaultApplied { action, affected }),
+    ]
+}
+
+fn any_observation() -> impl Strategy<Value = Observation> {
+    (proptest::num::u64::ANY, any_label(), any_cohort_event()).prop_map(|(tick, cohort, event)| {
+        Observation {
+            tick,
+            cohort,
+            event,
+        }
+    })
+}
+
+fn any_scenario_outcome() -> impl Strategy<Value = ScenarioOutcome> {
+    (
+        (any_label(), proptest::num::u64::ANY),
+        proptest::collection::vec(any_metrics_row(), 0..4),
+        proptest::collection::vec(any_observation(), 0..4),
+        (any_population(), any_stats(), proptest::num::u64::ANY),
+    )
+        .prop_map(
+            |(
+                (name, ticks_run),
+                rows,
+                observations,
+                (final_population, final_stats, partition_blocked),
+            )| ScenarioOutcome {
+                name,
+                ticks_run,
+                rows,
+                observations,
+                final_population,
+                final_stats,
+                partition_blocked,
+            },
+        )
+}
+
+// ---------------------------------------------------------------------------
 // The round-trip properties
 // ---------------------------------------------------------------------------
 
@@ -416,4 +678,81 @@ proptest! {
             }
         );
     }
+
+    // -- scenario DSL (PR 9) ------------------------------------------------
+
+    #[test]
+    fn scenario_dsl_types_round_trip(
+        phase in any_arrival_phase(),
+        cohort in any_cohort_spec(),
+        fault in any_fault_event(),
+        status in any_status_policy(),
+    ) {
+        assert_bit_identical_round_trip(&phase);
+        assert_bit_identical_round_trip(&cohort.class);
+        assert_bit_identical_round_trip(&cohort);
+        assert_bit_identical_round_trip(&fault.action);
+        assert_bit_identical_round_trip(&fault);
+        assert_bit_identical_round_trip(&status);
+    }
+
+    #[test]
+    fn scenarios_round_trip(scenario in any_scenario()) {
+        assert_bit_identical_round_trip(&scenario);
+    }
+
+    #[test]
+    fn metrics_rows_and_observations_round_trip(
+        row in any_metrics_row(),
+        observation in any_observation(),
+    ) {
+        assert_bit_identical_round_trip(&row);
+        assert_bit_identical_round_trip(&observation.event);
+        assert_bit_identical_round_trip(&observation);
+    }
+
+    #[test]
+    fn scenario_outcomes_round_trip(outcome in any_scenario_outcome()) {
+        assert_bit_identical_round_trip(&outcome);
+    }
+
+    #[test]
+    fn scenario_files_round_trip_but_bumped_versions_fail_typed(bump in 1u32..1000) {
+        // The `.scn` container wraps the same version-gated envelope,
+        // so the version check fires before any payload byte is
+        // interpreted — a stale file can never half-decode.
+        let scenario = builtin("sybil_flood").expect("shipped builtin");
+        let bytes = encode_scenario(&scenario).unwrap();
+        let reopened = decode_scenario(&bytes).unwrap();
+        prop_assert_eq!(encode_scenario(&reopened).unwrap(), bytes.clone());
+
+        let mut stale = SummaryEnvelope::decode(&bytes[SCENARIO_MAGIC.len()..]).unwrap();
+        stale.version = PROTOCOL_VERSION.wrapping_add(bump);
+        let mut stale_bytes = SCENARIO_MAGIC.to_vec();
+        stale_bytes.extend_from_slice(&stale.encode().unwrap());
+        prop_assert_eq!(
+            decode_scenario(&stale_bytes).unwrap_err(),
+            ScenarioError::Wire(WireError::VersionMismatch {
+                expected: PROTOCOL_VERSION,
+                found: PROTOCOL_VERSION.wrapping_add(bump),
+            })
+        );
+    }
+}
+
+/// A scenario file whose magic is wrong — or missing entirely — is
+/// rejected as foreign before the envelope is even opened.
+#[test]
+fn scenario_files_reject_foreign_magic() {
+    let scenario = builtin("churn_storm").expect("shipped builtin");
+    let mut bytes = encode_scenario(&scenario).unwrap();
+    bytes[0] ^= 0x20;
+    assert_eq!(
+        decode_scenario(&bytes).unwrap_err(),
+        ScenarioError::Wire(WireError::BadMagic)
+    );
+    assert_eq!(
+        decode_scenario(&[]).unwrap_err(),
+        ScenarioError::Wire(WireError::BadMagic)
+    );
 }
