@@ -1,0 +1,239 @@
+//! Restart bench: what checkpointed restarts buy a reputation-service
+//! operator — recovery wall-clock with and without a checkpoint, plus
+//! the bulk-register fast path against the per-peer loop it replaced.
+//!
+//! Measured per subject-store size (default 100 000 and 1 000 000
+//! subjects — the ISSUE-10 acceptance scales) and emitted into the
+//! machine-readable perf trajectory (`REPLEND_BENCH_JSON`):
+//!
+//! * `service/register_loop/…` — journalled cold-start registration
+//!   through the per-peer `register_peer` loop: one journal record
+//!   and one full partition round-trip per subject.
+//! * `service/register_bulk/…` — the same population through one
+//!   `register_batch` call: one journal record, batches grouped by
+//!   partition, one write lock per partition.
+//! * `service/restart_full_replay/…` — `ReputationService::open`
+//!   wall-clock when the whole history (bulk registration + every
+//!   feedback batch) must be replayed from the journal.
+//! * `service/checkpoint_write/…` — `checkpoint()` wall-clock:
+//!   partition-parallel export + encode, tmp-file write, fsync,
+//!   rename, journal truncation.
+//! * `service/restart_from_checkpoint/…` — `open` wall-clock when an
+//!   intact checkpoint covers all but a short suffix (the ISSUE-10
+//!   acceptance number: ≥10× faster than the full replay at 1M).
+//!
+//! Restart phases are one-shot whole-workload timings (a recovery has
+//! no closure to repeat), so results enter the report via the shim's
+//! [`record_measurement`] with `iters = 1`. The committed
+//! `/BENCH_10.json` carries this host's full-size run;
+//! `REPLEND_BENCH_SUBJECTS` (comma-separated counts) scales the sizes
+//! for CI smoke runs, exactly as in `hot_path` and `service`.
+
+use criterion::{record_measurement, write_json_report};
+use replend_core::serve::{ReputationService, ServeConfig, SyncPolicy};
+use replend_types::hash::{salted, splitmix64};
+use replend_types::{Feedback, PeerId, Reputation};
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Feedback batches journalled before the measured restarts. The
+/// history is deliberately long (20M opinions at the default sizes):
+/// checkpoints exist to amortise exactly this — a full replay pays
+/// for every opinion again, a checkpointed restart pays only for the
+/// suffix.
+const ROUNDS: u64 = 200;
+
+/// Opinions per pre-checkpoint feedback batch.
+const BATCH: u64 = 100_000;
+
+/// Feedback batches applied *after* the checkpoint — the short
+/// suffix the checkpointed restart still has to replay.
+const SUFFIX_ROUNDS: u64 = 2;
+
+/// Opinions per suffix batch (a freshly compacted service has seen
+/// little since its checkpoint).
+const SUFFIX_BATCH: u64 = 10_000;
+
+/// Subject-store sizes exercised, overridable via
+/// `REPLEND_BENCH_SUBJECTS` for smoke runs.
+fn sizes() -> Vec<u64> {
+    match std::env::var("REPLEND_BENCH_SUBJECTS") {
+        Ok(list) => list
+            .split(',')
+            .map(|s| {
+                s.trim()
+                    .parse()
+                    .expect("REPLEND_BENCH_SUBJECTS: comma-separated subject counts")
+            })
+            .collect(),
+        Err(_) => vec![100_000, 1_000_000],
+    }
+}
+
+/// One pre-generated feedback batch of `count` opinions over
+/// `subjects` peers (same splitmix shape as the service bench, ~70 %
+/// honest cohort). Subjects are uniform over the whole population;
+/// the reporter is drawn from a two-candidate per-subject pool —
+/// real feedback graphs are sparse (a subject hears from its trading
+/// partners, not from everyone), and the bounded (reporter, subject)
+/// pair set is what keeps the checkpoint's credibility books and
+/// interaction log from growing with the journal.
+fn batch(subjects: u64, seed: u64, round: u64, count: u64) -> Vec<Feedback> {
+    (0..count)
+        .map(|i| {
+            let k = splitmix64(salted(seed, round * count + i));
+            let subject = splitmix64(k) % subjects;
+            let reporter = splitmix64(salted(subject, k & 1)) % subjects;
+            let honest = splitmix64(salted(seed, subject)) % 10 < 7;
+            let noise = splitmix64(k.rotate_left(23)) % 10;
+            let positive = if honest { noise < 9 } else { noise < 2 };
+            Feedback::new(
+                PeerId(reporter),
+                PeerId(subject),
+                if positive { 1.0 } else { 0.0 },
+            )
+        })
+        .collect()
+}
+
+/// Journal-backed config: group commit so the registration loop
+/// measures the write path, not one fsync per subject.
+fn config() -> ServeConfig {
+    ServeConfig {
+        seed: 0xBE6C,
+        journal_sync: SyncPolicy::Batch(1024),
+        ..ServeConfig::default()
+    }
+}
+
+fn scratch(name: &str, subjects: u64) -> PathBuf {
+    let path = std::env::temp_dir().join(format!(
+        "replend-restart-{name}-{subjects}-{}.wal",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(replend_core::serve::checkpoint_path(&path));
+    path
+}
+
+fn cleanup(path: &PathBuf) {
+    let _ = std::fs::remove_file(path);
+    let _ = std::fs::remove_file(replend_core::serve::checkpoint_path(path));
+}
+
+fn bench_restart(subjects: u64) {
+    // Bulk vs loop registration, both journal-backed. The loop
+    // journals one record per subject; the batch journals one record
+    // total and takes each partition's write lock once.
+    let loop_path = scratch("loop", subjects);
+    {
+        let (service, _) = ReputationService::open(config(), &loop_path).expect("fresh journal");
+        let start = Instant::now();
+        for s in 0..subjects {
+            service
+                .register_peer(PeerId(s), Reputation::new(0.5))
+                .expect("journalled registration");
+        }
+        let elapsed = start.elapsed();
+        record_measurement(
+            &format!("service/register_loop/{subjects}subj"),
+            subjects,
+            elapsed.as_nanos(),
+            elapsed.as_nanos() as f64 / subjects as f64,
+        );
+    }
+    cleanup(&loop_path);
+
+    let path = scratch("ckpt", subjects);
+    let population: Vec<(PeerId, Reputation)> = (0..subjects)
+        .map(|s| (PeerId(s), Reputation::new(0.5)))
+        .collect();
+    let bulk_ns;
+    {
+        let (service, _) = ReputationService::open(config(), &path).expect("fresh journal");
+        let start = Instant::now();
+        service
+            .register_batch(&population)
+            .expect("bulk registration");
+        let elapsed = start.elapsed();
+        bulk_ns = elapsed.as_nanos();
+        record_measurement(
+            &format!("service/register_bulk/{subjects}subj"),
+            subjects,
+            bulk_ns,
+            bulk_ns as f64 / subjects as f64,
+        );
+        for round in 0..ROUNDS {
+            service
+                .report_batch(&batch(subjects, 7, round, BATCH))
+                .expect("journalled ingest");
+        }
+    }
+
+    // Cold restart with no checkpoint: the whole history replays.
+    let start = Instant::now();
+    let (service, summary) = ReputationService::open(config(), &path).expect("full replay");
+    let full_replay_ns = start.elapsed().as_nanos();
+    assert!(!summary.restored_from_checkpoint());
+    assert_eq!(summary.records, 1 + ROUNDS);
+    record_measurement(
+        &format!("service/restart_full_replay/{subjects}subj"),
+        1,
+        full_replay_ns,
+        full_replay_ns as f64,
+    );
+
+    // Checkpoint, then journal a short suffix on top of it.
+    let start = Instant::now();
+    let report = service.checkpoint().expect("checkpoint");
+    let checkpoint_ns = start.elapsed().as_nanos();
+    assert_eq!(report.generation, 1);
+    record_measurement(
+        &format!("service/checkpoint_write/{subjects}subj"),
+        1,
+        checkpoint_ns,
+        checkpoint_ns as f64,
+    );
+    for round in 0..SUFFIX_ROUNDS {
+        service
+            .report_batch(&batch(subjects, 8, round, SUFFIX_BATCH))
+            .expect("suffix ingest");
+    }
+    let census = service.status_census();
+    drop(service);
+
+    // Restart from the checkpoint: restore + replay only the suffix.
+    let start = Instant::now();
+    let (restored, summary) = ReputationService::open(config(), &path).expect("checkpoint restart");
+    let ckpt_restart_ns = start.elapsed().as_nanos();
+    assert!(summary.restored_from_checkpoint());
+    assert_eq!(summary.records, SUFFIX_ROUNDS);
+    assert_eq!(restored.status_census(), census, "restored census diverged");
+    record_measurement(
+        &format!("service/restart_from_checkpoint/{subjects}subj"),
+        1,
+        ckpt_restart_ns,
+        ckpt_restart_ns as f64,
+    );
+    drop(restored);
+    cleanup(&path);
+
+    // Human-readable summary for the CI restart smoke (the
+    // machine-readable numbers are in the JSON report).
+    eprintln!(
+        "restart {subjects}subj: full replay {:.1}ms | checkpoint write {:.1}ms | \
+         from checkpoint {:.1}ms | speedup {:.1}x | bulk register {:.1}ms",
+        full_replay_ns as f64 / 1e6,
+        checkpoint_ns as f64 / 1e6,
+        ckpt_restart_ns as f64 / 1e6,
+        full_replay_ns as f64 / ckpt_restart_ns as f64,
+        bulk_ns as f64 / 1e6,
+    );
+}
+
+fn main() {
+    for subjects in sizes() {
+        bench_restart(subjects);
+    }
+    write_json_report();
+}

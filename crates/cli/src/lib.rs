@@ -73,6 +73,11 @@ pub enum Command {
     /// Run the concurrent reputation service under a synthetic ingest
     /// workload (optionally journalled) and print the tier census.
     Serve(ServeArgs),
+    /// Open a journalled service, take a durable checkpoint of its
+    /// full state, and compact the journal to empty (`replend
+    /// compact`). Takes the service-config subset of the serve flags
+    /// — the workload flags make no sense here and are rejected.
+    Compact(ServeArgs),
     /// Measure this host's serial-vs-pool crossover and write a
     /// wire-encoded [`HostProfile`].
     Calibrate(CalibrateArgs),
@@ -155,6 +160,9 @@ pub struct ServeArgs {
     pub journal: Option<PathBuf>,
     /// Journal flush policy: every record, or group-committed.
     pub journal_sync: SyncPolicy,
+    /// Auto-checkpoint (and journal-compaction) cadence in journalled
+    /// mutations; `None` = only explicit `replend compact` runs.
+    pub checkpoint_every: Option<u64>,
     /// Observations before the status policy trusts a reputation.
     pub min_observations: u64,
     /// Throttle subjects below this reputation.
@@ -183,6 +191,7 @@ impl Default for ServeArgs {
             seed: 0,
             journal: None,
             journal_sync: config.journal_sync,
+            checkpoint_every: config.checkpoint_every,
             min_observations: config.policy.min_observations,
             throttle_below: config.policy.throttle_below,
             ban_below: config.policy.ban_below,
@@ -211,6 +220,7 @@ impl ServeArgs {
             seed: self.seed,
             policy: self.policy(),
             journal_sync: self.journal_sync,
+            checkpoint_every: self.checkpoint_every,
             ..ServeConfig::default()
         }
     }
@@ -487,6 +497,12 @@ pub fn parse_args(args: &[&str]) -> Result<Command, UsageError> {
                         out.journal_sync = parse_sync_policy(&raw)?;
                         i += 2;
                     }
+                    "--checkpoint-every" => {
+                        // Caught here, not as a confusing modulo-zero
+                        // later: a cadence of zero makes no sense.
+                        out.checkpoint_every = Some(parse_positive(flag, value)? as u64);
+                        i += 2;
+                    }
                     "--min-observations" => {
                         out.min_observations = parse_value(flag, value)?;
                         i += 2;
@@ -504,6 +520,13 @@ pub fn parse_args(args: &[&str]) -> Result<Command, UsageError> {
             }
             if out.subjects == 0 {
                 return Err(UsageError("--subjects must be at least 1".into()));
+            }
+            if out.checkpoint_every.is_some() && out.journal.is_none() {
+                return Err(UsageError(
+                    "--checkpoint-every needs --journal (an in-memory service has \
+                     nothing to checkpoint)"
+                        .into(),
+                ));
             }
             // Threshold mistakes are caught here, at parse time, with
             // the flag names the user typed — not later from
@@ -532,6 +555,66 @@ pub fn parse_args(args: &[&str]) -> Result<Command, UsageError> {
                 .validate()
                 .map_err(|e| UsageError(format!("invalid status policy: {e}")))?;
             Ok(Command::Serve(out))
+        }
+        Some("compact") => {
+            let mut out = ServeArgs::default();
+            let mut i = 1;
+            while i < args.len() {
+                let flag = args[i];
+                let value = args.get(i + 1).copied();
+                match flag {
+                    "--journal" => {
+                        let raw: String = parse_value(flag, value)?;
+                        out.journal = Some(PathBuf::from(raw));
+                        i += 2;
+                    }
+                    "--partitions" => {
+                        out.partitions = parse_positive(flag, value)?;
+                        out.partitions_explicit = true;
+                        i += 2;
+                    }
+                    "--profile" => {
+                        let raw: String = parse_value(flag, value)?;
+                        out.profile = Some(PathBuf::from(raw));
+                        i += 2;
+                    }
+                    "--num-sm" => {
+                        out.num_sm = parse_positive(flag, value)?;
+                        i += 2;
+                    }
+                    "--seed" => {
+                        out.seed = parse_value(flag, value)?;
+                        i += 2;
+                    }
+                    "--journal-sync" => {
+                        let raw: String = parse_value(flag, value)?;
+                        out.journal_sync = parse_sync_policy(&raw)?;
+                        i += 2;
+                    }
+                    "--min-observations" => {
+                        out.min_observations = parse_value(flag, value)?;
+                        i += 2;
+                    }
+                    "--throttle-below" => {
+                        out.throttle_below = parse_value(flag, value)?;
+                        i += 2;
+                    }
+                    "--ban-below" => {
+                        out.ban_below = parse_value(flag, value)?;
+                        i += 2;
+                    }
+                    other => return Err(UsageError(format!("unknown flag {other:?}"))),
+                }
+            }
+            if out.journal.is_none() {
+                return Err(UsageError(
+                    "compact needs --journal PATH (the journal to checkpoint and compact)".into(),
+                ));
+            }
+            out.policy()
+                .validate()
+                .map_err(|e| UsageError(format!("invalid status policy: {e}")))?;
+            Ok(Command::Compact(out))
         }
         Some("scenario") => parse_scenario_args(&args[1..]),
         Some("run") => {
@@ -762,6 +845,11 @@ pub fn usage() -> String {
      \x20 replend serve [OPTIONS] run the concurrent reputation service under a\n\
      \x20                         synthetic ingest workload and print the\n\
      \x20                         operational status-tier census\n\
+     \x20 replend compact --journal PATH [OPTIONS]\n\
+     \x20                         checkpoint a journalled service's full state\n\
+     \x20                         and truncate its journal; the next open\n\
+     \x20                         restores the checkpoint and replays only ops\n\
+     \x20                         written after it (config flags as for serve)\n\
      \x20 replend calibrate [OPTIONS]\n\
      \x20                         measure this host's serial-vs-pool crossover\n\
      \x20                         and write a host profile for --profile\n\
@@ -829,6 +917,10 @@ pub fn usage() -> String {
      \x20                     (group commit: flush every N appends; identical\n\
      \x20                     bytes and replay state, up to N-1 applied ops\n\
      \x20                     lost on a crash)\n\
+     \x20 --checkpoint-every N  auto-checkpoint (and compact the journal) after\n\
+     \x20                     every N journalled ops; needs --journal. Restart\n\
+     \x20                     then restores the checkpoint and replays only the\n\
+     \x20                     suffix — identical state, bounded restart time\n\
      \x20 --min-observations N  observations before the policy trusts a\n\
      \x20                     reputation (default 10)\n\
      \x20 --throttle-below F  throttle subjects below this reputation (default 0.5)\n\
@@ -883,6 +975,7 @@ pub fn execute(command: Command) -> Result<String, CliError> {
         }
         Command::Run(args) => run_simulation(&args),
         Command::Serve(args) => run_serve(&args),
+        Command::Compact(args) => run_compact(&args),
         Command::Scenario(cmd) => run_scenario(&cmd),
     }
 }
@@ -1081,6 +1174,21 @@ fn run_serve(args: &ServeArgs) -> Result<String, CliError> {
                     ""
                 }
             );
+            if summary.restored_from_checkpoint() {
+                let _ = writeln!(
+                    out,
+                    "  checkpoint: restored generation {} ({} op(s) pre-applied, \
+                     {} op(s) replayed from the journal suffix)",
+                    summary.checkpoint_generation,
+                    summary.replayed_from_checkpoint,
+                    summary.replayed_from_journal()
+                );
+            } else {
+                let _ = writeln!(out, "  checkpoint: none (full journal replay)");
+            }
+            if let Some(every) = args.checkpoint_every {
+                let _ = writeln!(out, "  auto-checkpoint: every {every} op(s)");
+            }
         }
         _ => {
             let _ = writeln!(out, "  journal: off (in-memory)");
@@ -1097,6 +1205,65 @@ fn run_serve(args: &ServeArgs) -> Result<String, CliError> {
     let _ = writeln!(out, "    whitelisted  {}", report.census.whitelisted);
     let _ = writeln!(out, "    throttled    {}", report.census.throttled);
     let _ = writeln!(out, "    banned       {}", report.census.banned);
+    Ok(out)
+}
+
+/// Executes `replend compact`: opens the journalled service (replaying
+/// checkpoint + journal exactly as `serve` would), takes a durable
+/// checkpoint, and compacts the journal to empty. The next open
+/// restores from the checkpoint and replays nothing.
+fn run_compact(args: &ServeArgs) -> Result<String, CliError> {
+    let mut args = args.clone();
+    if let Some(path) = args.profile.clone() {
+        let profile = load_profile(&path)?;
+        if !args.partitions_explicit {
+            args.partitions = profile.num_shards as usize;
+        }
+    }
+    let path = args.journal.clone().expect("parse requires --journal");
+    let serve_failed = |e: replend_core::ServeError| CliError::Run(format!("compact failed: {e}"));
+    let (service, summary) =
+        ReputationService::open(args.service_config(), &path).map_err(serve_failed)?;
+    let report = service.checkpoint().map_err(serve_failed)?;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "replend compact: {} ({} partition(s), seed {})",
+        path.display(),
+        args.partitions,
+        args.seed
+    );
+    let _ = writeln!(
+        out,
+        "  opened: {} op(s) from checkpoint, {} op(s) from journal{}",
+        summary.replayed_from_checkpoint,
+        summary.replayed_from_journal(),
+        if summary.truncated_torn_tail {
+            " (torn tail truncated)"
+        } else {
+            ""
+        }
+    );
+    let _ = writeln!(
+        out,
+        "  checkpoint: generation {} covering {} op(s), {} byte(s) at {}",
+        report.generation,
+        report.ops,
+        report.bytes,
+        replend_core::serve::checkpoint_path(&path).display()
+    );
+    let _ = writeln!(out, "  journal compacted to 0 byte(s)");
+    let _ = writeln!(out, "  subjects               {}", service.subjects());
+    let census = service.status_census();
+    let _ = writeln!(
+        out,
+        "  status census (min obs {}, throttle < {}, ban < {}):",
+        args.min_observations, args.throttle_below, args.ban_below
+    );
+    let _ = writeln!(out, "    whitelisted  {}", census.whitelisted);
+    let _ = writeln!(out, "    throttled    {}", census.throttled);
+    let _ = writeln!(out, "    banned       {}", census.banned);
     Ok(out)
 }
 
@@ -1820,6 +1987,7 @@ mod tests {
             "--partitions",
             "--journal",
             "--journal-sync",
+            "--checkpoint-every",
             "--min-observations",
             "--throttle-below",
             "--ban-below",
@@ -1840,6 +2008,10 @@ mod tests {
         assert!(
             u.contains("replend calibrate"),
             "usage missing the calibrate subcommand"
+        );
+        assert!(
+            u.contains("replend compact"),
+            "usage missing the compact subcommand"
         );
     }
 
@@ -2006,11 +2178,97 @@ mod tests {
         };
         let first = execute(args(journal)).unwrap();
         assert!(first.contains("replayed 0 op(s)"), "{first}");
-        // Second invocation replays the first session's ops: 100
-        // registrations + 5 batches.
+        assert!(first.contains("checkpoint: none"), "{first}");
+        // Second invocation replays the first session's ops: one bulk
+        // registration record + 5 batches.
         let second = execute(args(journal)).unwrap();
-        assert!(second.contains("replayed 105 op(s)"), "{second}");
+        assert!(second.contains("replayed 6 op(s)"), "{second}");
         let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(replend_core::serve::checkpoint_path(&path));
+    }
+
+    #[test]
+    fn compact_execute_checkpoints_and_later_serves_restore_from_it() {
+        let path =
+            std::env::temp_dir().join(format!("replend-cli-compact-{}.wal", std::process::id()));
+        let ckpt = replend_core::serve::checkpoint_path(&path);
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&ckpt);
+        let journal = path.to_str().unwrap().to_string();
+        let serve = |journal: &str| {
+            parse_args(&[
+                "serve",
+                "--subjects",
+                "100",
+                "--rounds",
+                "5",
+                "--batch",
+                "50",
+                "--readers",
+                "0",
+                "--journal",
+                journal,
+            ])
+            .unwrap()
+        };
+        execute(serve(&journal)).unwrap();
+
+        let text = execute(parse_args(&["compact", "--journal", &journal]).unwrap()).unwrap();
+        assert!(text.contains("checkpoint: generation 1"), "{text}");
+        assert!(text.contains("journal compacted to 0 byte(s)"), "{text}");
+        assert!(text.contains("subjects               100"), "{text}");
+        assert!(text.contains("status census"), "{text}");
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), 0);
+        assert!(ckpt.exists());
+
+        // The next serve restores from the checkpoint — nothing to
+        // replay from the journal.
+        let text = execute(serve(&journal)).unwrap();
+        assert!(text.contains("replayed 0 op(s)"), "{text}");
+        assert!(
+            text.contains("checkpoint: restored generation 1 (6 op(s) pre-applied"),
+            "{text}"
+        );
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&ckpt);
+    }
+
+    #[test]
+    fn compact_parse_is_strict() {
+        // --journal is required.
+        assert!(matches!(parse_args(&["compact"]), Err(UsageError(_))));
+        // Workload flags belong to serve, not compact.
+        assert!(matches!(
+            parse_args(&["compact", "--journal", "x.wal", "--subjects", "5"]),
+            Err(UsageError(_))
+        ));
+        let Ok(Command::Compact(args)) =
+            parse_args(&["compact", "--journal", "x.wal", "--seed", "9"])
+        else {
+            panic!("compact with a journal parses");
+        };
+        assert_eq!(args.journal, Some(PathBuf::from("x.wal")));
+        assert_eq!(args.seed, 9);
+    }
+
+    #[test]
+    fn serve_checkpoint_every_parses_and_is_validated() {
+        let Ok(Command::Serve(args)) =
+            parse_args(&["serve", "--journal", "x.wal", "--checkpoint-every", "500"])
+        else {
+            panic!("--checkpoint-every with a journal parses");
+        };
+        assert_eq!(args.checkpoint_every, Some(500));
+        // Zero cadence and in-memory checkpointing are caught at
+        // parse time with flag-named messages.
+        assert!(matches!(
+            parse_args(&["serve", "--journal", "x.wal", "--checkpoint-every", "0"]),
+            Err(UsageError(_))
+        ));
+        assert!(matches!(
+            parse_args(&["serve", "--checkpoint-every", "10"]),
+            Err(UsageError(_))
+        ));
     }
 
     #[test]

@@ -41,6 +41,26 @@
 //!   determinism suite. A torn final frame is truncated on open;
 //!   under group commit a torn tail can only start at a flushed-batch
 //!   boundary, so the truncation is still exact.
+//! * **Checkpointed restarts.** Replaying a long-lived journal from
+//!   the beginning makes restart time proportional to service
+//!   *lifetime*; [`ReputationService::checkpoint`] bounds it by
+//!   service *size*. A checkpoint atomically persists the full engine
+//!   state (every partition exported and wire-encoded in parallel,
+//!   written to a temp file, fsynced, renamed over the previous
+//!   checkpoint), after which the journal is truncated to empty and
+//!   re-stamped with the next **generation seed** — so
+//!   [`ReputationService::open`] restores the latest checkpoint and
+//!   replays only the short journal suffix written since. The
+//!   generation salt is the crash-safety hinge: a crash between the
+//!   checkpoint rename and the journal truncation leaves a journal
+//!   whose every record is already inside the checkpoint, and its
+//!   stale-generation seed makes that detectable — replay discards it
+//!   instead of double-applying. A torn or corrupt checkpoint file
+//!   fails its decode gates and `open` falls back to full journal
+//!   replay; a post-compaction journal whose checkpoint is missing is
+//!   a **hard error**, never a silent partial restore. Restored state
+//!   is bit-identical to a from-scratch replay — pinned by the
+//!   checkpoint equivalence suite.
 //!
 //! The one-writer/many-readers split is by construction: mutators
 //! serialize on the journal lock (a WAL has one tail), while readers
@@ -49,18 +69,22 @@
 //! bench both drive: a deterministic synthetic ingest stream with
 //! reader threads hammering the read path the whole time.
 
+use rayon::prelude::*;
 use replend_rocq::concurrent::ConcurrentEngine;
 use replend_rocq::inspect::SubjectSnapshot;
+use replend_rocq::state::PartitionCheckpoint;
 use replend_rocq::RocqParams;
 use replend_types::hash::{salted, splitmix64};
 use replend_types::{Feedback, PeerId, Reputation};
 pub use replend_wire::SyncPolicy;
-use replend_wire::{JournalError, JournalReader, JournalWriter};
+use replend_wire::{
+    decode_checkpoint, encode_checkpoint, JournalError, JournalReader, JournalWriter, WireError,
+};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::fs::{File, OpenOptions};
-use std::io::{self, BufReader, Seek, SeekFrom};
-use std::path::Path;
+use std::io::{self, BufReader, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 
@@ -191,6 +215,12 @@ pub struct ServeConfig {
     /// ([`SyncPolicy::Always`], the default) or group-committed in
     /// batches ([`SyncPolicy::Batch`]). Ignored by in-memory services.
     pub journal_sync: SyncPolicy,
+    /// Auto-checkpoint cadence: `Some(n)` takes a checkpoint (and
+    /// compacts the journal) after every `n` journalled mutations;
+    /// `None` (the default) checkpoints only on explicit
+    /// [`ReputationService::checkpoint`] calls. Ignored by in-memory
+    /// services.
+    pub checkpoint_every: Option<u64>,
 }
 
 impl Default for ServeConfig {
@@ -206,6 +236,7 @@ impl Default for ServeConfig {
             seed: 0,
             policy: StatusPolicy::default(),
             journal_sync: SyncPolicy::Always,
+            checkpoint_every: None,
         }
     }
 }
@@ -226,15 +257,30 @@ pub enum JournalOp {
     Credit { subject: PeerId, amount: f64 },
     /// `debit(subject, amount)`.
     Debit { subject: PeerId, amount: f64 },
+    /// `register_batch(&batch)` — the bulk-registration fast path:
+    /// one journal record and one snapshot-epoch window per partition
+    /// for the whole batch, instead of a frame + flush + epoch bump
+    /// per peer. Appended as the **trailing** enum variant so
+    /// journals written before this op existed still decode (the wire
+    /// enum policy: trailing additions are compatible).
+    RegisterBatch { batch: Vec<(PeerId, f64)> },
 }
 
-/// Serve-layer failures: journal I/O and journal decode/replay.
+/// Serve-layer failures: journal I/O, journal decode/replay, and
+/// checkpoint problems that must not be silently papered over.
 #[derive(Debug)]
 pub enum ServeError {
     /// Appending to or replaying the journal failed.
     Journal(JournalError),
     /// Opening, truncating or seeking the journal file failed.
     Io(io::Error),
+    /// A checkpoint failure that has no safe fallback: encoding the
+    /// state failed, the checkpoint belongs to a different service
+    /// (seed mismatch), its shape disagrees with the config, or the
+    /// journal is a post-compaction suffix whose checkpoint is
+    /// missing or unreadable. (A merely torn/corrupt checkpoint is
+    /// *not* an error — `open` falls back to full journal replay.)
+    Checkpoint(String),
 }
 
 impl fmt::Display for ServeError {
@@ -242,6 +288,7 @@ impl fmt::Display for ServeError {
         match self {
             ServeError::Journal(e) => write!(f, "journal: {e}"),
             ServeError::Io(e) => write!(f, "journal file: {e}"),
+            ServeError::Checkpoint(m) => write!(f, "checkpoint: {m}"),
         }
     }
 }
@@ -260,15 +307,135 @@ impl From<io::Error> for ServeError {
     }
 }
 
-/// What [`ReputationService::open`] found in an existing journal.
+/// What [`ReputationService::open`] found in an existing journal (and
+/// checkpoint, if one was restored).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ReplaySummary {
-    /// Operations replayed from the intact prefix.
+    /// Operations replayed from the journal's intact prefix — after a
+    /// checkpoint restore this is only the post-checkpoint suffix.
     pub records: u64,
     /// Bytes of intact journal retained.
     pub bytes: u64,
     /// True when a torn final frame was truncated away.
     pub truncated_torn_tail: bool,
+    /// Operations whose effects arrived pre-applied inside the
+    /// restored checkpoint (0 when no checkpoint was restored).
+    pub replayed_from_checkpoint: u64,
+    /// Journal generation of the restored checkpoint; 0 means the
+    /// engine was rebuilt by full journal replay (checkpoint
+    /// generations start at 1).
+    pub checkpoint_generation: u64,
+}
+
+impl ReplaySummary {
+    /// Operations replayed one-by-one from the journal — the
+    /// complement of [`ReplaySummary::replayed_from_checkpoint`].
+    pub fn replayed_from_journal(&self) -> u64 {
+        self.records
+    }
+
+    /// True when the engine was restored from a checkpoint rather
+    /// than rebuilt from the journal alone.
+    pub fn restored_from_checkpoint(&self) -> bool {
+        self.checkpoint_generation > 0
+    }
+}
+
+/// What one [`ReputationService::checkpoint`] call persisted.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CheckpointReport {
+    /// The journal generation that *follows* this checkpoint (the
+    /// checkpoint file stores the same number).
+    pub generation: u64,
+    /// Cumulative journalled operations captured by the checkpoint.
+    pub ops: u64,
+    /// Encoded checkpoint size on disk.
+    pub bytes: u64,
+}
+
+/// The checkpoint file payload, wrapped by
+/// [`replend_wire::encode_checkpoint`] (magic + versioned, seed-
+/// stamped envelope). Partitions ride as independently wire-encoded
+/// blobs so both encode and decode fan out over the thread pool.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+struct CheckpointDoc {
+    /// Journal generation after this checkpoint; always ≥ 1.
+    generation: u64,
+    /// Cumulative journalled operations the state includes.
+    ops: u64,
+    /// The status policy in force when the checkpoint was taken —
+    /// recorded for introspection; the live policy always comes from
+    /// the opening config (tier thresholds are read-time
+    /// classification, not engine state).
+    policy: StatusPolicy,
+    /// One wire-encoded [`PartitionCheckpoint`] per engine partition.
+    partitions: Vec<Vec<u8>>,
+}
+
+/// The seed stamped into journal records of generation `generation`.
+///
+/// Generation 0 (the pre-first-checkpoint journal) uses the service
+/// seed itself, so journals written before checkpoints existed replay
+/// unchanged. Each compaction advances the generation, and the salted
+/// stamp is what makes the compaction crash-window safe: a journal
+/// left behind by a crash between checkpoint rename and journal
+/// truncation carries the *previous* generation's seed, fails the
+/// seed gate, and is discarded — every record in it is already inside
+/// the checkpoint.
+pub fn journal_seed(seed: u64, generation: u64) -> u64 {
+    if generation == 0 {
+        seed
+    } else {
+        splitmix64(salted(seed, generation))
+    }
+}
+
+/// The checkpoint file that pairs with the journal at `journal`:
+/// the same path with `.ckpt` appended.
+pub fn checkpoint_path(journal: &Path) -> PathBuf {
+    let mut os = journal.as_os_str().to_os_string();
+    os.push(".ckpt");
+    PathBuf::from(os)
+}
+
+/// In-flight checkpoint writes go to this sibling path and are
+/// renamed into place only when fully synced; a crash mid-write
+/// leaves a `.tmp` orphan that is simply ignored.
+fn checkpoint_tmp_path(checkpoint: &Path) -> PathBuf {
+    let mut os = checkpoint.as_os_str().to_os_string();
+    os.push(".tmp");
+    PathBuf::from(os)
+}
+
+/// Fsyncs the directory holding `path`, making a just-renamed file's
+/// directory entry durable.
+fn sync_parent_dir(path: &Path) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            File::open(parent)?.sync_all()?;
+        }
+    }
+    Ok(())
+}
+
+/// The journal tail guarded by the service's write mutex: the writer
+/// plus the checkpoint bookkeeping that must move atomically with it.
+struct JournalState {
+    writer: JournalWriter<File>,
+    /// Current journal generation (0 until the first checkpoint).
+    generation: u64,
+    /// Every journalled op since the service's birth — checkpointed
+    /// ops included. Stored in the next checkpoint as its `ops`.
+    ops_total: u64,
+    /// Ops appended to the current journal generation; drives the
+    /// `checkpoint_every` trigger.
+    since_checkpoint: u64,
+}
+
+/// Where a journalled service checkpoints to.
+struct CheckpointSpec {
+    path: PathBuf,
+    every: Option<u64>,
 }
 
 /// The online reputation service. Mutators take `&self` and serialize
@@ -281,8 +448,13 @@ pub struct ReputationService {
     seed: u64,
     /// `None` for an in-memory (journal-less) service. The mutex is
     /// the WAL tail: it orders append *and* apply, so journal order
-    /// is exactly apply order — the replay contract.
-    journal: Option<Mutex<JournalWriter<File>>>,
+    /// is exactly apply order — the replay contract. Checkpointing
+    /// holds the same lock, so a checkpoint is a clean cut of the op
+    /// stream.
+    journal: Option<Mutex<JournalState>>,
+    /// Checkpoint destination and cadence; `Some` exactly when
+    /// `journal` is.
+    checkpoint: Option<CheckpointSpec>,
 }
 
 impl ReputationService {
@@ -298,19 +470,57 @@ impl ReputationService {
             policy: config.policy,
             seed: config.seed,
             journal: None,
+            checkpoint: None,
         }
     }
 
-    /// Opens (creating if absent) the journal at `path`, replays its
-    /// intact prefix into a fresh engine, truncates a torn tail if
-    /// the last run crashed mid-append, and attaches the file as the
-    /// service's write-ahead log.
+    /// Opens the service state rooted at the journal `path`: restores
+    /// the latest durable checkpoint (at [`checkpoint_path`]) when
+    /// one is present and intact, replays the journal — the full log
+    /// without a checkpoint, only the post-checkpoint suffix with one
+    /// — truncates a torn tail if the last run crashed mid-append,
+    /// and attaches the file as the service's write-ahead log.
     ///
-    /// Replay runs every operation through the same apply path live
+    /// The checkpoint fallback ladder, in order:
+    ///
+    /// 1. intact checkpoint → restore it, replay the journal suffix;
+    /// 2. checkpoint absent, torn, or corrupt (bad magic, short file,
+    ///    failed decode, invalid state) → full generation-0 journal
+    ///    replay;
+    /// 3. journal seed says it is a post-compaction suffix but no
+    ///    usable checkpoint exists → [`ServeError::Checkpoint`]. A
+    ///    partial state must never be served as if it were whole.
+    ///
+    /// A checkpoint whose seed is not this service's is rejected with
+    /// a hard error (rung 3, not rung 2): it is some *other*
+    /// service's state, and "fall back" could silently shadow it.
+    ///
+    /// Both restore and replay run through the same apply path live
     /// mutations use, so the rebuilt engine is byte-identical to the
     /// pre-restart one — the determinism suite pins this.
     pub fn open(config: ServeConfig, path: &Path) -> Result<(Self, ReplaySummary), ServeError> {
-        let mut service = Self::in_memory(config);
+        let ckpt_path = checkpoint_path(path);
+        let mut summary = ReplaySummary::default();
+        let generation;
+        let mut service = match Self::load_checkpoint(&ckpt_path, &config)? {
+            Some((engine, doc_generation, ops)) => {
+                generation = doc_generation;
+                summary.replayed_from_checkpoint = ops;
+                summary.checkpoint_generation = doc_generation;
+                ReputationService {
+                    engine,
+                    policy: config.policy,
+                    seed: config.seed,
+                    journal: None,
+                    checkpoint: None,
+                }
+            }
+            None => {
+                generation = 0;
+                Self::in_memory(config)
+            }
+        };
+
         let mut file = OpenOptions::new()
             .read(true)
             .write(true)
@@ -318,27 +528,135 @@ impl ReputationService {
             .truncate(false)
             .open(path)?;
 
-        let mut summary = ReplaySummary::default();
-        let mut reader = JournalReader::new(BufReader::new(&mut file), config.seed);
-        while let Some(op) = reader.next::<JournalOp>()? {
-            service.apply(&op);
-            summary.records += 1;
+        let stamp = journal_seed(config.seed, generation);
+        let mut reader = JournalReader::new(BufReader::new(&mut file), stamp);
+        // Set when the journal predates the checkpoint (crash between
+        // checkpoint rename and journal truncation): every record in
+        // it is already inside the restored state, so the whole file
+        // is dropped and the interrupted compaction completed.
+        let mut stale = false;
+        loop {
+            match reader.next::<JournalOp>() {
+                Ok(Some(op)) => {
+                    service.apply(&op);
+                    summary.records += 1;
+                }
+                Ok(None) => break,
+                Err(JournalError::SeedMismatch { found, .. })
+                    if generation > 0
+                        && summary.records == 0
+                        && found == journal_seed(config.seed, generation - 1) =>
+                {
+                    stale = true;
+                    break;
+                }
+                Err(JournalError::SeedMismatch { expected, found }) if generation == 0 => {
+                    return Err(ServeError::Checkpoint(format!(
+                        "journal records carry seed {found:#018x} instead of the \
+                         generation-0 seed {expected:#018x}: the journal is a \
+                         post-compaction suffix but no usable checkpoint was found \
+                         at {}; refusing to replay a partial history",
+                        ckpt_path.display()
+                    )));
+                }
+                Err(e) => return Err(e.into()),
+            }
         }
-        summary.bytes = reader.consumed();
-        summary.truncated_torn_tail = reader.torn_tail();
-        if summary.truncated_torn_tail {
-            // The torn op was journalled but never applied (append
-            // happens first and flushes); dropping it loses nothing
-            // the engine ever saw.
+        summary.bytes = if stale { 0 } else { reader.consumed() };
+        summary.truncated_torn_tail = !stale && reader.torn_tail();
+        if stale || summary.truncated_torn_tail {
+            // Torn tail: the op was journalled but never applied
+            // (append happens first and flushes); dropping it loses
+            // nothing the engine ever saw. Stale generation: finish
+            // the truncation the crashed run never got to.
             file.set_len(summary.bytes)?;
         }
         file.seek(SeekFrom::Start(summary.bytes))?;
-        service.journal = Some(Mutex::new(JournalWriter::with_policy(
-            file,
-            config.seed,
-            config.journal_sync,
-        )));
+        if stale {
+            file.sync_all()?;
+        }
+        service.journal = Some(Mutex::new(JournalState {
+            writer: JournalWriter::with_policy(file, stamp, config.journal_sync),
+            generation,
+            ops_total: summary.replayed_from_checkpoint + summary.records,
+            since_checkpoint: summary.records,
+        }));
+        service.checkpoint = Some(CheckpointSpec {
+            path: ckpt_path,
+            every: config.checkpoint_every,
+        });
         Ok((service, summary))
+    }
+
+    /// Reads and validates the checkpoint at `path`. `Ok(None)` means
+    /// "no usable checkpoint, full replay is safe" (absent, torn, or
+    /// corrupt file); hard errors are reserved for checkpoints that
+    /// must not be silently ignored (wrong seed, wrong shape, wrong
+    /// protocol version).
+    #[allow(clippy::type_complexity)]
+    fn load_checkpoint(
+        path: &Path,
+        config: &ServeConfig,
+    ) -> Result<Option<(ConcurrentEngine, u64, u64)>, ServeError> {
+        let bytes = match std::fs::read(path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e.into()),
+        };
+        let (seed, doc) = match decode_checkpoint::<CheckpointDoc>(&bytes) {
+            Ok(decoded) => decoded,
+            Err(WireError::VersionMismatch { expected, found }) => {
+                return Err(ServeError::Checkpoint(format!(
+                    "checkpoint {} was written by wire protocol v{found}, this build \
+                     speaks v{expected}",
+                    path.display()
+                )));
+            }
+            // Torn or corrupt bytes: bad magic, short file, trailing
+            // garbage, failed payload decode. The journal still holds
+            // the full generation-0 history in this situation.
+            Err(_) => return Ok(None),
+        };
+        if seed != config.seed {
+            return Err(ServeError::Checkpoint(format!(
+                "checkpoint {} carries seed {seed:#018x}, service uses {:#018x}: \
+                 this is a different service's state",
+                path.display(),
+                config.seed
+            )));
+        }
+        if doc.generation == 0 {
+            // Generations start at 1; a zero can only be corruption
+            // that happened to decode.
+            return Ok(None);
+        }
+        if doc.partitions.len() != config.partitions {
+            return Err(ServeError::Checkpoint(format!(
+                "checkpoint {} holds {} partition(s), config asks for {}: partition \
+                 count cannot change across a restore",
+                path.display(),
+                doc.partitions.len(),
+                config.partitions
+            )));
+        }
+        let decoded: Vec<Result<PartitionCheckpoint, WireError>> = doc
+            .partitions
+            .par_iter()
+            .map(|blob| replend_wire::from_bytes(blob))
+            .collect();
+        let mut parts = Vec::with_capacity(decoded.len());
+        for part in decoded {
+            match part {
+                Ok(part) => parts.push(part),
+                Err(_) => return Ok(None),
+            }
+        }
+        match ConcurrentEngine::import_partitions(&parts) {
+            Ok(engine) => Ok(Some((engine, doc.generation, doc.ops))),
+            // Well-framed but semantically invalid state — treat as
+            // corrupt and fall back.
+            Err(_) => Ok(None),
+        }
     }
 
     /// The engine seed (and journal seed stamp).
@@ -370,21 +688,114 @@ impl ReputationService {
             JournalOp::Batch { batch } => self.engine.report_batch(batch),
             JournalOp::Credit { subject, amount } => self.engine.credit(*subject, *amount),
             JournalOp::Debit { subject, amount } => self.engine.debit(*subject, *amount),
+            JournalOp::RegisterBatch { batch } => {
+                let batch: Vec<(PeerId, Reputation)> = batch
+                    .iter()
+                    .map(|&(peer, initial)| (peer, Reputation::new(initial)))
+                    .collect();
+                self.engine.register_batch(&batch);
+            }
         }
     }
 
     /// Journal-then-apply. Holding the journal lock across both steps
-    /// makes journal order identical to apply order.
+    /// makes journal order identical to apply order; the
+    /// `checkpoint_every` trigger fires here, under the same lock, so
+    /// an auto-checkpoint is a clean cut of the op stream.
     fn mutate(&self, op: JournalOp) -> Result<(), ServeError> {
         match &self.journal {
             Some(journal) => {
-                let mut writer = journal.lock().expect("journal lock poisoned");
-                writer.append(&op)?;
+                let mut state = journal.lock().expect("journal lock poisoned");
+                state.writer.append(&op)?;
                 self.apply(&op);
+                state.ops_total += 1;
+                state.since_checkpoint += 1;
+                if let Some(spec) = &self.checkpoint {
+                    if spec.every.is_some_and(|n| state.since_checkpoint >= n) {
+                        self.write_checkpoint(&mut state, &spec.path)?;
+                    }
+                }
             }
             None => self.apply(&op),
         }
         Ok(())
+    }
+
+    /// Persists a checkpoint of the full engine state and compacts
+    /// the journal to empty. Requires a journalled service.
+    ///
+    /// The sequence is crash-safe at every cut: sync the journal
+    /// (group-commit buffers included), export every partition under
+    /// its read lock, encode partition-parallel, write to a temp
+    /// file, fsync, rename over the previous checkpoint, fsync the
+    /// directory — and only *then* truncate the journal and advance
+    /// its seed generation. The journal is never shortened before the
+    /// checkpoint that supersedes it is durable.
+    pub fn checkpoint(&self) -> Result<CheckpointReport, ServeError> {
+        let (journal, spec) = match (&self.journal, &self.checkpoint) {
+            (Some(journal), Some(spec)) => (journal, spec),
+            _ => {
+                return Err(ServeError::Checkpoint(
+                    "an in-memory service has no checkpoint file".into(),
+                ))
+            }
+        };
+        let mut state = journal.lock().expect("journal lock poisoned");
+        self.write_checkpoint(&mut state, &spec.path)
+    }
+
+    /// The checkpoint sequence, under the (held) journal lock.
+    fn write_checkpoint(
+        &self,
+        state: &mut JournalState,
+        path: &Path,
+    ) -> Result<CheckpointReport, ServeError> {
+        state.writer.sync()?;
+        let parts = self.engine.export_partitions();
+        let encoded: Vec<Result<Vec<u8>, WireError>> =
+            parts.par_iter().map(replend_wire::to_bytes).collect();
+        let mut partitions = Vec::with_capacity(encoded.len());
+        for blob in encoded {
+            partitions.push(blob.map_err(|e| {
+                ServeError::Checkpoint(format!("encoding a partition failed: {e}"))
+            })?);
+        }
+        let doc = CheckpointDoc {
+            generation: state.generation + 1,
+            ops: state.ops_total,
+            policy: self.policy,
+            partitions,
+        };
+        let bytes = encode_checkpoint(self.seed, &doc)
+            .map_err(|e| ServeError::Checkpoint(format!("encoding the checkpoint failed: {e}")))?;
+
+        let tmp = checkpoint_tmp_path(path);
+        {
+            let mut file = File::create(&tmp)?;
+            file.write_all(&bytes)?;
+            file.sync_all()?;
+        }
+        std::fs::rename(&tmp, path)?;
+        sync_parent_dir(path)?;
+
+        // The checkpoint is durable and contains every journalled op
+        // (taken under the journal lock, after sync). Compact: empty
+        // the journal and move to the next seed generation, so a
+        // journal that survives a crash in this window is detectably
+        // stale rather than silently double-applied.
+        let file = state.writer.get_mut();
+        file.set_len(0)?;
+        file.seek(SeekFrom::Start(0))?;
+        file.sync_all()?;
+        state.generation += 1;
+        state.since_checkpoint = 0;
+        let generation = state.generation;
+        state.writer.set_seed(journal_seed(self.seed, generation));
+        Ok(CheckpointReport {
+            generation,
+            ops: state.ops_total,
+            bytes: bytes.len() as u64,
+        })
     }
 
     /// Registers a subject (journalled). Idempotent.
@@ -392,6 +803,21 @@ impl ReputationService {
         self.mutate(JournalOp::Register {
             peer,
             initial: initial.value(),
+        })
+    }
+
+    /// Registers a batch of subjects in bulk (journalled as **one**
+    /// record): per partition, one write-lock acquisition and one
+    /// snapshot-epoch publish for the whole batch. Equivalent to —
+    /// and bit-identical with — a [`ReputationService::register_peer`]
+    /// loop, minus a journal frame and an epoch bump per peer.
+    /// Idempotent per peer, like `register_peer`.
+    pub fn register_batch(&self, batch: &[(PeerId, Reputation)]) -> Result<(), ServeError> {
+        self.mutate(JournalOp::RegisterBatch {
+            batch: batch
+                .iter()
+                .map(|&(peer, initial)| (peer, initial.value()))
+                .collect(),
         })
     }
 
@@ -464,7 +890,11 @@ impl ReputationService {
     /// [`SyncPolicy::Always`].
     pub fn sync_journal(&self) -> Result<(), ServeError> {
         if let Some(journal) = &self.journal {
-            journal.lock().expect("journal lock poisoned").sync()?;
+            journal
+                .lock()
+                .expect("journal lock poisoned")
+                .writer
+                .sync()?;
         }
         Ok(())
     }
@@ -590,9 +1020,14 @@ pub fn run_ingest_workload(
     cfg: WorkloadConfig,
 ) -> Result<WorkloadReport, ServeError> {
     let mut report = WorkloadReport::default();
-    for s in 0..cfg.subjects {
-        service.register_peer(PeerId(s), Reputation::new(0.5))?;
-        report.registered += 1;
+    if cfg.subjects > 0 {
+        // Bulk registration: one journal record and one epoch window
+        // per partition, instead of a frame + flush per subject.
+        let batch: Vec<(PeerId, Reputation)> = (0..cfg.subjects)
+            .map(|s| (PeerId(s), Reputation::new(0.5)))
+            .collect();
+        service.register_batch(&batch)?;
+        report.registered = cfg.subjects;
     }
 
     let stop = AtomicBool::new(false);
@@ -843,6 +1278,237 @@ mod tests {
         assert_eq!(always_bytes, batch_bytes);
         assert_eq!(always_state, batch_state);
         let _ = std::fs::remove_dir(&dir);
+    }
+
+    /// Fresh scratch directory unique to (test, process).
+    fn scratch(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("replend-serve-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    /// Sorted `(peer, reputation bits, applied reports)` — the full
+    /// observable read state.
+    fn fingerprint(service: &ReputationService) -> Vec<(u64, u64, u64)> {
+        let mut state = Vec::new();
+        service
+            .engine()
+            .for_each_subject(|p, r, n| state.push((p.raw(), r.value().to_bits(), n)));
+        state.sort_unstable();
+        state
+    }
+
+    fn small_workload(seed: u64) -> WorkloadConfig {
+        WorkloadConfig {
+            subjects: 80,
+            rounds: 6,
+            batch: 40,
+            readers: 0,
+            seed,
+        }
+    }
+
+    #[test]
+    fn bulk_register_journals_one_record() {
+        let dir = scratch("bulk");
+        let path = dir.join("svc.journal");
+        let batch: Vec<(PeerId, Reputation)> = (0..50u64)
+            .map(|s| (PeerId(s), Reputation::new(0.5)))
+            .collect();
+        {
+            let (service, _) = ReputationService::open(config(), &path).unwrap();
+            service.register_batch(&batch).unwrap();
+        }
+        let (reopened, summary) = ReputationService::open(config(), &path).unwrap();
+        assert_eq!(summary.records, 1, "one frame for the whole batch");
+        assert_eq!(reopened.subjects(), 50);
+
+        // Bit-identical to the per-peer loop.
+        let looped = ReputationService::in_memory(config());
+        for &(p, r) in &batch {
+            looped.register_peer(p, r).unwrap();
+        }
+        assert_eq!(fingerprint(&looped), fingerprint(&reopened));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_restart_matches_full_replay_and_compacts() {
+        let dir = scratch("ckpt");
+        let path = dir.join("svc.journal");
+        // Reference: the same op stream with no checkpoint anywhere.
+        let reference = ReputationService::in_memory(config());
+        run_ingest_workload(&reference, small_workload(21)).unwrap();
+        run_ingest_workload(&reference, small_workload(22)).unwrap();
+
+        {
+            let (service, _) = ReputationService::open(config(), &path).unwrap();
+            run_ingest_workload(&service, small_workload(21)).unwrap();
+            let report = service.checkpoint().unwrap();
+            assert_eq!(report.generation, 1);
+            assert_eq!(report.ops, 1 + 6, "one bulk register + six batches");
+            // Compaction: the journal is empty once the checkpoint is
+            // durable.
+            assert_eq!(std::fs::metadata(&path).unwrap().len(), 0);
+            assert!(checkpoint_path(&path).exists());
+            // The suffix.
+            run_ingest_workload(&service, small_workload(22)).unwrap();
+        }
+
+        let (reopened, summary) = ReputationService::open(config(), &path).unwrap();
+        assert!(summary.restored_from_checkpoint());
+        assert_eq!(summary.checkpoint_generation, 1);
+        assert_eq!(summary.replayed_from_checkpoint, 7);
+        assert_eq!(summary.replayed_from_journal(), 7, "suffix only");
+        assert_eq!(fingerprint(&reopened), fingerprint(&reference));
+
+        // The restart composes: further identical ops land on
+        // identical bits.
+        run_ingest_workload(&reopened, small_workload(23)).unwrap();
+        run_ingest_workload(&reference, small_workload(23)).unwrap();
+        assert_eq!(fingerprint(&reopened), fingerprint(&reference));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_or_corrupt_checkpoint_falls_back_to_full_replay() {
+        let dir = scratch("torn-ckpt");
+        let path = dir.join("svc.journal");
+        {
+            let (service, _) = ReputationService::open(config(), &path).unwrap();
+            run_ingest_workload(&service, small_workload(31)).unwrap();
+        }
+        let reference = ReputationService::in_memory(config());
+        run_ingest_workload(&reference, small_workload(31)).unwrap();
+
+        // A valid checkpoint taken against a copy of the same journal
+        // gives us realistic bytes to tear.
+        let twin = dir.join("twin.journal");
+        std::fs::copy(&path, &twin).unwrap();
+        {
+            let (twin_svc, _) = ReputationService::open(config(), &twin).unwrap();
+            twin_svc.checkpoint().unwrap();
+        }
+        let valid = std::fs::read(checkpoint_path(&twin)).unwrap();
+
+        for (label, bytes) in [
+            ("garbage", b"not a checkpoint".to_vec()),
+            ("torn early", valid[..3].to_vec()),
+            ("torn mid-payload", valid[..valid.len() * 2 / 3].to_vec()),
+            ("trailing garbage", [&valid[..], b"x"].concat()),
+        ] {
+            std::fs::write(checkpoint_path(&path), &bytes).unwrap();
+            let (reopened, summary) = ReputationService::open(config(), &path).unwrap();
+            assert!(
+                !summary.restored_from_checkpoint(),
+                "{label}: must fall back to full replay"
+            );
+            assert_eq!(summary.records, 7, "{label}");
+            assert_eq!(fingerprint(&reopened), fingerprint(&reference), "{label}");
+        }
+
+        // An orphaned temp file from a crash mid-write is ignored.
+        std::fs::remove_file(checkpoint_path(&path)).unwrap();
+        std::fs::write(checkpoint_tmp_path(&checkpoint_path(&path)), &valid).unwrap();
+        let (reopened, summary) = ReputationService::open(config(), &path).unwrap();
+        assert!(!summary.restored_from_checkpoint());
+        assert_eq!(fingerprint(&reopened), fingerprint(&reference));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_generation_journal_is_discarded_after_rename_crash() {
+        let dir = scratch("stale-gen");
+        let path = dir.join("svc.journal");
+        {
+            let (service, _) = ReputationService::open(config(), &path).unwrap();
+            run_ingest_workload(&service, small_workload(41)).unwrap();
+        }
+        let generation0 = std::fs::read(&path).unwrap();
+        {
+            let (service, _) = ReputationService::open(config(), &path).unwrap();
+            service.checkpoint().unwrap();
+        }
+        // Crash window: the checkpoint rename landed but the journal
+        // truncation never ran — the full generation-0 journal is
+        // still on disk, every record of it inside the checkpoint.
+        std::fs::write(&path, &generation0).unwrap();
+
+        let (reopened, summary) = ReputationService::open(config(), &path).unwrap();
+        assert!(summary.restored_from_checkpoint());
+        assert_eq!(summary.records, 0, "stale journal replays nothing");
+        assert_eq!(summary.bytes, 0);
+        assert_eq!(
+            std::fs::metadata(&path).unwrap().len(),
+            0,
+            "interrupted compaction is completed on open"
+        );
+        let reference = ReputationService::in_memory(config());
+        run_ingest_workload(&reference, small_workload(41)).unwrap();
+        assert_eq!(fingerprint(&reopened), fingerprint(&reference));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn foreign_seed_checkpoint_and_orphan_suffix_are_hard_errors() {
+        let dir = scratch("hard-errors");
+        let path = dir.join("svc.journal");
+        {
+            let (service, _) = ReputationService::open(config(), &path).unwrap();
+            run_ingest_workload(&service, small_workload(51)).unwrap();
+            service.checkpoint().unwrap();
+            // A post-checkpoint suffix.
+            service
+                .register_peer(PeerId(900), Reputation::new(0.5))
+                .unwrap();
+        }
+
+        // Wrong service seed: the checkpoint decodes fine but is some
+        // other service's state — refuse, don't "fall back".
+        let foreign = ServeConfig {
+            seed: config().seed + 1,
+            ..config()
+        };
+        match ReputationService::open(foreign, &path) {
+            Err(ServeError::Checkpoint(m)) => assert!(m.contains("seed"), "{m}"),
+            Err(other) => panic!("expected a checkpoint seed error, got {other}"),
+            Ok(_) => panic!("a foreign-seed checkpoint must not open"),
+        }
+
+        // Checkpoint gone but the journal is a generation-1 suffix:
+        // replaying it alone would serve a partial history.
+        std::fs::remove_file(checkpoint_path(&path)).unwrap();
+        match ReputationService::open(config(), &path) {
+            Err(ServeError::Checkpoint(m)) => assert!(m.contains("suffix"), "{m}"),
+            Err(other) => panic!("expected a missing-checkpoint error, got {other}"),
+            Ok(_) => panic!("an orphaned suffix journal must not open"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn auto_checkpoint_fires_on_cadence() {
+        let dir = scratch("auto-ckpt");
+        let path = dir.join("svc.journal");
+        let cfg = ServeConfig {
+            checkpoint_every: Some(3),
+            ..config()
+        };
+        {
+            let (service, _) = ReputationService::open(cfg, &path).unwrap();
+            for s in 0..5u64 {
+                service
+                    .register_peer(PeerId(s), Reputation::new(0.5))
+                    .unwrap();
+            }
+        }
+        let (reopened, summary) = ReputationService::open(cfg, &path).unwrap();
+        assert_eq!(summary.checkpoint_generation, 1, "cadence hit at op 3");
+        assert_eq!(summary.replayed_from_checkpoint, 3);
+        assert_eq!(summary.records, 2, "ops 4 and 5 stay in the journal");
+        assert_eq!(reopened.subjects(), 5);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -43,6 +43,17 @@ impl Ring {
         Ring::default()
     }
 
+    /// A ring over an already-known membership, without replaying the
+    /// joins or computing handoffs — the checkpoint-restore path,
+    /// where ownership state is restored separately. `BTreeMap`'s
+    /// bulk construction makes this `O(n)` for sorted input (which is
+    /// how checkpoints store the ring).
+    pub fn from_sorted_nodes(nodes: impl IntoIterator<Item = NodeId>) -> Self {
+        Ring {
+            nodes: nodes.into_iter().map(|n| (n, ())).collect(),
+        }
+    }
+
     /// Number of live nodes.
     pub fn len(&self) -> usize {
         self.nodes.len()

@@ -63,8 +63,10 @@ use crate::engine::{shard_of, ReputationEngine, RocqEngine};
 use crate::inspect::SubjectSnapshot;
 use crate::params::RocqParams;
 use crate::snapshot::SnapshotSlab;
+use crate::state::{InvalidState, PartitionCheckpoint};
 use replend_types::hash::salted;
 use replend_types::{Feedback, PeerId, Reputation, ReputationDelta};
+use std::collections::HashSet;
 use std::sync::RwLock;
 
 /// Lock-free sweep attempts before a census falls back to the
@@ -200,6 +202,41 @@ impl ConcurrentEngine {
             } else {
                 p.engine.register_reporter(peer);
             }
+        }
+    }
+
+    /// Registers a batch of subjects, visiting every partition
+    /// **once**: each cell takes one write lock and — for the cell's
+    /// home registrations — one snapshot epoch window, instead of the
+    /// `partitions × batch` lock traffic of a `register_peer` loop.
+    /// Final state is bit-identical to registering the peers one at a
+    /// time in batch order: partition engines are independent and
+    /// each sees its operations in the same order either way.
+    pub fn register_batch(&self, batch: &[(PeerId, Reputation)]) {
+        let n = self.cells.len();
+        for (i, cell) in self.cells.iter().enumerate() {
+            let mut p = cell.lock.write().expect("partition lock poisoned");
+            let p = &mut *p;
+            {
+                // One epoch window per partition: a reader sees the
+                // slab before or after this cell's share of the
+                // batch, never a half-registered group.
+                let mut w = cell.slab.write();
+                for &(peer, initial) in batch {
+                    if shard_of(peer, n) == i {
+                        p.engine.register_peer(peer, initial);
+                        // Engine value, not `initial`, exactly as in
+                        // [`ConcurrentEngine::register_peer`].
+                        let published = p.engine.reputation(peer).expect("registered subject");
+                        let slot = w.insert(peer);
+                        w.set_reputation(slot, published.value().to_bits());
+                    } else {
+                        p.engine.register_reporter(peer);
+                    }
+                }
+            }
+            p.engine.drain_deltas(&mut p.delta_scratch);
+            p.delta_scratch.clear();
         }
     }
 
@@ -406,6 +443,130 @@ impl ConcurrentEngine {
         }
     }
 
+    /// Exports every partition's state for checkpointing, built
+    /// **partition-parallel** over the rayon pool (each partition's
+    /// export — the expensive sort-and-copy of its arena — is
+    /// independent work).
+    ///
+    /// Each partition is exported under its own read lock, so it is
+    /// internally consistent; for a globally consistent checkpoint
+    /// the caller must exclude mutators for the duration (the serve
+    /// layer holds its journal lock, which every mutation path takes
+    /// first).
+    pub fn export_partitions(&self) -> Vec<PartitionCheckpoint> {
+        use rayon::prelude::*;
+        let mut parts: Vec<PartitionCheckpoint> = self
+            .cells
+            .par_iter()
+            .map(|cell| {
+                let p = cell.lock.read().expect("partition lock poisoned");
+                let engine = p.engine.export_state();
+                // The read lock excludes every slab writer, so one
+                // sweep attempt observes a quiescent slab. Only the
+                // applied-report counts travel: the reputation bits
+                // are pinned to the engine's cached aggregates, which
+                // the import republishes.
+                let mut swept: Vec<(u64, u64, u64)> = Vec::new();
+                let ok = cell.slab.try_sweep(&mut swept);
+                debug_assert!(ok, "sweep under the partition read lock cannot tear");
+                let mut slab: Vec<(u64, u64)> = swept
+                    .into_iter()
+                    .map(|(peer, bits, hits)| {
+                        debug_assert_eq!(
+                            Some(bits),
+                            p.engine
+                                .reputation(PeerId(peer))
+                                .map(|r| r.value().to_bits()),
+                            "published slab bits diverged from the engine"
+                        );
+                        (peer, hits)
+                    })
+                    .collect();
+                slab.sort_unstable_by_key(|&(peer, _)| peer);
+                PartitionCheckpoint { engine, slab }
+            })
+            .collect();
+        // Every partition's member registry is identical by
+        // construction (each registration fans out to all of them),
+        // so only partition 0's travels.
+        for part in parts.iter_mut().skip(1) {
+            part.engine.members = Vec::new();
+        }
+        parts
+    }
+
+    /// Rebuilds a facade from exported partitions — the inverse of
+    /// [`ConcurrentEngine::export_partitions`], decoded
+    /// partition-parallel over the rayon pool. The restored engine's
+    /// future behaviour is bit-identical to the exported one's under
+    /// any further operation stream.
+    ///
+    /// Beyond the per-partition engine checks, this cross-validates
+    /// the slab rows against the restored engine (every row must name
+    /// a live subject of its partition, one row per subject) and
+    /// republishes the engine's cached aggregate bits into the slab,
+    /// so a corrupt checkpoint surfaces as [`InvalidState`] here
+    /// rather than as a silent read/locked-path divergence later. The
+    /// member registry — hoisted to partition 0 by the export — is
+    /// rebuilt once and installed into every partition.
+    pub fn import_partitions(parts: &[PartitionCheckpoint]) -> Result<Self, InvalidState> {
+        if parts.is_empty() {
+            return Err(InvalidState("no partitions".into()));
+        }
+        use rayon::prelude::*;
+        let cells: Vec<Result<Cell, InvalidState>> = parts
+            .par_iter()
+            .map(|part| {
+                let engine = RocqEngine::import_state(&part.engine)?;
+                if part.slab.len() != engine.subjects_len() {
+                    return Err(InvalidState(format!(
+                        "slab rows {} != live subjects {}",
+                        part.slab.len(),
+                        engine.subjects_len()
+                    )));
+                }
+                let slab = SnapshotSlab::new();
+                {
+                    let mut w = slab.write();
+                    for &(peer, hits) in &part.slab {
+                        let bits = engine
+                            .reputation(PeerId(peer))
+                            .ok_or_else(|| {
+                                InvalidState(format!("slab row for unknown subject {peer}"))
+                            })?
+                            .value()
+                            .to_bits();
+                        let slot = w.insert(PeerId(peer));
+                        w.set_reputation(slot, bits);
+                        w.add_hits(slot, hits);
+                    }
+                }
+                Ok(Cell {
+                    lock: RwLock::new(Partition {
+                        engine,
+                        delta_scratch: Vec::new(),
+                    }),
+                    slab,
+                })
+            })
+            .collect();
+        let cells = cells.into_iter().collect::<Result<Vec<_>, _>>()?;
+        let members: HashSet<PeerId> = parts[0].engine.members.iter().copied().collect();
+        for cell in &cells {
+            let mut p = cell.lock.write().expect("partition lock poisoned");
+            let mut missing = false;
+            p.engine
+                .for_each_reputation(|peer, _| missing |= !members.contains(&peer));
+            if missing {
+                return Err(InvalidState(
+                    "partition subjects missing from the member registry".into(),
+                ));
+            }
+            p.engine.set_members(members.clone());
+        }
+        Ok(ConcurrentEngine { cells })
+    }
+
     /// Member-reputation bucket counts over `buckets` equal bins of
     /// `[0, 1]` (the serve layer's histogram read; values of exactly
     /// 1.0 land in the top bucket).
@@ -566,6 +727,127 @@ mod tests {
                 "peer {p} classified differently between slab and locked reads"
             );
         }
+    }
+
+    /// Sorted `(peer, reputation bits, applied reports)` across every
+    /// partition — the full observable read state.
+    fn census(e: &ConcurrentEngine) -> Vec<(u64, u64, u64)> {
+        let mut out = Vec::new();
+        e.for_each_subject(|p, r, h| out.push((p.raw(), r.value().to_bits(), h)));
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn register_batch_matches_per_peer_loop_bit_for_bit() {
+        let batch: Vec<(PeerId, Reputation)> = (0..70u64)
+            .map(|p| (PeerId(p), Reputation::new(p as f64 / 70.0)))
+            .collect();
+        let looped = engine(4);
+        for &(p, r) in &batch {
+            looped.register_peer(p, r);
+        }
+        let bulk = engine(4);
+        bulk.register_batch(&batch);
+        assert_eq!(census(&looped), census(&bulk));
+
+        // Re-registration keeps the existing score on both paths, and
+        // a shared feedback suffix lands on the same bits.
+        let again: Vec<(PeerId, Reputation)> =
+            (60..80u64).map(|p| (PeerId(p), Reputation::HALF)).collect();
+        for &(p, r) in &again {
+            looped.register_peer(p, r);
+        }
+        bulk.register_batch(&again);
+        let feedback: Vec<Feedback> = (0..80u64)
+            .map(|r| Feedback::new(PeerId(r), PeerId((r * 3 + 1) % 80), (r % 2) as f64))
+            .collect();
+        looped.report_batch(&feedback);
+        bulk.report_batch(&feedback);
+        assert_eq!(census(&looped), census(&bulk));
+    }
+
+    #[test]
+    fn partition_export_import_round_trips_bit_for_bit() {
+        let e = engine(4);
+        e.register_batch(
+            &(0..90u64)
+                .map(|p| (PeerId(p), Reputation::new(0.4)))
+                .collect::<Vec<_>>(),
+        );
+        for round in 0..10u64 {
+            let batch: Vec<Feedback> = (0..90u64)
+                .map(|r| Feedback::new(PeerId(r), PeerId((r * 7 + round) % 90), 1.0))
+                .collect();
+            e.report_batch(&batch);
+        }
+        e.remove_peer(PeerId(13));
+        e.credit(PeerId(2), 0.2);
+        e.debit(PeerId(4), 0.1);
+
+        let parts = e.export_partitions();
+        let restored = ConcurrentEngine::import_partitions(&parts).expect("partitions import");
+        assert_eq!(census(&e), census(&restored));
+
+        // Future behaviour: the same suffix ops land on the same bits
+        // through both read paths.
+        for engine in [&e, &restored] {
+            engine.register_peer(PeerId(200), Reputation::HALF);
+            let batch: Vec<Feedback> = (0..90u64)
+                .map(|r| Feedback::new(PeerId(r), PeerId((r + 5) % 90), 0.0))
+                .collect();
+            engine.report_batch(&batch);
+            engine.remove_peer(PeerId(7));
+        }
+        assert_eq!(census(&e), census(&restored));
+        for p in 0..90u64 {
+            assert_eq!(
+                restored.reputation(PeerId(p)).map(|r| r.value().to_bits()),
+                restored
+                    .reputation_locked(PeerId(p))
+                    .map(|r| r.value().to_bits()),
+                "slab and locked reads diverged after restore for peer {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn import_rejects_torn_slab_state() {
+        let e = engine(2);
+        e.register_batch(
+            &(0..20u64)
+                .map(|p| (PeerId(p), Reputation::new(0.6)))
+                .collect::<Vec<_>>(),
+        );
+        let parts = e.export_partitions();
+
+        let mut bad = parts.clone();
+        bad[0].slab.pop();
+        assert!(
+            ConcurrentEngine::import_partitions(&bad).is_err(),
+            "missing slab row"
+        );
+
+        let mut bad = parts.clone();
+        if let Some(row) = bad[0].slab.first_mut() {
+            row.0 = u64::MAX; // a peer the partition engine never registered
+        }
+        assert!(
+            ConcurrentEngine::import_partitions(&bad).is_err(),
+            "slab row for a foreign subject"
+        );
+
+        let mut bad = parts.clone();
+        bad[0].engine.members.retain(|p| p.raw() != 0);
+        assert!(
+            ConcurrentEngine::import_partitions(&bad).is_err(),
+            "subject missing from the hoisted member registry"
+        );
+
+        assert!(
+            ConcurrentEngine::import_partitions(&[]).is_err(),
+            "no partitions"
+        );
     }
 
     /// The census sweep agrees with per-subject probes — one coherent

@@ -157,6 +157,26 @@ impl CredibilityBook {
         self.rows.len()
     }
 
+    /// Every reporter's explicit per-slot credibility row, in
+    /// arbitrary (hash) order — checkpoint export sorts by reporter
+    /// for canonical bytes.
+    pub fn iter_rows(&self) -> impl Iterator<Item = (PeerId, &[f64])> {
+        self.rows.iter().map(|(p, r)| (*p, &r[..]))
+    }
+
+    /// Checkpoint import: installs a reporter's row verbatim,
+    /// bit-exact. The row length must match the book's slot count.
+    pub fn insert_row(&mut self, reporter: PeerId, row: Vec<f64>) {
+        assert_eq!(row.len(), self.slots, "credibility row width mismatch");
+        self.rows.insert(reporter, row.into_boxed_slice());
+    }
+
+    /// The slot-count every row carries.
+    #[inline]
+    pub fn slots(&self) -> usize {
+        self.slots
+    }
+
     /// The learning rate, for the engine's inline update loop.
     #[inline]
     pub fn gamma(&self) -> f64 {

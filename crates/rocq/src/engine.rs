@@ -80,6 +80,7 @@ use crate::params::RocqParams;
 use crate::quality::{quality_from_count, InteractionLog};
 use crate::score::ScoreState;
 use crate::slab::ScoreSlab;
+use crate::state::{EngineState, InvalidState, ShardState};
 use replend_dht::managers::replica_key;
 use replend_dht::ring::{HandoffEvent, Ring};
 use replend_types::arena::{Handle, InlineList, SlotAlloc, SlotAllocator};
@@ -600,6 +601,415 @@ impl EngineShard {
     fn live_subjects(&self) -> usize {
         self.index.len()
     }
+
+    /// Exports this shard's complete subject arena in the
+    /// derive-don't-store layout (see the [`state`](crate::state)
+    /// module docs). Vacant slots are canonicalised, uniform score
+    /// lanes and credibility rows are packed once, and replica
+    /// placement collapses to exception lists verified here against
+    /// the derivations import will perform (`ring_nodes` is the
+    /// engine ring in ascending order — the host oracle). The delta
+    /// buffer must be drained first — deltas are a transient hand-off
+    /// to the caller, not durable state.
+    fn export(&self, ring_nodes: &[NodeId]) -> ShardState {
+        debug_assert!(self.deltas.is_empty(), "export with undrained deltas");
+        let capacity = self.alloc.capacity();
+        let num_sm = self.num_sm;
+        let mut index: Vec<(PeerId, Handle)> = self.index.iter().map(|(&p, &h)| (p, h)).collect();
+        index.sort_unstable_by_key(|&(p, _)| p);
+        let mut occupied = vec![false; capacity];
+        for &(_, h) in &index {
+            occupied[h.index()] = true;
+        }
+
+        // Score slab: one lane when all of a handle's lanes agree
+        // bit-for-bit (the steady state — replicas diverge only under
+        // crash loss), the canonical default for vacant handles.
+        let (vacant_r, vacant_w) = ScoreState::default().raw_parts();
+        let mut slab_uniform = vec![0u8; capacity.div_ceil(8)];
+        let mut slab_r = Vec::with_capacity(capacity);
+        let mut slab_w = Vec::with_capacity(capacity);
+        for h in 0..capacity {
+            if !occupied[h] {
+                slab_uniform[h / 8] |= 1 << (h % 8);
+                slab_r.push(vacant_r);
+                slab_w.push(vacant_w);
+                continue;
+            }
+            let base = h * num_sm;
+            let (r0, w0) = self.slab.get(base).raw_parts();
+            let uniform = (1..num_sm).all(|s| {
+                let (r, w) = self.slab.get(base + s).raw_parts();
+                r.to_bits() == r0.to_bits() && w.to_bits() == w0.to_bits()
+            });
+            if uniform {
+                slab_uniform[h / 8] |= 1 << (h % 8);
+                slab_r.push(r0);
+                slab_w.push(w0);
+            } else {
+                for s in 0..num_sm {
+                    let (r, w) = self.slab.get(base + s).raw_parts();
+                    slab_r.push(r);
+                    slab_w.push(w);
+                }
+            }
+        }
+
+        // Credibility books, flattened: per-handle row counts, then
+        // reporters and credibilities as single flat runs (uniform
+        // rows — every slot bit-equal — pack to one value).
+        let mut book_lens = Vec::with_capacity(capacity);
+        let mut book_row_uniform: Vec<u8> = Vec::new();
+        let mut book_reporters = Vec::new();
+        let mut book_rows = Vec::new();
+        let mut row_n = 0usize;
+        let mut rows_scratch: Vec<(PeerId, &[f64])> = Vec::new();
+        for (h, &live) in occupied.iter().enumerate() {
+            if !live {
+                book_lens.push(0);
+                continue;
+            }
+            rows_scratch.clear();
+            rows_scratch.extend(self.books[h].iter_rows());
+            rows_scratch.sort_unstable_by_key(|&(p, _)| p);
+            book_lens.push(rows_scratch.len() as u32);
+            for &(p, row) in &rows_scratch {
+                book_reporters.push(p);
+                if row_n % 8 == 0 {
+                    book_row_uniform.push(0);
+                }
+                if row.iter().all(|v| v.to_bits() == row[0].to_bits()) {
+                    book_row_uniform[row_n / 8] |= 1 << (row_n % 8);
+                    book_rows.push(row[0]);
+                } else {
+                    book_rows.extend_from_slice(row);
+                }
+                row_n += 1;
+            }
+        }
+
+        // Replica placement. Keys are pure derivations (asserted);
+        // hosts are diffed against the ring-successor derivation via
+        // one merge-walk over the key-sorted live lanes, leaving only
+        // the disagreements (normally none) in the state.
+        let lanes = capacity * num_sm;
+        let mut keyed: Vec<(NodeId, u32)> = Vec::with_capacity(index.len() * num_sm);
+        let mut rehomes = vec![0u32; lanes];
+        let mut rehomes_wide = Vec::new();
+        for (h, &live) in occupied.iter().enumerate() {
+            if !live {
+                continue;
+            }
+            for slot in 0..num_sm {
+                let lane = h * num_sm + slot;
+                let m = &self.meta[lane];
+                debug_assert_eq!(
+                    m.key,
+                    replica_key(self.peers[h], slot),
+                    "stored replica key diverged from its derivation"
+                );
+                keyed.push((m.key, lane as u32));
+                match u32::try_from(m.rehomes) {
+                    Ok(v) => rehomes[lane] = v,
+                    Err(_) => {
+                        rehomes[lane] = u32::MAX;
+                        rehomes_wide.push((lane as u32, m.rehomes));
+                    }
+                }
+            }
+        }
+        keyed.sort_unstable();
+        let mut host_exceptions = Vec::new();
+        let mut j = 0;
+        for &(k, lane) in &keyed {
+            while j < ring_nodes.len() && ring_nodes[j] < k {
+                j += 1;
+            }
+            let canonical = ring_nodes.get(j).or_else(|| ring_nodes.first());
+            if canonical != Some(&self.meta[lane as usize].host) {
+                host_exceptions.push((lane, self.meta[lane as usize].host));
+            }
+        }
+        host_exceptions.sort_unstable_by_key(|&(lane, _)| lane);
+
+        // The key index is rebuilt from the derived keys on import;
+        // only colliding keys' lists are order-bearing and travel.
+        let key_collisions = self
+            .key_index
+            .iter()
+            .filter(|(_, list)| list.len() > 1)
+            .map(|(&k, list)| {
+                (
+                    k,
+                    list.as_slice()
+                        .iter()
+                        .map(|a| (a.subject, a.slot))
+                        .collect(),
+                )
+            })
+            .collect();
+
+        let mut interactions: Vec<(PeerId, PeerId, u32)> = self
+            .interactions
+            .iter_counts()
+            .map(|((r, s), n)| (r, s, n))
+            .collect();
+        interactions.sort_unstable_by_key(|&(r, s, _)| (r, s));
+
+        ShardState {
+            capacity: capacity as u32,
+            free: self.alloc.free_handles().to_vec(),
+            index,
+            cached: self
+                .cached
+                .iter()
+                .zip(&occupied)
+                .map(|(r, &live)| if live { r.value() } else { 0.0 })
+                .collect(),
+            peers: self
+                .peers
+                .iter()
+                .zip(&occupied)
+                .map(|(&p, &live)| if live { p } else { PeerId(0) })
+                .collect(),
+            slab_uniform,
+            slab_r,
+            slab_w,
+            book_lens,
+            book_row_uniform,
+            book_reporters,
+            book_rows,
+            rehomes,
+            rehomes_wide,
+            host_exceptions,
+            key_collisions,
+            interactions,
+            rehomings: self.rehomings,
+            crash_losses: self.crash_losses,
+        }
+    }
+
+    /// Rebuilds a shard from exported state — the exact inverse of
+    /// [`EngineShard::export`]. Packed lanes and rows are re-expanded
+    /// bit-for-bit; replica keys are recomputed, hosts re-derived by
+    /// merge-walking `ring_nodes` (ascending) and patched from the
+    /// exception list; the key index is rebuilt from the recomputed
+    /// keys with colliding keys' lists restored verbatim. Scratch
+    /// buffers start empty and the touch-sequence array starts at
+    /// zero (sound: the batch counter restarts at zero too and dedup
+    /// compares equality only).
+    fn import(
+        s: &ShardState,
+        num_sm: usize,
+        params: &RocqParams,
+        ring_nodes: &[NodeId],
+    ) -> Result<Self, InvalidState> {
+        let capacity = s.capacity as usize;
+        let lanes = capacity * num_sm;
+        if s.cached.len() != capacity || s.peers.len() != capacity || s.book_lens.len() != capacity
+        {
+            return Err(InvalidState(format!(
+                "handle arrays disagree with capacity {capacity}"
+            )));
+        }
+        if s.rehomes.len() != lanes {
+            return Err(InvalidState(format!(
+                "re-home array disagrees with {capacity} slots x {num_sm} score managers"
+            )));
+        }
+        if s.slab_uniform.len() != capacity.div_ceil(8) {
+            return Err(InvalidState("slab uniformity bitmap length".into()));
+        }
+        // Occupancy: the live index and the free list must partition
+        // the arena exactly.
+        let mut occupied = vec![false; capacity];
+        for &(_, h) in &s.index {
+            if h.index() >= capacity || occupied[h.index()] {
+                return Err(InvalidState(
+                    "live handle out of range or duplicated".into(),
+                ));
+            }
+            occupied[h.index()] = true;
+        }
+        let mut freed = vec![false; capacity];
+        for &h in &s.free {
+            if h.index() >= capacity || freed[h.index()] || occupied[h.index()] {
+                return Err(InvalidState(
+                    "free handle out of range or duplicated".into(),
+                ));
+            }
+            freed[h.index()] = true;
+        }
+        if s.index.len() + s.free.len() != capacity {
+            return Err(InvalidState("slots neither live nor free".into()));
+        }
+        let uniform = |h: usize| s.slab_uniform[h / 8] >> (h % 8) & 1 == 1;
+        let packed: usize = (0..capacity)
+            .map(|h| if uniform(h) { 1 } else { num_sm })
+            .sum();
+        if s.slab_r.len() != packed || s.slab_w.len() != packed {
+            return Err(InvalidState(
+                "packed slab length disagrees with bitmap".into(),
+            ));
+        }
+        let rows_total: usize = s.book_lens.iter().map(|&n| n as usize).sum();
+        if s.book_reporters.len() != rows_total
+            || s.book_row_uniform.len() != rows_total.div_ceil(8)
+        {
+            return Err(InvalidState(
+                "book row arrays disagree with row counts".into(),
+            ));
+        }
+        if (0..capacity).any(|h| !occupied[h] && s.book_lens[h] != 0) {
+            return Err(InvalidState("credibility rows on a vacant slot".into()));
+        }
+
+        let mut shard = EngineShard::new(num_sm);
+        shard.alloc = SlotAllocator::from_parts(s.capacity, s.free.clone());
+        shard.index = s.index.iter().copied().collect();
+        shard.cached = s.cached.iter().map(|&v| Reputation::new(v)).collect();
+        shard.touched_seq = vec![0; capacity];
+        shard.peers.clone_from(&s.peers);
+
+        let mut i = 0;
+        for h in 0..capacity {
+            if uniform(h) {
+                let lane = ScoreState::from_raw_parts(s.slab_r[i], s.slab_w[i]);
+                i += 1;
+                for _ in 0..num_sm {
+                    shard.slab.push(lane);
+                }
+            } else {
+                for _ in 0..num_sm {
+                    shard
+                        .slab
+                        .push(ScoreState::from_raw_parts(s.slab_r[i], s.slab_w[i]));
+                    i += 1;
+                }
+            }
+        }
+
+        let row_uniform = |r: usize| s.book_row_uniform[r / 8] >> (r % 8) & 1 == 1;
+        let mut row_n = 0usize;
+        let mut val_n = 0usize;
+        shard.books = Vec::with_capacity(capacity);
+        for h in 0..capacity {
+            let mut book = CredibilityBook::new(params.initial_credibility, params.gamma, num_sm);
+            for _ in 0..s.book_lens[h] {
+                let reporter = s.book_reporters[row_n];
+                let row = if row_uniform(row_n) {
+                    let v = *s.book_rows.get(val_n).ok_or_else(|| {
+                        InvalidState("flat credibility run shorter than its rows".into())
+                    })?;
+                    val_n += 1;
+                    vec![v; num_sm]
+                } else {
+                    let run = s.book_rows.get(val_n..val_n + num_sm).ok_or_else(|| {
+                        InvalidState("flat credibility run shorter than its rows".into())
+                    })?;
+                    val_n += num_sm;
+                    run.to_vec()
+                };
+                book.insert_row(reporter, row);
+                row_n += 1;
+            }
+            shard.books.push(book);
+        }
+        if val_n != s.book_rows.len() {
+            return Err(InvalidState(
+                "flat credibility run longer than its rows".into(),
+            ));
+        }
+
+        // Replica placement: keys are pure derivations of
+        // (subject, slot); hosts come from one merge-walk over the
+        // key-sorted lanes against the ring, then the exception list.
+        shard.meta = vec![ReplicaMeta::vacant(); lanes];
+        let mut keyed: Vec<(NodeId, u32)> = Vec::with_capacity(s.index.len() * num_sm);
+        for &(peer, h) in &s.index {
+            for slot in 0..num_sm {
+                let lane = h.index() * num_sm + slot;
+                keyed.push((replica_key(peer, slot), lane as u32));
+            }
+        }
+        keyed.sort_unstable();
+        if !keyed.is_empty() && ring_nodes.is_empty() {
+            return Err(InvalidState("live replicas with an empty ring".into()));
+        }
+        let mut j = 0;
+        for &(k, lane) in &keyed {
+            while j < ring_nodes.len() && ring_nodes[j] < k {
+                j += 1;
+            }
+            let host = *ring_nodes.get(j).unwrap_or(&ring_nodes[0]);
+            let lane = lane as usize;
+            shard.meta[lane] = ReplicaMeta {
+                key: k,
+                host,
+                rehomes: s.rehomes[lane] as u64,
+            };
+        }
+        let live_lane = |lane: u32| (lane as usize) < lanes && occupied[lane as usize / num_sm];
+        for &(lane, n) in &s.rehomes_wide {
+            if !live_lane(lane) {
+                return Err(InvalidState("wide re-home counter on a dead lane".into()));
+            }
+            shard.meta[lane as usize].rehomes = n;
+        }
+        for &(lane, host) in &s.host_exceptions {
+            if !live_lane(lane) {
+                return Err(InvalidState("host exception on a dead lane".into()));
+            }
+            shard.meta[lane as usize].host = host;
+        }
+
+        // Key index: group the already-sorted lanes, then restore the
+        // order-bearing collision lists verbatim.
+        let mut entries: Vec<(NodeId, AssignList)> = Vec::with_capacity(keyed.len());
+        for &(k, lane) in &keyed {
+            let a = Assignment {
+                subject: Handle::from_index(lane as usize / num_sm),
+                slot: (lane as usize % num_sm) as u32,
+            };
+            match entries.last_mut() {
+                Some((last, list)) if *last == k => list.push(a),
+                _ => {
+                    let mut list = AssignList::default();
+                    list.push(a);
+                    entries.push((k, list));
+                }
+            }
+        }
+        shard.key_index = entries.into_iter().collect();
+        for (key, list) in &s.key_collisions {
+            let mut rebuilt = AssignList::default();
+            for &(h, slot) in list {
+                if h.index() >= capacity
+                    || !occupied[h.index()]
+                    || (slot as usize) >= num_sm
+                    || replica_key(s.peers[h.index()], slot as usize) != *key
+                {
+                    return Err(InvalidState("collision list names a foreign lane".into()));
+                }
+                rebuilt.push(Assignment { subject: h, slot });
+            }
+            match shard.key_index.get_mut(key) {
+                Some(entry) if entry.len() == rebuilt.len() => *entry = rebuilt,
+                _ => {
+                    return Err(InvalidState(
+                        "collision list disagrees with derived keys".into(),
+                    ))
+                }
+            }
+        }
+
+        for &(r, subject, n) in &s.interactions {
+            shard.interactions.insert_count(r, subject, n);
+        }
+        shard.rehomings = s.rehomings;
+        shard.crash_losses = s.crash_losses;
+        Ok(shard)
+    }
 }
 
 /// The sharded, replicated ROCQ engine.
@@ -833,6 +1243,75 @@ impl RocqEngine {
                 f(shard.peers[h.index()], shard.cached[h.index()]);
             }
         }
+    }
+
+    /// Exports the engine's complete state for checkpointing. The
+    /// result is canonical — two exports of the same state encode to
+    /// identical bytes — and [`RocqEngine::import_state`] restores an
+    /// engine whose future behaviour is bit-identical to this one's
+    /// under any further operation stream (see the
+    /// [`state`](crate::state) module docs for the invariants).
+    ///
+    /// Pending aggregate deltas must be drained first
+    /// ([`ReputationEngine::drain_deltas`]); they are a transient
+    /// hand-off to the accounting layer, not durable state.
+    pub fn export_state(&self) -> EngineState {
+        let mut members: Vec<PeerId> = self.members.iter().copied().collect();
+        members.sort_unstable();
+        let ring = self.ring.to_vec();
+        EngineState {
+            params: self.params,
+            num_sm: self.num_sm as u64,
+            seed: self.seed,
+            parallel_batch_min: self.parallel_batch_min as u64,
+            shards: self.shards.iter().map(|s| s.export(&ring)).collect(),
+            ring,
+            members,
+        }
+    }
+
+    /// Rebuilds an engine from exported state — the inverse of
+    /// [`RocqEngine::export_state`]. Semantic defects (lengths
+    /// disagreeing with the declared capacity, out-of-range handles,
+    /// invalid parameters) surface as [`InvalidState`] so a corrupt
+    /// checkpoint can fall back to full journal replay instead of
+    /// aborting.
+    pub fn import_state(state: &EngineState) -> Result<Self, InvalidState> {
+        state
+            .params
+            .validate()
+            .map_err(|e| InvalidState(format!("params: {e}")))?;
+        let num_sm = usize::try_from(state.num_sm)
+            .ok()
+            .filter(|&n| n > 0)
+            .ok_or_else(|| InvalidState(format!("invalid numSM {}", state.num_sm)))?;
+        if state.shards.is_empty() {
+            return Err(InvalidState("no shards".into()));
+        }
+        let mut engine = RocqEngine::sharded(state.params, num_sm, state.shards.len(), state.seed);
+        engine.parallel_batch_min = usize::try_from(state.parallel_batch_min)
+            .unwrap_or(PARALLEL_BATCH_MIN)
+            .max(1);
+        // The export writes the ring in ascending order; the shard
+        // host derivation merge-walks it, so enforce the order here
+        // rather than trusting the bytes.
+        if !state.ring.windows(2).all(|w| w[0] < w[1]) {
+            return Err(InvalidState("ring nodes not strictly ascending".into()));
+        }
+        engine.ring = Ring::from_sorted_nodes(state.ring.iter().copied());
+        engine.members = state.members.iter().copied().collect();
+        for (shard, s) in engine.shards.iter_mut().zip(&state.shards) {
+            *shard = EngineShard::import(s, num_sm, &state.params, &state.ring)?;
+        }
+        Ok(engine)
+    }
+
+    /// Replaces the member registry wholesale — the partition-set
+    /// import path rebuilds it once and installs a clone into every
+    /// partition engine (the registries are identical by
+    /// construction, so only partition 0's travels in a checkpoint).
+    pub(crate) fn set_members(&mut self, members: HashSet<PeerId>) {
+        self.members = members;
     }
 }
 
@@ -1670,5 +2149,132 @@ mod tests {
                 "scratch grew at steady state (threshold {threshold}, pool {pool})"
             );
         }
+    }
+
+    /// Sorted `(peer, cached-aggregate bits)` fingerprint.
+    fn fingerprint(e: &RocqEngine) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        e.for_each_reputation(|p, r| out.push((p.raw(), r.value().to_bits())));
+        out.sort_unstable();
+        out
+    }
+
+    /// A churny mixed op stream (crash model on, so replica re-homing
+    /// counters and crash recovery state are exercised too).
+    fn churny_engine() -> RocqEngine {
+        let params = RocqParams {
+            crash_prob: 0.3,
+            ..RocqParams::default()
+        };
+        let mut e = RocqEngine::sharded(params, 3, 2, 42);
+        for p in 0..60u64 {
+            e.register_peer(PeerId(p), Reputation::new(0.4));
+        }
+        for round in 0..8u64 {
+            let batch: Vec<Feedback> = (0..60u64)
+                .map(|r| Feedback::new(PeerId(r), PeerId((r * 3 + round) % 60), (r % 2) as f64))
+                .collect();
+            e.report_batch(&batch);
+        }
+        for p in [3u64, 17, 41] {
+            e.remove_peer(PeerId(p));
+        }
+        e.credit(PeerId(5), 0.2);
+        e.debit(PeerId(6), 0.1);
+        let mut sink = Vec::new();
+        e.drain_deltas(&mut sink);
+        e
+    }
+
+    /// The checkpoint correctness contract at the engine level: a
+    /// restored engine is indistinguishable from the original under
+    /// any further op stream — same aggregate bits, same churn
+    /// counters, same crash rolls (which depend on per-replica
+    /// re-homing counts surviving the round trip).
+    #[test]
+    fn export_import_round_trip_preserves_future_behaviour() {
+        let mut original = churny_engine();
+        let state = original.export_state();
+        assert_eq!(state, original.export_state(), "export is deterministic");
+        let mut restored = RocqEngine::import_state(&state).expect("state imports");
+        assert_eq!(fingerprint(&original), fingerprint(&restored));
+        assert_eq!(original.rehomings(), restored.rehomings());
+        assert_eq!(original.crash_losses(), restored.crash_losses());
+        assert_eq!(original.overlay_len(), restored.overlay_len());
+
+        // Identical suffix ops — registrations reuse freed slots,
+        // churn rolls crash losses, reports move scores.
+        for e in [&mut original, &mut restored] {
+            for p in 100..120u64 {
+                e.register_peer(PeerId(p), Reputation::new(0.7));
+            }
+            for p in [9u64, 104] {
+                e.remove_peer(PeerId(p));
+            }
+            let batch: Vec<Feedback> = (0..60u64)
+                .map(|r| Feedback::new(PeerId(r % 50), PeerId((r * 7 + 2) % 60), 1.0))
+                .collect();
+            e.report_batch(&batch);
+            e.credit(PeerId(11), 0.3);
+        }
+        assert_eq!(fingerprint(&original), fingerprint(&restored));
+        assert_eq!(original.rehomings(), restored.rehomings());
+        assert_eq!(original.crash_losses(), restored.crash_losses());
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        original.drain_deltas(&mut a);
+        restored.drain_deltas(&mut b);
+        assert_eq!(a, b, "delta streams diverged after restore");
+    }
+
+    #[test]
+    fn import_rejects_semantic_defects() {
+        let state = churny_engine().export_state();
+
+        let mut bad = state.clone();
+        bad.shards[0].cached.pop();
+        assert!(
+            RocqEngine::import_state(&bad).is_err(),
+            "short cached array"
+        );
+
+        let mut bad = state.clone();
+        bad.shards[0]
+            .free
+            .push(Handle::from_index(u32::MAX as usize));
+        assert!(
+            RocqEngine::import_state(&bad).is_err(),
+            "foreign free handle"
+        );
+
+        let mut bad = state.clone();
+        assert!(
+            !bad.shards[0].book_rows.is_empty(),
+            "churny stream grows books"
+        );
+        bad.shards[0].book_rows.pop();
+        assert!(
+            RocqEngine::import_state(&bad).is_err(),
+            "short book row run"
+        );
+
+        let mut bad = state.clone();
+        bad.shards[0].rehomes.pop();
+        assert!(
+            RocqEngine::import_state(&bad).is_err(),
+            "short re-home array"
+        );
+
+        let mut bad = state.clone();
+        bad.ring.reverse();
+        assert!(RocqEngine::import_state(&bad).is_err(), "unsorted ring");
+
+        let mut bad = state.clone();
+        bad.num_sm = 0;
+        assert!(RocqEngine::import_state(&bad).is_err(), "zero numSM");
+
+        let mut bad = state;
+        bad.shards.clear();
+        assert!(RocqEngine::import_state(&bad).is_err(), "no shards");
     }
 }

@@ -66,6 +66,7 @@ pub mod reference;
 pub mod score;
 pub mod slab;
 pub mod snapshot;
+pub mod state;
 
 pub use concurrent::ConcurrentEngine;
 pub use engine::{pool_threads, shard_of, ReputationEngine, RocqEngine};

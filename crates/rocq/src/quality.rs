@@ -56,6 +56,18 @@ impl InteractionLog {
         self.counts.retain(|(r, s), _| *r != peer && *s != peer);
     }
 
+    /// Every tracked (reporter, subject) pair with its count, in
+    /// arbitrary (hash) order — checkpoint export sorts the pairs for
+    /// canonical bytes.
+    pub fn iter_counts(&self) -> impl Iterator<Item = ((PeerId, PeerId), u32)> + '_ {
+        self.counts.iter().map(|(&pair, &n)| (pair, n))
+    }
+
+    /// Checkpoint import: installs a pair's count verbatim.
+    pub fn insert_count(&mut self, reporter: PeerId, subject: PeerId, count: u32) {
+        self.counts.insert((reporter, subject), count);
+    }
+
     /// Number of distinct pairs tracked.
     pub fn len(&self) -> usize {
         self.counts.len()

@@ -1,0 +1,208 @@
+//! Serialisable engine state for checkpointed restarts.
+//!
+//! The serve layer bounds restart cost with checkpoints: instead of
+//! replaying the whole write-ahead journal, it restores the engine
+//! from a recent [`EngineState`] snapshot and replays only the
+//! journal suffix written after it. That makes the export/import pair
+//! here a **correctness boundary**: the restored engine must be
+//! *bit-identical* to the engine that was exported — not just
+//! equal-looking aggregates, but identical future behaviour under any
+//! further operation stream, because the suffix replay (and
+//! everything after it) must land on the same bits a full from-scratch
+//! replay would produce.
+//!
+//! ## Derive, don't store
+//!
+//! Restart cost is dominated by decoding and rebuilding the
+//! checkpoint, so the format stores only what cannot be recomputed
+//! and **verifies derivability at export time** instead of assuming
+//! it — every compression below is an observation about the exported
+//! engine, checked bit-for-bit while exporting, with an explicit
+//! exception list for the (rare or impossible) cases where the
+//! observation does not hold:
+//!
+//! * **Replica keys are never stored.** `meta.key` is the pure
+//!   function [`replica_key`](replend_dht::managers::replica_key) of
+//!   `(subject, slot)`; import recomputes it. (Export asserts this in
+//!   debug builds; the engine never mutates a stored key.)
+//! * **Replica hosts are stored as exceptions.** The engine maintains
+//!   `host == ring.successor(key)` at every quiescent point
+//!   (registration sets it, every churn handoff re-establishes it),
+//!   so import re-derives hosts from the restored ring with one
+//!   sorted merge-walk. Export diffs each live replica's actual host
+//!   against the derived one and records the disagreeing lanes in
+//!   [`ShardState::host_exceptions`] — normally empty.
+//! * **The replica-key index is rebuilt, not shipped.** `key →
+//!   (handle, slot)` is the inverse of the recomputed keys. The one
+//!   order-bearing case — two lanes colliding on one 64-bit key,
+//!   where the engine's insertion order decides churn processing
+//!   order — is detected at export and those keys' assignment lists
+//!   travel verbatim in [`ShardState::key_collisions`].
+//! * **Uniform score lanes are stored once.** A subject's `num_sm`
+//!   replicas see the same report stream with the same per-slot
+//!   credibilities, so their `(r, w)` states stay bit-identical until
+//!   a crash recovery diverges them. Export bit-compares each
+//!   handle's lanes and packs one lane when they all agree (the
+//!   [`ShardState::slab_uniform`] bitmap says which), all `num_sm`
+//!   otherwise. Credibility rows get the same treatment per row
+//!   ([`ShardState::book_row_uniform`]).
+//! * **Re-home counters are narrowed to `u32`** (a replica re-homes
+//!   `O(log n)` expected times; `u32::MAX` is unreachable in
+//!   practice), with [`ShardState::rehomes_wide`] carrying the exact
+//!   `u64` for any lane that somehow overflows.
+//! * **Vacant-slot residue is canonicalised, not exported.** The
+//!   registration slot-reuse path overwrites every per-handle field
+//!   before any read (cached, peer, book, score lanes, meta — see
+//!   `RocqEngine::register_peer`), so vacant slots export as zeros /
+//!   empty and import as the same canonical residue. The *slot
+//!   assignment itself* is observable through future recycling, which
+//!   is why the free list is exported in release order and restored
+//!   verbatim: the restored engine recycles slots in the same LIFO
+//!   order the original would have.
+//!
+//! ## Invariants the format preserves
+//!
+//! * **Hash-keyed maps are exported sorted** (subject index,
+//!   credibility rows, interaction counts, membership) so the encoded
+//!   bytes are canonical — two exports of the same engine state are
+//!   byte-identical, which lets tests fingerprint a checkpoint.
+//!   Iteration order of the underlying hash maps is unobservable by
+//!   contract, so re-insertion order is free.
+//! * **Floats are bit patterns.** Every `f64` here rides the wire
+//!   crate's IEEE-754 bit-exact encoding; import installs the bits
+//!   without renormalisation (`ScoreState::from_raw_parts`, verbatim
+//!   credibility rows).
+//! * **Batch/touch sequence numbers restart at zero.** The per-batch
+//!   dedup compares sequence numbers for equality only and the
+//!   counter is monotonic, so a restored engine starting at 0 with
+//!   all `touched_seq` entries 0 behaves bit-identically to the
+//!   original timeline at any counter value.
+//! * **Hot arrays stay flat on the wire.** Books and score lanes are
+//!   encoded as flat `Vec<f64>` / `Vec<PeerId>` runs with per-handle
+//!   lengths, not per-subject nested structures — the decoder's cost
+//!   is a handful of large memcpy-speed array reads instead of
+//!   millions of small allocations.
+
+use crate::params::RocqParams;
+use replend_types::arena::Handle;
+use replend_types::{NodeId, PeerId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One engine shard's complete subject arena, in the derive-don't-
+/// store layout described in the [module docs](self).
+///
+/// Handle-indexed arrays (`cached`, `peers`, `book_lens`, the packed
+/// slab, per-lane `rehomes`) run to `capacity`, with vacant slots
+/// canonicalised (zeros / empty); occupancy is defined by `index`
+/// (live) and `free` (vacant), which must partition `0..capacity`.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ShardState {
+    /// Total arena slots ever created (`== handle-array length`).
+    pub capacity: u32,
+    /// Vacated handles awaiting reuse, oldest release first.
+    pub free: Vec<Handle>,
+    /// Live-subject occupancy: `(peer, handle)`, sorted by peer.
+    pub index: Vec<(PeerId, Handle)>,
+    /// Cached aggregate reputation per handle (bit-exact values);
+    /// vacant slots canonicalised to `0.0`.
+    pub cached: Vec<f64>,
+    /// Handle → subject id; vacant slots canonicalised to `PeerId(0)`.
+    pub peers: Vec<PeerId>,
+    /// Bitmap over handles: bit `h` set ⇔ all `num_sm` score lanes of
+    /// handle `h` share one bit pattern (always set for vacant
+    /// handles, whose lanes are canonicalised to the default state).
+    pub slab_uniform: Vec<u8>,
+    /// Packed score-slab `r` lanes, in handle order: one entry for a
+    /// uniform handle, `num_sm` consecutive entries otherwise.
+    pub slab_r: Vec<f64>,
+    /// Packed score-slab `w` lanes, parallel to `slab_r`.
+    pub slab_w: Vec<f64>,
+    /// Credibility rows per handle (0 for vacant handles).
+    pub book_lens: Vec<u32>,
+    /// Bitmap over emitted rows (concatenated in handle order): bit
+    /// set ⇔ the row's `num_sm` slot credibilities share one bit
+    /// pattern and travel as a single value.
+    pub book_row_uniform: Vec<u8>,
+    /// Flat row reporters, sorted by reporter within each book.
+    pub book_reporters: Vec<PeerId>,
+    /// Flat row credibilities: 1 value for a uniform row, `num_sm`
+    /// for a diverged one.
+    pub book_rows: Vec<f64>,
+    /// Per-lane re-home counters (`capacity × num_sm`, handle-major);
+    /// vacant lanes canonicalised to 0.
+    pub rehomes: Vec<u32>,
+    /// Exact counters for lanes whose re-home count exceeds
+    /// `u32::MAX` (unreachable in practice; kept for exactness).
+    pub rehomes_wide: Vec<(u32, u64)>,
+    /// Live lanes whose replica host differs from
+    /// `ring.successor(replica_key(peer, slot))` — normally empty,
+    /// see the module docs.
+    pub host_exceptions: Vec<(u32, NodeId)>,
+    /// Assignment lists, in true insertion order, for replica keys
+    /// carrying more than one `(handle, slot)` assignment (64-bit key
+    /// collisions) — the only case where the rebuilt key index's
+    /// list order is not determined by the keys themselves.
+    pub key_collisions: Vec<(NodeId, Vec<(Handle, u32)>)>,
+    /// Pairwise interaction counts: `(reporter, subject, count)`,
+    /// sorted by the pair.
+    pub interactions: Vec<(PeerId, PeerId, u32)>,
+    /// Replica re-homings processed by this shard.
+    pub rehomings: u64,
+    /// Re-homings that lost state under the crash model.
+    pub crash_losses: u64,
+}
+
+/// A full [`RocqEngine`](crate::engine::RocqEngine) snapshot.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EngineState {
+    /// Engine parameters (validated again on import).
+    pub params: RocqParams,
+    /// Replication factor (array stride of the per-replica vectors).
+    pub num_sm: u64,
+    /// Engine seed — source of the deterministic crash rolls.
+    pub seed: u64,
+    /// Smallest batch fanned out over the thread pool.
+    pub parallel_batch_min: u64,
+    /// Overlay ring membership in ring (ascending `NodeId`) order.
+    pub ring: Vec<NodeId>,
+    /// Engine-wide member registry, sorted. In a partition-set
+    /// checkpoint only partition 0 carries it (every partition's
+    /// registry is identical by construction); see
+    /// [`ConcurrentEngine::export_partitions`](crate::concurrent::ConcurrentEngine::export_partitions).
+    pub members: Vec<PeerId>,
+    /// The subject shards, in shard order.
+    pub shards: Vec<ShardState>,
+}
+
+/// One [`ConcurrentEngine`](crate::concurrent::ConcurrentEngine)
+/// partition: its single-shard engine plus the wait-free read slab's
+/// applied-report counts (which live *only* in the slab — the engine
+/// forgets interaction counts on reporter departure while the served
+/// count persists). The slab's reputation bits are **not** stored:
+/// the slab is pinned bit-identical to the engine's cached
+/// aggregates, so import republishes them from the restored engine.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PartitionCheckpoint {
+    /// The partition's engine (members hoisted to partition 0 only).
+    pub engine: EngineState,
+    /// Snapshot-slab rows: `(peer, applied reports)`, sorted by peer.
+    /// Must list exactly the partition's registered subjects.
+    pub slab: Vec<(u64, u64)>,
+}
+
+/// A semantic defect in decoded state: lengths that disagree with the
+/// declared capacity, handles out of range, malformed rows. Raised by
+/// import instead of panicking so a corrupt-but-well-framed
+/// checkpoint file falls back to full journal replay rather than
+/// aborting the service.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InvalidState(pub String);
+
+impl fmt::Display for InvalidState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid engine state: {}", self.0)
+    }
+}
+
+impl std::error::Error for InvalidState {}

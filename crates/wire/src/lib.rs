@@ -84,6 +84,13 @@ pub const PROTOCOL_VERSION: u32 = 2;
 /// instead of a garbage decode.
 pub const PROFILE_MAGIC: [u8; 4] = *b"RLPF";
 
+/// The file-magic prefix of an engine checkpoint written by the serve
+/// layer (see [`encode_checkpoint`]): distinguishes a checkpoint from
+/// arbitrary wire bytes — and from a profile — before any decoding
+/// happens, so a corrupt or misrouted file fails with a typed error
+/// instead of a garbage decode.
+pub const CHECKPOINT_MAGIC: [u8; 4] = *b"RLCK";
+
 /// Typed encode/decode failure.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum WireError {
@@ -749,6 +756,43 @@ pub fn decode_profile<T: serde::de::DeserializeOwned>(bytes: &[u8]) -> Result<(u
 }
 
 // ---------------------------------------------------------------------------
+// Checkpoint files
+// ---------------------------------------------------------------------------
+
+/// Encodes an engine checkpoint for writing to disk:
+/// [`CHECKPOINT_MAGIC`] followed by a version-gated
+/// [`SummaryEnvelope`] tagged with the service seed. Generic over the
+/// payload type for the same reason as [`encode_profile`]: the
+/// concrete checkpoint state lives in the serve layer, this crate
+/// keeps its serde-only dependency set.
+pub fn encode_checkpoint<T: ?Sized + Serialize>(
+    seed: u64,
+    state: &T,
+) -> Result<Vec<u8>, WireError> {
+    let envelope = SummaryEnvelope::wrap(seed, state)?.encode()?;
+    let mut out = Vec::with_capacity(CHECKPOINT_MAGIC.len() + envelope.len());
+    out.extend_from_slice(&CHECKPOINT_MAGIC);
+    out.extend_from_slice(&envelope);
+    Ok(out)
+}
+
+/// Decodes a checkpoint file produced by [`encode_checkpoint`],
+/// checking the magic first and the protocol version second, before
+/// any payload bytes are interpreted. Returns the service seed with
+/// the decoded state. A torn file (crash mid-write before the atomic
+/// rename) surfaces as [`WireError::Eof`] from the envelope decode —
+/// never as half-interpreted state.
+pub fn decode_checkpoint<T: serde::de::DeserializeOwned>(
+    bytes: &[u8],
+) -> Result<(u64, T), WireError> {
+    let rest = bytes
+        .strip_prefix(&CHECKPOINT_MAGIC[..])
+        .ok_or(WireError::BadMagic)?;
+    let envelope = SummaryEnvelope::decode(rest)?;
+    Ok((envelope.seed, envelope.open()?))
+}
+
+// ---------------------------------------------------------------------------
 // Stream framing
 // ---------------------------------------------------------------------------
 
@@ -939,6 +983,19 @@ impl<W: Write> JournalWriter<W> {
         self.pending
     }
 
+    /// Retags subsequently appended records with `seed`. Used by
+    /// journal compaction: after a checkpoint is durable the log is
+    /// truncated and restarted under a new generation-salted seed, so
+    /// a stale pre-truncation journal (crash between checkpoint
+    /// rename and truncate) is rejected by the seed gate on replay
+    /// instead of being replayed on top of the checkpoint. Frames
+    /// already buffered in the tail keep the seed they were encoded
+    /// with — callers must [`JournalWriter::sync`] first.
+    pub fn set_seed(&mut self, seed: u64) {
+        debug_assert_eq!(self.pending, 0, "re-seeding with buffered records");
+        self.seed = seed;
+    }
+
     /// The underlying stream, for callers that need to sync or close.
     /// Call [`JournalWriter::sync`] first if buffered records must
     /// reach the stream before you touch it.
@@ -971,6 +1028,7 @@ pub struct JournalReader<R: Read> {
     inner: R,
     seed: u64,
     consumed: u64,
+    records: u64,
     torn: bool,
 }
 
@@ -981,6 +1039,7 @@ impl<R: Read> JournalReader<R> {
             inner,
             seed,
             consumed: 0,
+            records: 0,
             torn: false,
         }
     }
@@ -1014,6 +1073,7 @@ impl<R: Read> JournalReader<R> {
         }
         let record = envelope.open()?;
         self.consumed += 4 + frame.len() as u64;
+        self.records += 1;
         Ok(Some(record))
     }
 
@@ -1021,6 +1081,13 @@ impl<R: Read> JournalReader<R> {
     /// the length to truncate a torn journal to.
     pub fn consumed(&self) -> u64 {
         self.consumed
+    }
+
+    /// Intact records decoded so far — alongside
+    /// [`JournalReader::consumed`], lets a replaying service report
+    /// record counts and byte offsets without counting externally.
+    pub fn records(&self) -> u64 {
+        self.records
     }
 
     /// True when iteration stopped at a truncated final frame rather
@@ -1210,6 +1277,56 @@ mod tests {
     }
 
     #[test]
+    fn checkpoint_files_round_trip_and_gate_magic_and_version() {
+        let payload = Record {
+            id: 3,
+            score: 0.875,
+            tags: vec![1, 2],
+            label: None,
+            flag: true,
+        };
+        let bytes = encode_checkpoint(42, &payload).unwrap();
+        assert_eq!(&bytes[..4], b"RLCK");
+        let (seed, decoded) = decode_checkpoint::<Record>(&bytes).unwrap();
+        assert_eq!(seed, 42);
+        assert_eq!(decoded, payload);
+
+        // A profile is not a checkpoint (and vice versa): the two
+        // magics keep the file kinds from being confused.
+        assert_eq!(
+            decode_checkpoint::<Record>(&encode_profile(42, &payload).unwrap()).unwrap_err(),
+            WireError::BadMagic
+        );
+        assert_eq!(
+            decode_checkpoint::<Record>(b"RL").unwrap_err(),
+            WireError::BadMagic
+        );
+
+        // A torn file — crash mid-write — fails the envelope decode
+        // with a typed error instead of yielding partial state.
+        for cut in [4usize, 6, bytes.len() - 1] {
+            assert!(
+                matches!(
+                    decode_checkpoint::<Record>(&bytes[..cut]),
+                    Err(WireError::Eof) | Err(WireError::TrailingBytes(_))
+                ),
+                "cut at {cut}"
+            );
+        }
+
+        // Right magic, wrong protocol version: rejected before the
+        // payload decodes.
+        let mut stale = SummaryEnvelope::wrap(42, &payload).unwrap();
+        stale.version += 1;
+        let mut file = CHECKPOINT_MAGIC.to_vec();
+        file.extend_from_slice(&stale.encode().unwrap());
+        assert!(matches!(
+            decode_checkpoint::<Record>(&file),
+            Err(WireError::VersionMismatch { .. })
+        ));
+    }
+
+    #[test]
     fn framing_round_trips_and_detects_truncation() {
         let mut stream = Vec::new();
         write_frame(&mut stream, b"alpha").unwrap();
@@ -1389,6 +1506,62 @@ mod tests {
         );
         // The reader stays ended.
         assert_eq!(reader.next::<u64>().unwrap(), None);
+    }
+
+    #[test]
+    fn journal_reader_counts_records_and_bytes_in_step() {
+        let mut log = Vec::new();
+        {
+            let mut writer = JournalWriter::new(&mut log, 6);
+            for i in 0..4u64 {
+                writer.append(&i).unwrap();
+            }
+        }
+        let intact = log.len();
+        JournalWriter::new(&mut log, 6).append(&99u64).unwrap();
+        log.truncate(intact + 5); // torn fifth record
+
+        let mut reader = JournalReader::new(log.as_slice(), 6);
+        assert_eq!(reader.records(), 0);
+        let mut expected = 0u64;
+        while let Some(r) = reader.next::<u64>().unwrap() {
+            assert_eq!(r, expected);
+            expected += 1;
+            assert_eq!(reader.records(), expected, "counter tracks each record");
+        }
+        assert_eq!(reader.records(), 4, "the torn record is not counted");
+        assert_eq!(reader.consumed(), intact as u64);
+        assert!(reader.torn_tail());
+    }
+
+    #[test]
+    fn re_seeded_writer_starts_a_new_generation() {
+        // The compaction shape: records under the old seed, then a
+        // truncate + set_seed. The new log replays only under the new
+        // seed; a reader still using the old seed hits the typed
+        // mismatch (which is exactly how a stale pre-truncation
+        // journal is fenced off after a crash).
+        let mut log = Vec::new();
+        let mut writer = JournalWriter::new(&mut log, 10);
+        writer.append(&1u64).unwrap();
+        writer.get_mut().clear(); // "truncate" the Vec-backed log
+        writer.set_seed(11);
+        writer.append(&2u64).unwrap();
+        drop(writer);
+
+        let mut reader = JournalReader::new(log.as_slice(), 11);
+        assert_eq!(reader.next::<u64>().unwrap(), Some(2));
+        assert_eq!(reader.next::<u64>().unwrap(), None);
+        assert!(!reader.torn_tail());
+
+        let mut stale = JournalReader::new(log.as_slice(), 10);
+        assert!(matches!(
+            stale.next::<u64>(),
+            Err(JournalError::SeedMismatch {
+                expected: 10,
+                found: 11
+            })
+        ));
     }
 
     #[test]

@@ -4,6 +4,7 @@
 //! the journalled workload path survives a restart with its tier
 //! census intact.
 
+use proptest::prelude::*;
 use replend_core::serve::{
     run_ingest_workload, JournalOp, ReputationService, ServeConfig, SubjectStatus, SyncPolicy,
     WorkloadConfig,
@@ -175,7 +176,9 @@ fn journalled_workload_survives_restart_with_census_intact() {
     drop(service);
 
     let (replayed, summary) = ReputationService::open(config, &path).expect("replay");
-    assert_eq!(summary.records, workload.subjects + workload.rounds);
+    // One bulk-registration record for all subjects + one per round.
+    assert_eq!(summary.records, 1 + workload.rounds);
+    assert!(!summary.restored_from_checkpoint());
     assert_eq!(replayed.subjects(), workload.subjects as usize);
     assert_eq!(replayed.status_census(), census);
 
@@ -193,6 +196,13 @@ fn issue(service: &ReputationService, op: &JournalOp) {
         JournalOp::Batch { batch } => service.report_batch(batch).unwrap(),
         JournalOp::Credit { subject, amount } => service.credit(*subject, *amount).unwrap(),
         JournalOp::Debit { subject, amount } => service.debit(*subject, *amount).unwrap(),
+        JournalOp::RegisterBatch { batch } => {
+            let batch: Vec<(PeerId, Reputation)> = batch
+                .iter()
+                .map(|&(peer, initial)| (peer, Reputation::new(initial)))
+                .collect();
+            service.register_batch(&batch).unwrap()
+        }
     }
 }
 
@@ -299,4 +309,198 @@ fn group_committed_journal_truncates_to_exact_prefix_state_at_every_boundary() {
 
     let _ = std::fs::remove_file(&path);
     let _ = std::fs::remove_dir(&dir);
+}
+
+/// Subjects drawn on by the randomized checkpoint-equivalence stream.
+const PROP_PEERS: u64 = 16;
+
+/// A random journalled mutation touching a small peer universe —
+/// registrations (single and bulk), removals, feedback batches,
+/// credits and debits, weighted toward the ops that move state.
+fn op_strategy() -> impl Strategy<Value = JournalOp> {
+    let register = (0..PROP_PEERS, 0.0f64..=1.0).prop_map(|(p, r)| JournalOp::Register {
+        peer: PeerId(p),
+        initial: r,
+    });
+    let register_batch =
+        proptest::collection::vec((0..PROP_PEERS, 0.0f64..=1.0), 1..8).prop_map(|batch| {
+            JournalOp::RegisterBatch {
+                batch: batch.into_iter().map(|(p, r)| (PeerId(p), r)).collect(),
+            }
+        });
+    let remove = (0..PROP_PEERS).prop_map(|p| JournalOp::Remove { peer: PeerId(p) });
+    let feedback = || {
+        proptest::collection::vec(
+            (
+                0..PROP_PEERS,
+                0..PROP_PEERS,
+                prop_oneof![Just(0.0f64), Just(1.0f64)],
+            ),
+            1..12,
+        )
+        .prop_map(|reports| JournalOp::Batch {
+            batch: reports
+                .into_iter()
+                .map(|(reporter, subject, opinion)| {
+                    Feedback::new(PeerId(reporter), PeerId(subject), opinion)
+                })
+                .collect(),
+        })
+    };
+    let credit = (0..PROP_PEERS, 0.0f64..=0.5).prop_map(|(p, a)| JournalOp::Credit {
+        subject: PeerId(p),
+        amount: a,
+    });
+    let debit = (0..PROP_PEERS, 0.0f64..=0.5).prop_map(|(p, a)| JournalOp::Debit {
+        subject: PeerId(p),
+        amount: a,
+    });
+    // The shim's `prop_oneof!` draws arms uniformly; repeating the
+    // register and feedback arms biases the stream toward the ops
+    // that populate and move state.
+    prop_oneof![
+        register.clone(),
+        register,
+        register_batch,
+        remove,
+        feedback(),
+        feedback(),
+        feedback(),
+        credit,
+        debit,
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// The checkpoint correctness contract, property-tested: for a
+    /// random op stream and a random cut point, {restore checkpoint
+    /// taken at the cut + replay the suffix} lands on exactly the
+    /// same per-subject bits as {replay the whole journal} and as
+    /// {apply every op in memory} — checkpoints change restart cost,
+    /// never state.
+    #[test]
+    fn checkpoint_at_any_cut_replays_bit_identically(
+        ops in proptest::collection::vec(op_strategy(), 1..24),
+        cut_pct in 0usize..=100,
+        case in 0u64..1_000_000,
+    ) {
+        let dir = std::env::temp_dir().join(format!(
+            "replend-serve-ckpt-prop-{}-{case}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let config = ServeConfig {
+            partitions: 3,
+            seed: 7,
+            ..ServeConfig::default()
+        };
+        let cut = ops.len() * cut_pct / 100;
+
+        let reference = ReputationService::in_memory(config);
+        for op in &ops {
+            issue(&reference, op);
+        }
+
+        let full_path = dir.join("full.wal");
+        {
+            let (service, _) = ReputationService::open(config, &full_path).unwrap();
+            for op in &ops {
+                issue(&service, op);
+            }
+        }
+        let (full, full_summary) = ReputationService::open(config, &full_path).unwrap();
+        prop_assert_eq!(full_summary.records, ops.len() as u64);
+        prop_assert!(!full_summary.restored_from_checkpoint());
+
+        let cut_path = dir.join("cut.wal");
+        {
+            let (service, _) = ReputationService::open(config, &cut_path).unwrap();
+            for op in &ops[..cut] {
+                issue(&service, op);
+            }
+            service.checkpoint().unwrap();
+            for op in &ops[cut..] {
+                issue(&service, op);
+            }
+        }
+        let (restored, summary) = ReputationService::open(config, &cut_path).unwrap();
+        prop_assert!(summary.restored_from_checkpoint());
+        prop_assert_eq!(summary.checkpoint_generation, 1);
+        prop_assert_eq!(summary.replayed_from_checkpoint, cut as u64);
+        prop_assert_eq!(summary.records, (ops.len() - cut) as u64);
+
+        prop_assert_eq!(fingerprint(&full), fingerprint(&reference));
+        prop_assert_eq!(fingerprint(&restored), fingerprint(&reference));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Checkpoints compose: repeated checkpoint/restart cycles (advancing
+/// the journal-seed generation each time), group-committed suffixes,
+/// and a final restart all land on the in-memory reference state,
+/// with the replay summary attributing every op to the right source.
+#[test]
+fn checkpoints_compose_across_generations() {
+    let dir = std::env::temp_dir().join(format!("replend-serve-gens-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("gen.wal");
+    let config = ServeConfig {
+        partitions: 4,
+        seed: 13,
+        journal_sync: SyncPolicy::Batch(8),
+        ..ServeConfig::default()
+    };
+    let reference = ReputationService::in_memory(config);
+
+    let segments: Vec<Vec<JournalOp>> = (0..3u64)
+        .map(|g| {
+            let peers = 10 * (g + 1);
+            let mut segment = vec![JournalOp::RegisterBatch {
+                batch: (g * 10..g * 10 + 10).map(|p| (PeerId(p), 0.5)).collect(),
+            }];
+            for batch in op_stream(900 + g, peers, 4, 15) {
+                segment.push(JournalOp::Batch { batch });
+            }
+            segment.push(JournalOp::Remove { peer: PeerId(g) });
+            segment
+        })
+        .collect();
+    let ops_per_segment = segments[0].len() as u64;
+
+    for (g, segment) in segments.iter().enumerate() {
+        let (service, summary) = ReputationService::open(config, &path).expect("reopen");
+        assert_eq!(summary.checkpoint_generation, g as u64);
+        assert_eq!(summary.records, 0, "post-compaction journal is empty");
+        assert_eq!(summary.replayed_from_checkpoint, g as u64 * ops_per_segment);
+        for op in segment {
+            issue(&service, op);
+            issue(&reference, op);
+        }
+        let report = service.checkpoint().expect("checkpoint");
+        assert_eq!(report.generation, g as u64 + 1);
+        assert_eq!(report.ops, (g as u64 + 1) * ops_per_segment);
+    }
+
+    // A trailing un-checkpointed suffix, then the final restart.
+    let suffix: Vec<JournalOp> = op_stream(999, 30, 3, 20)
+        .into_iter()
+        .map(|batch| JournalOp::Batch { batch })
+        .collect();
+    {
+        let (service, _) = ReputationService::open(config, &path).expect("reopen");
+        for op in &suffix {
+            issue(&service, op);
+            issue(&reference, op);
+        }
+    }
+    let (finale, summary) = ReputationService::open(config, &path).expect("final reopen");
+    assert_eq!(summary.checkpoint_generation, 3);
+    assert_eq!(summary.replayed_from_checkpoint, 3 * ops_per_segment);
+    assert_eq!(summary.records, suffix.len() as u64);
+    assert_eq!(fingerprint(&finale), fingerprint(&reference));
+    let _ = std::fs::remove_dir_all(&dir);
 }
